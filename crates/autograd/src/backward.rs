@@ -1,0 +1,333 @@
+//! Reverse-mode sweep over the tape.
+
+use crate::graph::{Graph, Var};
+use crate::op::Op;
+use crate::store::ParamStore;
+use seqfm_tensor::{
+    bmm_nn, bmm_tn, ew, matmul_nn, matmul_nt, matmul_tn, reduce, softmax_backward_lastdim,
+    Shape, Tensor,
+};
+
+impl Graph {
+    /// Runs reverse-mode differentiation from the scalar node `loss`,
+    /// accumulating parameter gradients into `ps`.
+    ///
+    /// Gradients of interior nodes are freed as soon as they have been
+    /// propagated; parameter gradients *accumulate* in the store, so call
+    /// [`ParamStore::zero_grads`] between optimization steps.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var, ps: &mut ParamStore) {
+        let lshape = self.value(loss).shape();
+        assert_eq!(lshape.numel(), 1, "backward expects a scalar loss, got {lshape}");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::ones(lshape));
+
+        for i in (0..=loss.0).rev() {
+            if !self.nodes[i].needs_grad {
+                grads[i] = None;
+                continue;
+            }
+            let Some(dy) = grads[i].take() else { continue };
+            self.step_backward(i, &dy, &mut grads, ps);
+        }
+    }
+
+    /// Propagates `dy` of node `i` one op backwards.
+    fn step_backward(&self, i: usize, dy: &Tensor, grads: &mut [Option<Tensor>], ps: &mut ParamStore) {
+        let node = &self.nodes[i];
+        let val = |v: Var| -> &Tensor { self.value(v) };
+        match &node.op {
+            Op::Input => {}
+            Op::Param(id) => ps.accumulate_dense(*id, dy),
+            Op::Gather { table, idx } => {
+                let d = node.value.shape().last_dim();
+                for (slot, &ix) in idx.iter().enumerate() {
+                    if ix < 0 {
+                        continue;
+                    }
+                    ps.accumulate_row(*table, ix as usize, &dy.data()[slot * d..(slot + 1) * d]);
+                }
+            }
+
+            Op::Add(a, b) => {
+                self.acc(grads, *a, dy.clone());
+                self.acc(grads, *b, dy.clone());
+            }
+            Op::Sub(a, b) => {
+                self.acc(grads, *a, dy.clone());
+                self.acc(grads, *b, dy.map(|v| -v));
+            }
+            Op::Mul(a, b) => {
+                self.acc(grads, *a, ew::mul(dy, val(*b)));
+                self.acc(grads, *b, ew::mul(dy, val(*a)));
+            }
+            Op::Neg(x) => self.acc(grads, *x, dy.map(|v| -v)),
+            Op::Scale(x, s) => self.acc(grads, *x, ew::scale(dy, *s)),
+            Op::AddScalar(x) => self.acc(grads, *x, dy.clone()),
+            Op::Square(x) => {
+                let dx = val(*x).zip(dy, |xv, g| 2.0 * xv * g);
+                self.acc(grads, *x, dx);
+            }
+            Op::Relu(x) => {
+                let dx = val(*x).zip(dy, |xv, g| if xv > 0.0 { g } else { 0.0 });
+                self.acc(grads, *x, dx);
+            }
+            Op::Sigmoid(x) => {
+                let dx = node.value.zip(dy, |y, g| g * y * (1.0 - y));
+                self.acc(grads, *x, dx);
+            }
+            Op::Tanh(x) => {
+                let dx = node.value.zip(dy, |y, g| g * (1.0 - y * y));
+                self.acc(grads, *x, dx);
+            }
+            Op::Softplus(x) => {
+                let dx = val(*x).zip(dy, |xv, g| g * ew::sigmoid_scalar(xv));
+                self.acc(grads, *x, dx);
+            }
+            Op::AddBias { x, b } => {
+                self.acc(grads, *x, dy.clone());
+                let mut db = vec![0.0; val(*b).numel()];
+                ew::accumulate_rows(&mut db, dy);
+                self.acc(grads, *b, Tensor::vector(db));
+            }
+
+            Op::Matmul(a, b) => {
+                self.acc(grads, *a, matmul_nt(dy, val(*b)));
+                self.acc(grads, *b, matmul_tn(val(*a), dy));
+            }
+            Op::MatmulNT(a, b) => {
+                self.acc(grads, *a, matmul_nn(dy, val(*b)));
+                self.acc(grads, *b, matmul_tn(dy, val(*a)));
+            }
+            Op::Bmm(a, b) => {
+                self.acc(grads, *a, seqfm_tensor::bmm_nt(dy, val(*b)));
+                self.acc(grads, *b, bmm_tn(val(*a), dy));
+            }
+            Op::BmmNT(a, b) => {
+                self.acc(grads, *a, bmm_nn(dy, val(*b)));
+                self.acc(grads, *b, bmm_tn(dy, val(*a)));
+            }
+            Op::LMatmul { w, x } => {
+                let (wv, xv) = (val(*w), val(*x));
+                let (p, q) = (wv.shape().dim(0), wv.shape().dim(1));
+                let (bsz, _, d) = (
+                    xv.shape().dim(0),
+                    xv.shape().dim(1),
+                    xv.shape().dim(2),
+                );
+                let mut dw = Tensor::zeros(Shape::d2(p, q));
+                let mut dx = Tensor::zeros(xv.shape());
+                for bi in 0..bsz {
+                    let dy_b = &dy.data()[bi * p * d..(bi + 1) * p * d];
+                    let x_b = &xv.data()[bi * q * d..(bi + 1) * q * d];
+                    // dW += dY_b · X_bᵀ
+                    seqfm_tensor::kernels::matmul::matmul_nt_into(dy_b, x_b, dw.data_mut(), p, d, q);
+                    // dX_b = Wᵀ · dY_b
+                    seqfm_tensor::kernels::matmul::matmul_tn_into(
+                        wv.data(),
+                        dy_b,
+                        &mut dx.data_mut()[bi * q * d..(bi + 1) * q * d],
+                        q,
+                        p,
+                        d,
+                    );
+                }
+                self.acc(grads, *w, dw);
+                self.acc(grads, *x, dx);
+            }
+            Op::RowDot(a, b) => {
+                // dy: [b]; da[bi,:] = dy[bi]*b[bi,:]
+                let (av, bv) = (val(*a), val(*b));
+                let d = av.shape().dim(1);
+                let mut da = Tensor::zeros(av.shape());
+                let mut db = Tensor::zeros(bv.shape());
+                for (bi, &g) in dy.data().iter().enumerate() {
+                    for j in 0..d {
+                        da.data_mut()[bi * d + j] = g * bv.data()[bi * d + j];
+                        db.data_mut()[bi * d + j] = g * av.data()[bi * d + j];
+                    }
+                }
+                self.acc(grads, *a, da);
+                self.acc(grads, *b, db);
+            }
+
+            Op::Softmax { x } => {
+                self.acc(grads, *x, softmax_backward_lastdim(&node.value, dy));
+            }
+            Op::LayerNorm { x, scale, bias, cache } => {
+                let xv = val(*x);
+                let d = xv.shape().last_dim();
+                let sv = val(*scale).data();
+                let mut dx = Tensor::zeros(xv.shape());
+                let mut ds = vec![0.0f32; d];
+                let mut db = vec![0.0f32; d];
+                for (r, (xrow, dyrow)) in xv
+                    .data()
+                    .chunks_exact(d)
+                    .zip(dy.data().chunks_exact(d))
+                    .enumerate()
+                {
+                    let (mu, rs) = (cache.mean[r], cache.rstd[r]);
+                    let mut mean_g = 0.0f32;
+                    let mut mean_gx = 0.0f32;
+                    for j in 0..d {
+                        let xhat = (xrow[j] - mu) * rs;
+                        let g = dyrow[j] * sv[j];
+                        mean_g += g;
+                        mean_gx += g * xhat;
+                        ds[j] += dyrow[j] * xhat;
+                        db[j] += dyrow[j];
+                    }
+                    mean_g /= d as f32;
+                    mean_gx /= d as f32;
+                    let dxrow = &mut dx.data_mut()[r * d..(r + 1) * d];
+                    for j in 0..d {
+                        let xhat = (xrow[j] - mu) * rs;
+                        let g = dyrow[j] * sv[j];
+                        dxrow[j] = rs * (g - mean_g - xhat * mean_gx);
+                    }
+                }
+                self.acc(grads, *x, dx);
+                self.acc(grads, *scale, Tensor::vector(ds));
+                self.acc(grads, *bias, Tensor::vector(db));
+            }
+            Op::Dropout { x, mask } => {
+                let mut dx = dy.clone();
+                for (g, &m) in dx.data_mut().iter_mut().zip(mask.iter()) {
+                    *g *= m;
+                }
+                self.acc(grads, *x, dx);
+            }
+
+            Op::Reshape(x) => {
+                self.acc(grads, *x, dy.reshaped(val(*x).shape()));
+            }
+            Op::ConcatCols(parts) => {
+                let total = node.value.shape().dim(1);
+                let b = node.value.shape().dim(0);
+                let mut col = 0;
+                for &p in parts {
+                    let w = val(p).shape().dim(1);
+                    let mut dp = Tensor::zeros(Shape::d2(b, w));
+                    for r in 0..b {
+                        dp.data_mut()[r * w..(r + 1) * w]
+                            .copy_from_slice(&dy.data()[r * total + col..r * total + col + w]);
+                    }
+                    col += w;
+                    self.acc(grads, p, dp);
+                }
+            }
+            Op::ConcatAxis1(a, b) => {
+                let (av, bv) = (val(*a), val(*b));
+                let (bsz, na, d) = (av.shape().dim(0), av.shape().dim(1), av.shape().dim(2));
+                let nb = bv.shape().dim(1);
+                let n = na + nb;
+                let mut da = Tensor::zeros(av.shape());
+                let mut db = Tensor::zeros(bv.shape());
+                for bi in 0..bsz {
+                    da.data_mut()[bi * na * d..(bi + 1) * na * d]
+                        .copy_from_slice(&dy.data()[bi * n * d..bi * n * d + na * d]);
+                    db.data_mut()[bi * nb * d..(bi + 1) * nb * d]
+                        .copy_from_slice(&dy.data()[bi * n * d + na * d..(bi + 1) * n * d]);
+                }
+                self.acc(grads, *a, da);
+                self.acc(grads, *b, db);
+            }
+            Op::IndexSelectAxis1 { x, idx } => {
+                let xv = val(*x);
+                let (bsz, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+                let p = idx.len();
+                let mut dx = Tensor::zeros(xv.shape());
+                for bi in 0..bsz {
+                    for (pi, &r) in idx.iter().enumerate() {
+                        let src = &dy.data()[(bi * p + pi) * d..(bi * p + pi + 1) * d];
+                        let dst = &mut dx.data_mut()[(bi * n + r) * d..(bi * n + r + 1) * d];
+                        for (o, &g) in dst.iter_mut().zip(src) {
+                            *o += g;
+                        }
+                    }
+                }
+                self.acc(grads, *x, dx);
+            }
+            Op::SliceAxis1 { x, start, len } => {
+                let xv = val(*x);
+                let (bsz, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+                let mut dx = Tensor::zeros(xv.shape());
+                for bi in 0..bsz {
+                    dx.data_mut()[(bi * n + start) * d..(bi * n + start + len) * d]
+                        .copy_from_slice(&dy.data()[bi * len * d..(bi + 1) * len * d]);
+                }
+                self.acc(grads, *x, dx);
+            }
+            Op::ExpandAxis1 { x } => {
+                self.acc(grads, *x, reduce::sum_axis1(dy));
+            }
+            Op::AddBroadcastBatch { x, p } => {
+                self.acc(grads, *x, dy.clone());
+                let pv = val(*p);
+                let (n, d) = (pv.shape().dim(0), pv.shape().dim(1));
+                let bsz = dy.shape().dim(0);
+                let mut dp = Tensor::zeros(pv.shape());
+                for bi in 0..bsz {
+                    for (o, &g) in dp
+                        .data_mut()
+                        .iter_mut()
+                        .zip(&dy.data()[bi * n * d..(bi + 1) * n * d])
+                    {
+                        *o += g;
+                    }
+                }
+                self.acc(grads, *p, dp);
+            }
+
+            Op::MeanAxis1(x) => {
+                let n = val(*x).shape().dim(1);
+                self.acc(grads, *x, reduce::broadcast_axis1(dy, n, 1.0 / n as f32));
+            }
+            Op::SumAxis1(x) => {
+                let n = val(*x).shape().dim(1);
+                self.acc(grads, *x, reduce::broadcast_axis1(dy, n, 1.0));
+            }
+            Op::SumLast(x) => {
+                self.acc(grads, *x, reduce::expand_lastdim(dy, val(*x).shape()));
+            }
+            Op::MeanAll(x) => {
+                let xs = val(*x).shape();
+                let g = dy.data()[0] / xs.numel() as f32;
+                self.acc(grads, *x, Tensor::full(xs, g));
+            }
+            Op::SumAll(x) => {
+                let xs = val(*x).shape();
+                self.acc(grads, *x, Tensor::full(xs, dy.data()[0]));
+            }
+
+            Op::BceWithLogits { logits, targets } => {
+                let zv = val(*logits);
+                let mut dz = Tensor::zeros(zv.shape());
+                for (i, ((o, &z), &g)) in dz
+                    .data_mut()
+                    .iter_mut()
+                    .zip(zv.data())
+                    .zip(dy.data())
+                    .enumerate()
+                {
+                    *o = g * (ew::sigmoid_scalar(z) - targets[i]);
+                }
+                self.acc(grads, *logits, dz);
+            }
+        }
+    }
+
+    /// Adds `g` into the gradient slot of `v` (skipping no-grad subtrees).
+    fn acc(&self, grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(t) => ew::add_assign(t, &g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+}

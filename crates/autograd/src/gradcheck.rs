@@ -1,0 +1,86 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op in this crate (and every layer built on top of it in `seqfm-nn`)
+//! is validated against central finite differences. The checker rebuilds the
+//! forward graph from scratch for each perturbation, so the closure must be
+//! deterministic — in particular it must not sample dropout masks.
+
+use crate::graph::{Graph, Var};
+use crate::store::{ParamId, ParamStore};
+use seqfm_tensor::Tensor;
+
+/// Result of a gradient check: the largest deviation found.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Largest absolute error between analytic and numeric gradient.
+    pub max_abs_err: f32,
+    /// Largest relative error `|a−n| / (1 + max(|a|,|n|))`.
+    pub max_rel_err: f32,
+    /// Number of scalar entries compared.
+    pub entries: usize,
+}
+
+/// Checks analytic gradients of `build` (a closure producing a **scalar**
+/// loss node) against central finite differences for every listed parameter.
+///
+/// Returns the worst-case report; asserts nothing. Use
+/// [`assert_grad_check`] in tests.
+pub fn grad_check(
+    ps: &mut ParamStore,
+    ids: &[ParamId],
+    eps: f32,
+    build: impl Fn(&mut Graph, &ParamStore) -> Var,
+) -> GradCheckReport {
+    // Analytic pass.
+    ps.zero_grads();
+    let mut g = Graph::new();
+    let loss = build(&mut g, ps);
+    g.backward(loss, ps);
+    let analytic: Vec<Tensor> = ids.iter().map(|&id| ps.grad(id).clone()).collect();
+
+    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0, entries: 0 };
+    let eval = |ps: &ParamStore| -> f32 {
+        let mut g = Graph::new();
+        let loss = build(&mut g, ps);
+        g.scalar_value(loss)
+    };
+
+    for (k, &id) in ids.iter().enumerate() {
+        let n = ps.value(id).numel();
+        for j in 0..n {
+            let orig = ps.value(id).data()[j];
+            ps.value_mut(id).data_mut()[j] = orig + eps;
+            let lp = eval(ps);
+            ps.value_mut(id).data_mut()[j] = orig - eps;
+            let lm = eval(ps);
+            ps.value_mut(id).data_mut()[j] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic[k].data()[j];
+            let abs = (a - numeric).abs();
+            let rel = abs / (1.0 + a.abs().max(numeric.abs()));
+            report.max_abs_err = report.max_abs_err.max(abs);
+            report.max_rel_err = report.max_rel_err.max(rel);
+            report.entries += 1;
+        }
+    }
+    ps.zero_grads();
+    report
+}
+
+/// Asserts that [`grad_check`] stays within `tol` relative error.
+///
+/// # Panics
+/// Panics with the offending report when the tolerance is exceeded.
+pub fn assert_grad_check(
+    ps: &mut ParamStore,
+    ids: &[ParamId],
+    eps: f32,
+    tol: f32,
+    build: impl Fn(&mut Graph, &ParamStore) -> Var,
+) {
+    let report = grad_check(ps, ids, eps, build);
+    assert!(
+        report.max_rel_err <= tol,
+        "gradient check failed: {report:?} (tol {tol})"
+    );
+}

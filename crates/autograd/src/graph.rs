@@ -1,0 +1,543 @@
+//! Define-by-run computation graph (forward pass).
+//!
+//! A [`Graph`] is a tape: every operation executes eagerly, appends a node
+//! holding its output value, and returns a [`Var`] handle. Calling
+//! [`Graph::backward`] replays the tape in reverse, accumulating parameter
+//! gradients into a [`ParamStore`]. A fresh graph is built per mini-batch —
+//! node construction is cheap and values are exactly the activations needed
+//! by the backward pass.
+
+use crate::op::{LnCache, Op};
+use crate::store::{ParamId, ParamStore};
+use rand::Rng;
+use seqfm_tensor::{bmm_nn, bmm_nt, ew, matmul_nn, matmul_nt, reduce, AttnMask, Shape, Tensor};
+use std::sync::Arc;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Var(pub(crate) usize);
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+    pub needs_grad: bool,
+}
+
+/// The autodiff tape. See the module docs.
+#[derive(Default)]
+pub struct Graph {
+    pub(crate) nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tape with preallocated node capacity (hot training loops).
+    pub fn with_capacity(n: usize) -> Self {
+        Graph { nodes: Vec::with_capacity(n) }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Convenience: the single element of a `[1]`-shaped node (losses).
+    ///
+    /// # Panics
+    /// Panics if the node does not hold exactly one element.
+    pub fn scalar_value(&self, v: Var) -> f32 {
+        let t = self.value(v);
+        assert_eq!(t.numel(), 1, "scalar_value on {} tensor", t.shape());
+        t.data()[0]
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, needs_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, needs_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn ng(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    // --- leaves -------------------------------------------------------------
+
+    /// Records a constant input (no gradient).
+    pub fn input(&mut self, t: Tensor) -> Var {
+        self.push(t, Op::Input, false)
+    }
+
+    /// Records a parameter leaf by copying its current value from the store.
+    pub fn param(&mut self, ps: &ParamStore, id: ParamId) -> Var {
+        self.push(ps.value(id).clone(), Op::Param(id), true)
+    }
+
+    /// Embedding lookup: gathers rows of the (sparse) parameter `table` into
+    /// a `[b, n, d]` tensor. Index `-1` denotes padding and yields a zero row
+    /// that receives no gradient — this realises the paper's zero-vector
+    /// padding of the dynamic feature matrix (§III).
+    ///
+    /// # Panics
+    /// Panics if `idx.len() != b*n` or an index is out of table range.
+    pub fn gather(&mut self, ps: &ParamStore, table: ParamId, idx: &[i64], b: usize, n: usize) -> Var {
+        assert_eq!(idx.len(), b * n, "gather: idx len {} != {}x{}", idx.len(), b, n);
+        let tbl = ps.value(table);
+        let (rows, d) = (tbl.shape().dim(0), tbl.shape().dim(1));
+        let mut out = Tensor::zeros(Shape::d3(b, n, d));
+        for (slot, &i) in idx.iter().enumerate() {
+            if i < 0 {
+                continue;
+            }
+            let i = i as usize;
+            assert!(i < rows, "gather index {i} out of range ({rows} rows)");
+            out.data_mut()[slot * d..(slot + 1) * d].copy_from_slice(&tbl.data()[i * d..(i + 1) * d]);
+        }
+        self.push(out, Op::Gather { table, idx: Arc::new(idx.to_vec()) }, true)
+    }
+
+    // --- elementwise --------------------------------------------------------
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = ew::add(self.value(a), self.value(b));
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, Op::Add(a, b), g)
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = ew::sub(self.value(a), self.value(b));
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, Op::Sub(a, b), g)
+    }
+
+    /// `a ⊙ b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = ew::mul(self.value(a), self.value(b));
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, Op::Mul(a, b), g)
+    }
+
+    /// `-x`.
+    pub fn neg(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|v| -v);
+        let g = self.ng(x);
+        self.push(v, Op::Neg(x), g)
+    }
+
+    /// `s · x`.
+    pub fn scale(&mut self, x: Var, s: f32) -> Var {
+        let v = ew::scale(self.value(x), s);
+        let g = self.ng(x);
+        self.push(v, Op::Scale(x, s), g)
+    }
+
+    /// `x + c` elementwise with a constant.
+    pub fn add_scalar(&mut self, x: Var, c: f32) -> Var {
+        let v = self.value(x).map(|v| v + c);
+        let g = self.ng(x);
+        self.push(v, Op::AddScalar(x), g)
+    }
+
+    /// `x²` elementwise.
+    pub fn square(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|v| v * v);
+        let g = self.ng(x);
+        self.push(v, Op::Square(x), g)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, x: Var) -> Var {
+        let v = ew::relu(self.value(x));
+        let g = self.ng(x);
+        self.push(v, Op::Relu(x), g)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let v = ew::sigmoid(self.value(x));
+        let g = self.ng(x);
+        self.push(v, Op::Sigmoid(x), g)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(|v| v.tanh());
+        let g = self.ng(x);
+        self.push(v, Op::Tanh(x), g)
+    }
+
+    /// Numerically-stable softplus `ln(1+eˣ)`.
+    pub fn softplus(&mut self, x: Var) -> Var {
+        let v = self.value(x).map(ew::softplus_scalar);
+        let g = self.ng(x);
+        self.push(v, Op::Softplus(x), g)
+    }
+
+    /// `x + bias` (bias rank-1, broadcast over rows).
+    pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        let v = ew::add_bias(self.value(x), self.value(b));
+        let g = self.ng(x) || self.ng(b);
+        self.push(v, Op::AddBias { x, b }, g)
+    }
+
+    // --- linear algebra ------------------------------------------------------
+
+    /// `A[m,k]·B[k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = matmul_nn(self.value(a), self.value(b));
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, Op::Matmul(a, b), g)
+    }
+
+    /// `A[m,k]·B[n,k]ᵀ`.
+    pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = matmul_nt(self.value(a), self.value(b));
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, Op::MatmulNT(a, b), g)
+    }
+
+    /// Batched `A[b,m,k]·B[b,k,n]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let v = bmm_nn(self.value(a), self.value(b));
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, Op::Bmm(a, b), g)
+    }
+
+    /// Batched `A[b,m,k]·B[b,n,k]ᵀ` (`Q·Kᵀ`).
+    pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = bmm_nt(self.value(a), self.value(b));
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, Op::BmmNT(a, b), g)
+    }
+
+    /// Left-broadcast matmul `W[p,q]·X[b,q,d] → [b,p,d]`.
+    ///
+    /// # Panics
+    /// Panics if `w` is not rank 2, `x` not rank 3, or `q` dims disagree.
+    pub fn lmatmul(&mut self, w: Var, x: Var) -> Var {
+        let (wv, xv) = (self.value(w), self.value(x));
+        assert_eq!(wv.shape().rank(), 2, "lmatmul W must be rank 2, got {}", wv.shape());
+        assert_eq!(xv.shape().rank(), 3, "lmatmul X must be rank 3, got {}", xv.shape());
+        let (p, q) = (wv.shape().dim(0), wv.shape().dim(1));
+        let (b, q2, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        assert_eq!(q, q2, "lmatmul inner dim mismatch: {} vs {}", wv.shape(), xv.shape());
+        let mut out = Tensor::zeros(Shape::d3(b, p, d));
+        for bi in 0..b {
+            seqfm_tensor::kernels::matmul::matmul_nn_into(
+                wv.data(),
+                &xv.data()[bi * q * d..(bi + 1) * q * d],
+                &mut out.data_mut()[bi * p * d..(bi + 1) * p * d],
+                p,
+                q,
+                d,
+            );
+        }
+        let g = self.ng(w) || self.ng(x);
+        self.push(out, Op::LMatmul { w, x }, g)
+    }
+
+    /// Row-wise dot product of two `[b,d]` tensors → `[b]`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ or are not rank 2.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape().rank(), 2, "row_dot expects rank 2, got {}", av.shape());
+        assert!(av.shape().same(&bv.shape()), "row_dot shape mismatch: {} vs {}", av.shape(), bv.shape());
+        let prod = ew::mul(av, bv);
+        let v = reduce::sum_lastdim(&prod);
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, Op::RowDot(a, b), g)
+    }
+
+    // --- attention / normalisation / regularisation --------------------------
+
+    /// Softmax over the last dim.
+    pub fn softmax(&mut self, x: Var) -> Var {
+        let v = seqfm_tensor::softmax_lastdim(self.value(x));
+        let g = self.ng(x);
+        self.push(v, Op::Softmax { x }, g)
+    }
+
+    /// Masked softmax over the last dim; the mask is shared across the batch.
+    pub fn softmax_masked(&mut self, x: Var, mask: Arc<AttnMask>) -> Var {
+        let v = seqfm_tensor::softmax_lastdim_masked(self.value(x), &mask);
+        let g = self.ng(x);
+        self.push(v, Op::Softmax { x }, g)
+    }
+
+    /// LayerNorm over the last dimension with learned scale and bias
+    /// (paper Eq. 16). `eps` guards the variance as the paper's "small bias
+    /// term added in case σ = 0".
+    ///
+    /// # Panics
+    /// Panics if `scale`/`bias` are not rank-1 of the last-dim size.
+    pub fn layer_norm(&mut self, x: Var, scale: Var, bias: Var, eps: f32) -> Var {
+        let xv = self.value(x);
+        let d = xv.shape().last_dim();
+        assert_eq!(self.value(scale).numel(), d, "layer_norm scale width mismatch");
+        assert_eq!(self.value(bias).numel(), d, "layer_norm bias width mismatch");
+        let rows = xv.shape().outer_rows();
+        let mut mean = Vec::with_capacity(rows);
+        let mut rstd = Vec::with_capacity(rows);
+        let mut out = Tensor::zeros(xv.shape());
+        let (sv, bv) = (self.value(scale).data().to_vec(), self.value(bias).data().to_vec());
+        for (row, orow) in xv
+            .data()
+            .chunks_exact(d)
+            .zip(self_chunks_mut(&mut out, d))
+        {
+            let mu = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+            let rs = 1.0 / (var + eps).sqrt();
+            mean.push(mu);
+            rstd.push(rs);
+            for ((&xi, o), (sc, bi)) in row.iter().zip(orow.iter_mut()).zip(sv.iter().zip(&bv)) {
+                *o = (xi - mu) * rs * sc + bi;
+            }
+        }
+        let g = self.ng(x) || self.ng(scale) || self.ng(bias);
+        self.push(out, Op::LayerNorm { x, scale, bias, cache: LnCache { mean, rstd } }, g)
+    }
+
+    /// Inverted dropout with drop probability `p`: kept activations are
+    /// scaled by `1/(1-p)` so the expected value is unchanged and inference
+    /// needs no rescaling (paper §III-F "Layer Dropout").
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn dropout<R: Rng + ?Sized>(&mut self, x: Var, p: f32, rng: &mut R) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        if p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - p;
+        let inv = 1.0 / keep;
+        let xv = self.value(x);
+        let mask: Vec<f32> = (0..xv.numel())
+            .map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 })
+            .collect();
+        let mut v = xv.clone();
+        for (o, &m) in v.data_mut().iter_mut().zip(&mask) {
+            *o *= m;
+        }
+        let g = self.ng(x);
+        self.push(v, Op::Dropout { x, mask: Arc::new(mask) }, g)
+    }
+
+    // --- shape ----------------------------------------------------------------
+
+    /// Reshape (same element count, zero-copy semantics for values).
+    pub fn reshape(&mut self, x: Var, shape: Shape) -> Var {
+        let v = self.value(x).reshaped(shape);
+        let g = self.ng(x);
+        self.push(v, Op::Reshape(x), g)
+    }
+
+    /// Concatenates rank-2 tensors along the last dim (view-wise aggregation,
+    /// Eq. 17).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty, any part is not rank 2, or row counts
+    /// differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one input");
+        let b = self.value(parts[0]).shape().dim(0);
+        let mut total = 0;
+        for &p in parts {
+            let s = self.value(p).shape();
+            assert_eq!(s.rank(), 2, "concat_cols expects rank 2, got {s}");
+            assert_eq!(s.dim(0), b, "concat_cols row count mismatch");
+            total += s.dim(1);
+        }
+        let mut out = Tensor::zeros(Shape::d2(b, total));
+        let mut col = 0;
+        for &p in parts {
+            let pv = self.value(p).clone();
+            let w = pv.shape().dim(1);
+            for r in 0..b {
+                out.data_mut()[r * total + col..r * total + col + w]
+                    .copy_from_slice(&pv.data()[r * w..(r + 1) * w]);
+            }
+            col += w;
+        }
+        let g = parts.iter().any(|&p| self.ng(p));
+        self.push(out, Op::ConcatCols(parts.to_vec()), g)
+    }
+
+    /// Concatenates two `[b,n,d]` tensors along axis 1 (cross-view stack,
+    /// Eq. 12).
+    ///
+    /// # Panics
+    /// Panics if ranks/batch/last dims disagree.
+    pub fn concat_axis1(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape().rank(), 3, "concat_axis1 expects rank 3, got {}", av.shape());
+        assert_eq!(bv.shape().rank(), 3, "concat_axis1 expects rank 3, got {}", bv.shape());
+        let (ba, na, d) = (av.shape().dim(0), av.shape().dim(1), av.shape().dim(2));
+        let (bb, nb, d2) = (bv.shape().dim(0), bv.shape().dim(1), bv.shape().dim(2));
+        assert_eq!(ba, bb, "concat_axis1 batch mismatch");
+        assert_eq!(d, d2, "concat_axis1 width mismatch");
+        let n = na + nb;
+        let mut out = Tensor::zeros(Shape::d3(ba, n, d));
+        for bi in 0..ba {
+            out.data_mut()[bi * n * d..bi * n * d + na * d]
+                .copy_from_slice(&av.data()[bi * na * d..(bi + 1) * na * d]);
+            out.data_mut()[bi * n * d + na * d..(bi + 1) * n * d]
+                .copy_from_slice(&bv.data()[bi * nb * d..(bi + 1) * nb * d]);
+        }
+        let g = self.ng(a) || self.ng(b);
+        self.push(out, Op::ConcatAxis1(a, b), g)
+    }
+
+    /// Selects rows along axis 1 by constant indices (`[b,n,d] → [b,|idx|,d]`).
+    ///
+    /// # Panics
+    /// Panics if `x` is not rank 3 or an index is out of range.
+    pub fn index_select_axis1(&mut self, x: Var, idx: &[usize]) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 3, "index_select_axis1 expects rank 3, got {}", xv.shape());
+        let (b, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        let p = idx.len();
+        let mut out = Tensor::zeros(Shape::d3(b, p, d));
+        for bi in 0..b {
+            for (pi, &r) in idx.iter().enumerate() {
+                assert!(r < n, "index_select_axis1 index {r} out of range ({n})");
+                let src = &xv.data()[(bi * n + r) * d..(bi * n + r + 1) * d];
+                out.data_mut()[(bi * p + pi) * d..(bi * p + pi + 1) * d].copy_from_slice(src);
+            }
+        }
+        let g = self.ng(x);
+        self.push(out, Op::IndexSelectAxis1 { x, idx: Arc::new(idx.to_vec()) }, g)
+    }
+
+    /// Contiguous slice `[b, start..start+len, d]` along axis 1.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds axis 1.
+    pub fn slice_axis1(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 3, "slice_axis1 expects rank 3, got {}", xv.shape());
+        let (b, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        assert!(start + len <= n, "slice_axis1 range {start}+{len} exceeds {n}");
+        let mut out = Tensor::zeros(Shape::d3(b, len, d));
+        for bi in 0..b {
+            let src = &xv.data()[(bi * n + start) * d..(bi * n + start + len) * d];
+            out.data_mut()[bi * len * d..(bi + 1) * len * d].copy_from_slice(src);
+        }
+        let g = self.ng(x);
+        self.push(out, Op::SliceAxis1 { x, start, len }, g)
+    }
+
+    /// Broadcasts `[b,d] → [b,n,d]` by repeating along a new axis 1.
+    ///
+    /// # Panics
+    /// Panics if `x` is not rank 2.
+    pub fn expand_axis1(&mut self, x: Var, n: usize) -> Var {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 2, "expand_axis1 expects rank 2, got {}", xv.shape());
+        let v = reduce::broadcast_axis1(xv, n, 1.0);
+        let g = self.ng(x);
+        self.push(v, Op::ExpandAxis1 { x }, g)
+    }
+
+    /// `X[b,n,d] + P[n,d]`, broadcasting `P` over the batch (positional
+    /// embeddings in SASRec).
+    ///
+    /// # Panics
+    /// Panics on rank/shape mismatch.
+    pub fn add_broadcast_batch(&mut self, x: Var, p: Var) -> Var {
+        let (xv, pv) = (self.value(x), self.value(p));
+        assert_eq!(xv.shape().rank(), 3, "add_broadcast_batch x must be rank 3");
+        assert_eq!(pv.shape().rank(), 2, "add_broadcast_batch p must be rank 2");
+        let (b, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        assert_eq!((pv.shape().dim(0), pv.shape().dim(1)), (n, d), "broadcast shape mismatch");
+        let mut out = xv.clone();
+        for bi in 0..b {
+            for (o, &pvv) in out.data_mut()[bi * n * d..(bi + 1) * n * d]
+                .iter_mut()
+                .zip(pv.data())
+            {
+                *o += pvv;
+            }
+        }
+        let g = self.ng(x) || self.ng(p);
+        self.push(out, Op::AddBroadcastBatch { x, p }, g)
+    }
+
+    // --- reductions -----------------------------------------------------------
+
+    /// Mean over axis 1 (`[b,n,d] → [b,d]`) — intra-view pooling, Eq. 14.
+    pub fn mean_axis1(&mut self, x: Var) -> Var {
+        let v = reduce::mean_axis1(self.value(x));
+        let g = self.ng(x);
+        self.push(v, Op::MeanAxis1(x), g)
+    }
+
+    /// Sum over axis 1 (`[b,n,d] → [b,d]`).
+    pub fn sum_axis1(&mut self, x: Var) -> Var {
+        let v = reduce::sum_axis1(self.value(x));
+        let g = self.ng(x);
+        self.push(v, Op::SumAxis1(x), g)
+    }
+
+    /// Sum over the last dim (rank r → r−1).
+    pub fn sum_lastdim(&mut self, x: Var) -> Var {
+        let v = reduce::sum_lastdim(self.value(x));
+        let g = self.ng(x);
+        self.push(v, Op::SumLast(x), g)
+    }
+
+    /// Mean of all elements → `[1]`.
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let v = reduce::mean_all(self.value(x));
+        let g = self.ng(x);
+        self.push(v, Op::MeanAll(x), g)
+    }
+
+    /// Sum of all elements → `[1]`.
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let v = reduce::sum_all(self.value(x));
+        let g = self.ng(x);
+        self.push(v, Op::SumAll(x), g)
+    }
+
+    // --- losses ---------------------------------------------------------------
+
+    /// Per-element binary cross-entropy on logits:
+    /// `ℓ = max(z,0) − z·t + ln(1+e^{−|z|})` (stable log-loss, Eq. 24).
+    ///
+    /// # Panics
+    /// Panics if `targets.len() != logits.numel()`.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(targets.len(), lv.numel(), "bce targets length mismatch");
+        let mut out = Tensor::zeros(lv.shape());
+        for ((o, &z), &t) in out.data_mut().iter_mut().zip(lv.data()).zip(targets) {
+            *o = z.max(0.0) - z * t + (-z.abs()).exp().ln_1p();
+        }
+        let g = self.ng(logits);
+        self.push(out, Op::BceWithLogits { logits, targets: Arc::new(targets.to_vec()) }, g)
+    }
+}
+
+/// Helper: mutable row chunks of a tensor (sidesteps a borrow conflict inside
+/// `layer_norm`).
+fn self_chunks_mut(t: &mut Tensor, d: usize) -> std::slice::ChunksExactMut<'_, f32> {
+    t.data_mut().chunks_exact_mut(d)
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # seqfm-autograd
+//!
+//! Tape-based reverse-mode automatic differentiation over
+//! [`seqfm_tensor::Tensor`] values — the substrate that lets this workspace
+//! train SeqFM and its eleven baselines without an external deep-learning
+//! framework.
+//!
+//! ## Design
+//!
+//! * **Define-by-run**: a [`Graph`] is rebuilt per mini-batch; each op
+//!   executes eagerly and records a node. [`Graph::backward`] sweeps the tape
+//!   in reverse.
+//! * **Parameters live outside the tape** in a [`ParamStore`]. Small dense
+//!   parameters enter graphs as copied leaves ([`Graph::param`]); large
+//!   embedding tables are accessed through [`Graph::gather`], whose backward
+//!   scatter-adds only the touched rows — mirroring how FM-style models are
+//!   trained in practice (sparse "lazy" updates, see `seqfm-nn::optim`).
+//! * **Every op is gradient-checked** against central finite differences (see
+//!   [`gradcheck`] and this crate's test-suite).
+//!
+//! ## Example
+//!
+//! ```
+//! use seqfm_autograd::{Graph, ParamStore};
+//! use seqfm_tensor::{Shape, Tensor};
+//!
+//! let mut ps = ParamStore::new();
+//! let w = ps.add_dense("w", Tensor::from_vec(Shape::d2(2, 1), vec![0.5, -0.5]));
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(Shape::d2(3, 2), vec![1., 2., 3., 4., 5., 6.]));
+//! let wv = g.param(&ps, w);
+//! let y = g.matmul(x, wv);          // [3,1]
+//! let loss = g.mean_all(y);
+//! g.backward(loss, &mut ps);
+//! assert_eq!(ps.grad(w).shape(), Shape::d2(2, 1));
+//! ```
+
+mod backward;
+mod graph;
+mod op;
+mod store;
+
+pub mod gradcheck;
+
+pub use gradcheck::{assert_grad_check, grad_check, GradCheckReport};
+pub use graph::{Graph, Var};
+pub use store::{Param, ParamId, ParamKind, ParamStore};
+
+#[cfg(test)]
+mod tests;

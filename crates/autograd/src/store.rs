@@ -1,0 +1,325 @@
+//! Parameter storage shared by all models.
+//!
+//! A [`ParamStore`] owns every trainable tensor of a model together with its
+//! gradient accumulator and bookkeeping for *sparse-row* parameters
+//! (embedding tables). Embedding tables in FM-style models are by far the
+//! largest parameters (`m × d` with `m` in the tens of thousands) while each
+//! mini-batch only touches a few hundred rows, so their gradients are
+//! accumulated row-wise and the optimizer later visits only the touched rows
+//! ("lazy" updates — see `seqfm-nn::optim`).
+
+use seqfm_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParamId(pub(crate) usize);
+
+/// How a parameter's gradient is accumulated and consumed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamKind {
+    /// Whole-tensor gradients (weight matrices, biases, projection vectors).
+    Dense,
+    /// Rank-2 table updated row-wise via gather/scatter (embedding matrices).
+    SparseRows,
+}
+
+/// One named, trainable tensor plus its gradient state.
+pub struct Param {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    kind: ParamKind,
+    /// Row indices with non-zero gradient since the last `zero_grads`
+    /// (sparse parameters only; may contain duplicates, deduped on read).
+    touched: Vec<usize>,
+}
+
+impl Param {
+    /// Parameter name (unique within the store).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Current accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Dense or sparse-row.
+    pub fn kind(&self) -> ParamKind {
+        self.kind
+    }
+}
+
+/// Owner of all model parameters.
+///
+/// Models allocate parameters once at construction time and reference them by
+/// [`ParamId`] when building computation graphs; the optimizer mutates values
+/// in place between steps.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dense parameter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn add_dense(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.add(name.into(), value, ParamKind::Dense)
+    }
+
+    /// Registers a sparse-row (embedding) parameter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered or `value` is not rank 2.
+    pub fn add_sparse(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        assert_eq!(
+            value.shape().rank(),
+            2,
+            "sparse-row parameters must be rank 2, got {}",
+            value.shape()
+        );
+        self.add(name.into(), value, ParamKind::SparseRows)
+    }
+
+    fn add(&mut self, name: String, value: Tensor, kind: ParamKind) -> ParamId {
+        assert!(
+            !self.by_name.contains_key(&name),
+            "parameter `{name}` registered twice"
+        );
+        let id = ParamId(self.params.len());
+        let grad = Tensor::zeros(value.shape());
+        self.params.push(Param { name: name.clone(), value, grad, kind, touched: Vec::new() });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Looks up a parameter id by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// `true` if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of trainable scalars across all parameters.
+    pub fn total_elems(&self) -> usize {
+        self.params.iter().map(|p| p.value.numel()).sum()
+    }
+
+    /// Borrow a parameter record.
+    pub fn param(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (initialization and optimizer steps).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.params[id.0].value
+    }
+
+    /// Current gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.params[id.0].grad
+    }
+
+    /// Iterate over `(id, param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// All parameter ids in registration order.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.params.len()).map(ParamId).collect()
+    }
+
+    /// Simultaneous mutable value / immutable gradient access (optimizer
+    /// steps).
+    pub fn value_grad_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        let p = &mut self.params[id.0];
+        (&mut p.value, &p.grad)
+    }
+
+    /// Accumulates a dense gradient contribution `g` into the parameter.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn accumulate_dense(&mut self, id: ParamId, g: &Tensor) {
+        let p = &mut self.params[id.0];
+        seqfm_tensor::ew::add_assign(&mut p.grad, g);
+        if p.kind == ParamKind::SparseRows {
+            // A dense contribution touches every row.
+            let rows = p.value.shape().dim(0);
+            p.touched.extend(0..rows);
+        }
+    }
+
+    /// Accumulates `g_row` into row `row` of a sparse parameter's gradient
+    /// and records the row as touched.
+    ///
+    /// # Panics
+    /// Panics if the parameter is dense, the row is out of range, or the row
+    /// length differs from the table width.
+    pub fn accumulate_row(&mut self, id: ParamId, row: usize, g_row: &[f32]) {
+        let p = &mut self.params[id.0];
+        assert_eq!(p.kind, ParamKind::SparseRows, "accumulate_row on dense param `{}`", p.name);
+        let (rows, cols) = (p.value.shape().dim(0), p.value.shape().dim(1));
+        assert!(row < rows, "row {row} out of range for `{}` ({rows} rows)", p.name);
+        assert_eq!(g_row.len(), cols, "gradient row width mismatch for `{}`", p.name);
+        let dst = &mut p.grad.data_mut()[row * cols..(row + 1) * cols];
+        for (d, &g) in dst.iter_mut().zip(g_row) {
+            *d += g;
+        }
+        p.touched.push(row);
+    }
+
+    /// Rows of a sparse parameter touched since the last [`Self::zero_grads`],
+    /// deduplicated and sorted.
+    pub fn touched_rows(&self, id: ParamId) -> Vec<usize> {
+        let mut rows = self.params[id.0].touched.clone();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Clears all gradients (dense: full zero; sparse: only touched rows) and
+    /// resets touched-row bookkeeping.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            match p.kind {
+                ParamKind::Dense => p.grad.data_mut().fill(0.0),
+                ParamKind::SparseRows => {
+                    let cols = p.value.shape().dim(1);
+                    p.touched.sort_unstable();
+                    p.touched.dedup();
+                    for &r in &p.touched {
+                        p.grad.data_mut()[r * cols..(r + 1) * cols].fill(0.0);
+                    }
+                    p.touched.clear();
+                }
+            }
+        }
+    }
+
+    /// Sum of squared gradient elements across all parameters (diagnostics).
+    pub fn grad_sq_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .flat_map(|p| p.grad.data())
+            .map(|&g| (g as f64) * (g as f64))
+            .sum()
+    }
+
+    /// `true` if any parameter value or gradient contains NaN/inf.
+    pub fn has_non_finite(&self) -> bool {
+        self.params
+            .iter()
+            .any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
+    }
+}
+
+impl fmt::Debug for ParamStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ParamStore ({} params, {} elems)", self.len(), self.total_elems())?;
+        for p in &self.params {
+            writeln!(f, "  {} {} {:?}", p.name, p.value.shape(), p.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqfm_tensor::testutil::assert_close;
+    use seqfm_tensor::Shape;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut ps = ParamStore::new();
+        let a = ps.add_dense("w", Tensor::zeros(Shape::d2(2, 3)));
+        let b = ps.add_sparse("emb", Tensor::zeros(Shape::d2(10, 4)));
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.total_elems(), 6 + 40);
+        assert_eq!(ps.id_of("w"), Some(a));
+        assert_eq!(ps.id_of("emb"), Some(b));
+        assert_eq!(ps.id_of("nope"), None);
+        assert_eq!(ps.param(a).kind(), ParamKind::Dense);
+        assert_eq!(ps.param(b).kind(), ParamKind::SparseRows);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_rejected() {
+        let mut ps = ParamStore::new();
+        ps.add_dense("w", Tensor::zeros(Shape::d1(1)));
+        ps.add_dense("w", Tensor::zeros(Shape::d1(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2")]
+    fn sparse_must_be_rank2() {
+        let mut ps = ParamStore::new();
+        ps.add_sparse("emb", Tensor::zeros(Shape::d1(5)));
+    }
+
+    #[test]
+    fn dense_grad_accumulation_and_reset() {
+        let mut ps = ParamStore::new();
+        let w = ps.add_dense("w", Tensor::zeros(Shape::d1(3)));
+        ps.accumulate_dense(w, &Tensor::vector(vec![1.0, 2.0, 3.0]));
+        ps.accumulate_dense(w, &Tensor::vector(vec![1.0, 1.0, 1.0]));
+        assert_close(ps.grad(w).data(), &[2.0, 3.0, 4.0], 1e-6);
+        ps.zero_grads();
+        assert_close(ps.grad(w).data(), &[0.0, 0.0, 0.0], 1e-6);
+    }
+
+    #[test]
+    fn sparse_rows_touched_and_reset() {
+        let mut ps = ParamStore::new();
+        let e = ps.add_sparse("emb", Tensor::zeros(Shape::d2(4, 2)));
+        ps.accumulate_row(e, 1, &[0.5, 0.5]);
+        ps.accumulate_row(e, 3, &[1.0, -1.0]);
+        ps.accumulate_row(e, 1, &[0.5, 0.5]);
+        assert_eq!(ps.touched_rows(e), vec![1, 3]);
+        assert_close(ps.grad(e).data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, -1.0], 1e-6);
+        ps.zero_grads();
+        assert!(ps.touched_rows(e).is_empty());
+        assert!(ps.grad(e).data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut ps = ParamStore::new();
+        let w = ps.add_dense("w", Tensor::zeros(Shape::d1(2)));
+        assert!(!ps.has_non_finite());
+        ps.value_mut(w).data_mut()[0] = f32::INFINITY;
+        assert!(ps.has_non_finite());
+    }
+}

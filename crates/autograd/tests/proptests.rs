@@ -1,0 +1,108 @@
+//! Property-based tests of the autodiff engine: analytic gradients must
+//! match finite differences on randomly generated graphs and inputs, and the
+//! backward pass must be linear in the upstream seed.
+
+use proptest::prelude::*;
+use seqfm_autograd::{grad_check, Graph, ParamStore};
+use seqfm_tensor::{Shape, Tensor};
+
+fn param_values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random smooth composite (no ReLU kinks) gradient-checks on random
+    /// parameter values.
+    #[test]
+    fn smooth_graph_gradient_checks(
+        a_vals in param_values(12),
+        b_vals in param_values(12),
+    ) {
+        let mut ps = ParamStore::new();
+        let a = ps.add_dense("a", Tensor::from_vec(Shape::d2(3, 4), a_vals));
+        let b = ps.add_dense("b", Tensor::from_vec(Shape::d2(4, 3), b_vals));
+        let report = grad_check(&mut ps, &[a, b], 5e-3, |g, ps| {
+            let av = g.param(ps, a);
+            let bv = g.param(ps, b);
+            let prod = g.matmul(av, bv); // [3,3]
+            let s = g.sigmoid(prod);
+            let t = g.tanh(s);
+            let sq = g.square(t);
+            g.mean_all(sq)
+        });
+        prop_assert!(report.max_rel_err < 3e-2, "{report:?}");
+    }
+
+    /// Backward is linear: scaling the loss by c scales every gradient by c.
+    #[test]
+    fn backward_is_linear_in_seed(vals in param_values(8), c in 0.5f32..3.0) {
+        let mut ps = ParamStore::new();
+        let x = ps.add_dense("x", Tensor::from_vec(Shape::d2(2, 4), vals));
+        let grads = |scale: f32, ps: &mut ParamStore| -> Vec<f32> {
+            ps.zero_grads();
+            let mut g = Graph::new();
+            let xv = g.param(ps, x);
+            let sq = g.square(xv);
+            let l = g.sum_all(sq);
+            let scaled = g.scale(l, scale);
+            g.backward(scaled, ps);
+            ps.grad(x).data().to_vec()
+        };
+        let g1 = grads(1.0, &mut ps);
+        let gc = grads(c, &mut ps);
+        for (u, v) in g1.iter().zip(&gc) {
+            prop_assert!((u * c - v).abs() < 1e-3 * (1.0 + v.abs()), "{u} * {c} != {v}");
+        }
+    }
+
+    /// Gradient accumulation over two backward passes equals one pass on the
+    /// doubled loss.
+    #[test]
+    fn gradients_accumulate_across_backwards(vals in param_values(6)) {
+        let mut ps = ParamStore::new();
+        let x = ps.add_dense("x", Tensor::from_vec(Shape::d2(2, 3), vals));
+        // two passes
+        ps.zero_grads();
+        for _ in 0..2 {
+            let mut g = Graph::new();
+            let xv = g.param(&ps, x);
+            let sq = g.square(xv);
+            let l = g.mean_all(sq);
+            g.backward(l, &mut ps);
+        }
+        let twice = ps.grad(x).data().to_vec();
+        // one pass, doubled
+        ps.zero_grads();
+        let mut g = Graph::new();
+        let xv = g.param(&ps, x);
+        let sq = g.square(xv);
+        let l = g.mean_all(sq);
+        let l2 = g.scale(l, 2.0);
+        g.backward(l2, &mut ps);
+        let doubled = ps.grad(x).data().to_vec();
+        for (a, b) in twice.iter().zip(&doubled) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Gather + sum routes exactly the right gradient mass to each row: the
+    /// gradient of `sum(gather(T, idx))` w.r.t. row r equals the number of
+    /// times r appears in idx.
+    #[test]
+    fn gather_gradient_counts_occurrences(
+        idx in proptest::collection::vec(0i64..5, 6),
+    ) {
+        let mut ps = ParamStore::new();
+        let t = ps.add_sparse("t", Tensor::ones(Shape::d2(5, 2)));
+        let mut g = Graph::new();
+        let e = g.gather(&ps, t, &idx, 2, 3);
+        let l = g.sum_all(e);
+        g.backward(l, &mut ps);
+        for r in 0..5 {
+            let count = idx.iter().filter(|&&i| i == r as i64).count() as f32;
+            prop_assert_eq!(ps.grad(t).row(r), &[count, count]);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! DeepCross / Deep Crossing (Shan et al., KDD 2016).
+//!
+//! Stacks residual units on top of the concatenated feature embeddings:
+//! each unit computes `x + W₂·ReLU(W₁x + b₁) + b₂` (two-layer residual
+//! block), "stacking multiple residual network blocks upon the concatenation
+//! layer" (paper §V-B).
+
+use crate::util::FmBase;
+use rand::rngs::StdRng;
+use rand::Rng;
+use seqfm_autograd::{Graph, ParamStore, Var};
+use seqfm_core::SeqModel;
+use seqfm_data::{Batch, FeatureLayout};
+use seqfm_nn::Linear;
+use seqfm_tensor::Shape;
+
+/// One Deep-Crossing residual unit.
+struct ResidualUnit {
+    l1: Linear,
+    l2: Linear,
+}
+
+impl ResidualUnit {
+    fn new<R: Rng + ?Sized>(ps: &mut ParamStore, rng: &mut R, name: &str, dim: usize) -> Self {
+        ResidualUnit {
+            l1: Linear::new(ps, rng, &format!("{name}.l1"), dim, dim, true),
+            l2: Linear::new(ps, rng, &format!("{name}.l2"), dim, dim, true),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, ps: &ParamStore, x: Var) -> Var {
+        let h = self.l1.forward(g, ps, x);
+        let h = g.relu(h);
+        let h = self.l2.forward(g, ps, h);
+        let sum = g.add(x, h);
+        g.relu(sum)
+    }
+}
+
+/// DeepCross with a configurable number of residual units.
+pub struct DeepCross {
+    base: FmBase,
+    units: Vec<ResidualUnit>,
+    head: Linear,
+}
+
+impl DeepCross {
+    /// Builds DeepCross over the `[b, 3d]` dense input with `n_units`
+    /// residual blocks.
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        rng: &mut R,
+        layout: &FeatureLayout,
+        d: usize,
+        n_units: usize,
+    ) -> Self {
+        let base = FmBase::new(ps, rng, "deepcross", layout, d);
+        let width = 3 * d;
+        let units = (0..n_units)
+            .map(|i| ResidualUnit::new(ps, rng, &format!("deepcross.res{i}"), width))
+            .collect();
+        let head = Linear::new(ps, rng, "deepcross.head", width, 1, true);
+        DeepCross { base, units, head }
+    }
+}
+
+impl SeqModel for DeepCross {
+    fn name(&self) -> &str {
+        "DeepCross"
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        _training: bool,
+        _rng: &mut StdRng,
+    ) -> Var {
+        let (e_s, e_d) = self.base.embeddings(g, ps, batch);
+        let flat_s = g.reshape(e_s, Shape::d2(batch.len, batch.n_static * self.base.d));
+        let hist = g.mean_axis1(e_d);
+        let mut x = g.concat_cols(&[flat_s, hist]); // [b, 3d]
+        for unit in &self.units {
+            x = unit.forward(g, ps, x);
+        }
+        let out = self.head.forward(g, ps, x); // [b, 1]
+        let lin = self.base.linear_terms(g, ps, batch);
+        let out = g.add(out, lin);
+        g.reshape(out, Shape::d1(batch.len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testkit::*;
+    use rand::SeedableRng;
+
+    fn build() -> (DeepCross, ParamStore) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = DeepCross::new(&mut ps, &mut rng, &layout(), 8, 2);
+        (m, ps)
+    }
+
+    #[test]
+    fn shapes_and_gradients() {
+        let (m, mut ps) = build();
+        let b = batch();
+        let _ = logits(&m, &ps, &b);
+        check_grad_flow(&m, &mut ps, &b);
+    }
+
+    #[test]
+    fn order_blind() {
+        let (m, ps) = build();
+        let b = batch();
+        let a = logits(&m, &ps, &b);
+        let c = logits(&m, &ps, &reverse_history(&b));
+        for (x, y) in a.iter().zip(&c) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn depth_zero_reduces_to_linear_head() {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = DeepCross::new(&mut ps, &mut rng, &layout(), 8, 0);
+        let b = batch();
+        let _ = logits(&m, &ps, &b); // must still run
+    }
+}

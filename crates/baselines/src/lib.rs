@@ -1,0 +1,218 @@
+#![warn(missing_docs)]
+
+//! # seqfm-baselines
+//!
+//! All eleven comparison models from the paper's evaluation (§V-B), built on
+//! the same tensor/autograd/layer substrate as SeqFM and implementing the
+//! shared [`seqfm_core::SeqModel`] interface:
+//!
+//! | Model | Family | Used in |
+//! |---|---|---|
+//! | [`Fm`] | linear FM (Rendle 2010) | Tables II–IV |
+//! | [`WideDeep`] | wide + deep tower | Tables II–IV |
+//! | [`DeepCross`] | residual blocks over embeddings | Tables II–IV |
+//! | [`Nfm`] | bi-interaction + MLP | Tables II–IV |
+//! | [`Afm`] | attention over feature pairs | Tables II–IV |
+//! | [`SasRec`] | causal self-attention recommender | Table II |
+//! | [`Tfm`] | translation space, last item only | Table II |
+//! | [`Din`] | candidate-activated interest | Table III |
+//! | [`XDeepFm`] | CIN + DNN + linear | Table III |
+//! | [`Rrn`] | GRU over rated items | Table IV |
+//! | [`Hofm`] | order-3 ANOVA kernels | Table IV |
+//!
+//! [`registry`] builds the exact model roster of each paper table.
+
+pub mod afm;
+pub mod deep_cross;
+pub mod din;
+pub mod fm;
+pub mod hofm;
+pub mod nfm;
+pub mod rrn;
+pub mod sasrec;
+pub mod tfm;
+pub mod util;
+pub mod wide_deep;
+pub mod xdeepfm;
+
+pub use afm::Afm;
+pub use deep_cross::DeepCross;
+pub use din::Din;
+pub use fm::Fm;
+pub use hofm::Hofm;
+pub use nfm::Nfm;
+pub use rrn::Rrn;
+pub use sasrec::SasRec;
+pub use tfm::Tfm;
+pub use wide_deep::WideDeep;
+pub use xdeepfm::XDeepFm;
+
+pub mod registry {
+    //! Model rosters per paper table.
+
+    use super::*;
+    use rand::rngs::StdRng;
+    use seqfm_autograd::ParamStore;
+    use seqfm_core::{SeqFm, SeqFmConfig, SeqModel};
+    use seqfm_data::FeatureLayout;
+
+    /// Every model this workspace can build.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum ModelKind {
+        /// Plain FM.
+        Fm,
+        /// Wide&Deep.
+        WideDeep,
+        /// DeepCross.
+        DeepCross,
+        /// Neural FM.
+        Nfm,
+        /// Attentional FM.
+        Afm,
+        /// SASRec (ranking).
+        SasRec,
+        /// Translation-based FM (ranking).
+        Tfm,
+        /// Deep Interest Network (CTR).
+        Din,
+        /// xDeepFM (CTR).
+        XDeepFm,
+        /// Recurrent Recommender Network (regression).
+        Rrn,
+        /// Higher-order FM (regression).
+        Hofm,
+        /// The paper's model.
+        SeqFm,
+    }
+
+    /// Instantiates a model with fresh parameters in `ps`.
+    ///
+    /// `d` is the embedding width and `max_seq` the dynamic window; a light
+    /// default dropout of 0.1 is applied to the deep baselines (their papers'
+    /// defaults), while SeqFM uses its own config (`d`, `l=1`, `ρ=0.6` —
+    /// the paper's unified setting).
+    pub fn build(
+        kind: ModelKind,
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        layout: &FeatureLayout,
+        d: usize,
+        max_seq: usize,
+    ) -> Box<dyn SeqModel> {
+        match kind {
+            ModelKind::Fm => Box::new(Fm::new(ps, rng, layout, d)),
+            ModelKind::WideDeep => Box::new(WideDeep::new(ps, rng, layout, d, 0.1)),
+            ModelKind::DeepCross => Box::new(DeepCross::new(ps, rng, layout, d, 2)),
+            ModelKind::Nfm => Box::new(Nfm::new(ps, rng, layout, d, 0.1)),
+            ModelKind::Afm => Box::new(Afm::new(ps, rng, layout, d, 0.1)),
+            ModelKind::SasRec => Box::new(SasRec::new(ps, rng, layout, d, max_seq, 2, 0.1)),
+            ModelKind::Tfm => Box::new(Tfm::new(ps, rng, layout, d)),
+            ModelKind::Din => Box::new(Din::new(ps, rng, layout, d, 0.1)),
+            ModelKind::XDeepFm => Box::new(XDeepFm::new(ps, rng, layout, d, 4, 0.1)),
+            ModelKind::Rrn => Box::new(Rrn::new(ps, rng, layout, d)),
+            ModelKind::Hofm => Box::new(Hofm::new(ps, rng, layout, d)),
+            ModelKind::SeqFm => {
+                let cfg = SeqFmConfig { d, max_seq, ..Default::default() };
+                Box::new(SeqFm::new(ps, rng, layout, cfg))
+            }
+        }
+    }
+
+    /// Table II roster (ranking), paper order.
+    pub fn ranking_models() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Fm,
+            ModelKind::WideDeep,
+            ModelKind::DeepCross,
+            ModelKind::Nfm,
+            ModelKind::Afm,
+            ModelKind::SasRec,
+            ModelKind::Tfm,
+            ModelKind::SeqFm,
+        ]
+    }
+
+    /// Table III roster (CTR), paper order.
+    pub fn ctr_models() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Fm,
+            ModelKind::WideDeep,
+            ModelKind::DeepCross,
+            ModelKind::Nfm,
+            ModelKind::Afm,
+            ModelKind::Din,
+            ModelKind::XDeepFm,
+            ModelKind::SeqFm,
+        ]
+    }
+
+    /// Table IV roster (regression), paper order.
+    pub fn rating_models() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Fm,
+            ModelKind::WideDeep,
+            ModelKind::DeepCross,
+            ModelKind::Nfm,
+            ModelKind::Afm,
+            ModelKind::Rrn,
+            ModelKind::Hofm,
+            ModelKind::SeqFm,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::registry::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqfm_autograd::{Graph, ParamStore};
+    use seqfm_data::{build_instance, Batch, FeatureLayout};
+
+    #[test]
+    fn registry_builds_every_model_and_produces_finite_scores() {
+        let layout = FeatureLayout { n_users: 6, n_items: 15 };
+        let max_seq = 5;
+        let b = Batch::from_instances(&[
+            build_instance(&layout, 0, 3, &[1, 2], max_seq, 1.0),
+            build_instance(&layout, 5, 14, &[4, 9, 2, 7, 1, 3], max_seq, 0.0),
+        ]);
+        let all = [
+            ModelKind::Fm,
+            ModelKind::WideDeep,
+            ModelKind::DeepCross,
+            ModelKind::Nfm,
+            ModelKind::Afm,
+            ModelKind::SasRec,
+            ModelKind::Tfm,
+            ModelKind::Din,
+            ModelKind::XDeepFm,
+            ModelKind::Rrn,
+            ModelKind::Hofm,
+            ModelKind::SeqFm,
+        ];
+        for kind in all {
+            let mut ps = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let model = build(kind, &mut ps, &mut rng, &layout, 8, max_seq);
+            let mut g = Graph::new();
+            let y = model.forward(&mut g, &ps, &b, false, &mut rng);
+            assert_eq!(g.value(y).numel(), 2, "{:?} logit count", kind);
+            assert!(!g.value(y).has_non_finite(), "{:?} emitted non-finite", kind);
+        }
+    }
+
+    #[test]
+    fn rosters_match_paper_tables() {
+        assert_eq!(ranking_models().len(), 8);
+        assert_eq!(ctr_models().len(), 8);
+        assert_eq!(rating_models().len(), 8);
+        assert_eq!(*ranking_models().last().unwrap(), ModelKind::SeqFm);
+        assert!(ctr_models().contains(&ModelKind::Din));
+        assert!(ctr_models().contains(&ModelKind::XDeepFm));
+        assert!(rating_models().contains(&ModelKind::Rrn));
+        assert!(rating_models().contains(&ModelKind::Hofm));
+        assert!(ranking_models().contains(&ModelKind::SasRec));
+        assert!(ranking_models().contains(&ModelKind::Tfm));
+    }
+}

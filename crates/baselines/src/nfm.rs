@@ -1,0 +1,104 @@
+//! Neural Factorization Machine (He & Chua, SIGIR 2017).
+//!
+//! `ŷ = w₀ + Σwᵢxᵢ + f(BiInteraction(Vx))` where the bi-interaction pooled
+//! vector (same identity as plain FM, but kept as a `[b, d]` vector instead
+//! of summing it) feeds a ReLU MLP whose output is projected to a scalar.
+
+use crate::util::FmBase;
+use rand::rngs::StdRng;
+use rand::Rng;
+use seqfm_autograd::{Graph, ParamStore, Var};
+use seqfm_core::SeqModel;
+use seqfm_data::{Batch, FeatureLayout};
+use seqfm_nn::Mlp;
+use seqfm_tensor::Shape;
+
+/// NFM with one hidden layer (the paper's best-performing depth).
+pub struct Nfm {
+    base: FmBase,
+    mlp: Mlp,
+    dropout: f32,
+}
+
+impl Nfm {
+    /// Builds an NFM; the hidden layer matches the embedding width.
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        rng: &mut R,
+        layout: &FeatureLayout,
+        d: usize,
+        dropout: f32,
+    ) -> Self {
+        let base = FmBase::new(ps, rng, "nfm", layout, d);
+        let mlp = Mlp::new(ps, rng, "nfm.mlp", &[d, d, 1]);
+        Nfm { base, mlp, dropout }
+    }
+}
+
+impl SeqModel for Nfm {
+    fn name(&self) -> &str {
+        "NFM"
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Var {
+        let bi = self.base.bi_interaction(g, ps, batch); // [b, d]
+        let deep = self.mlp.forward(g, ps, bi, self.dropout, training, rng); // [b, 1]
+        let lin = self.base.linear_terms(g, ps, batch);
+        let out = g.add(deep, lin);
+        g.reshape(out, Shape::d1(batch.len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testkit::*;
+    use rand::SeedableRng;
+
+    fn build() -> (Nfm, ParamStore) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Nfm::new(&mut ps, &mut rng, &layout(), 8, 0.2);
+        (m, ps)
+    }
+
+    #[test]
+    fn shapes_and_gradients() {
+        let (m, mut ps) = build();
+        let b = batch();
+        let _ = logits(&m, &ps, &b);
+        check_grad_flow(&m, &mut ps, &b);
+    }
+
+    #[test]
+    fn order_blind() {
+        let (m, ps) = build();
+        let b = batch();
+        let a = logits(&m, &ps, &b);
+        let c = logits(&m, &ps, &reverse_history(&b));
+        for (x, y) in a.iter().zip(&c) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn differs_from_plain_fm() {
+        // The MLP must actually transform the bi-interaction vector: an NFM
+        // and an FM with identical seeds should disagree.
+        let mut ps_fm = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fm = crate::fm::Fm::new(&mut ps_fm, &mut rng, &layout(), 8);
+        let (nfm, ps_nfm) = build();
+        let b = batch();
+        let a = logits(&fm, &ps_fm, &b);
+        let c = logits(&nfm, &ps_nfm, &b);
+        assert!(a.iter().zip(&c).any(|(x, y)| (x - y).abs() > 1e-6));
+    }
+}

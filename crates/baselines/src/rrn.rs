@@ -1,0 +1,144 @@
+//! RRN — Recurrent Recommender Network (Wu et al., WSDM 2017). The paper's
+//! additional regression baseline (Table IV).
+//!
+//! A GRU consumes the user's rated-item sequence; the final hidden state is
+//! the user's *dynamic* state, combined with stationary user/item latent
+//! factors and biases — the autoregressive rating model of the original
+//! paper, with the LSTM swapped for a GRU (equivalent gating family, fewer
+//! parameters).
+
+use crate::util::{candidate_items, user_ids};
+use rand::rngs::StdRng;
+use rand::Rng;
+use seqfm_autograd::{Graph, ParamStore, Var};
+use seqfm_core::SeqModel;
+use seqfm_data::{Batch, FeatureLayout};
+use seqfm_nn::{Embedding, GruCell};
+use seqfm_tensor::{Shape, Tensor};
+
+/// RRN.
+pub struct Rrn {
+    layout: FeatureLayout,
+    item_emb: Embedding,
+    user_emb: Embedding,
+    gru: GruCell,
+    user_bias: Embedding,
+    item_bias: Embedding,
+    global_bias: seqfm_autograd::ParamId,
+    d: usize,
+}
+
+impl Rrn {
+    /// Builds an RRN with embedding/hidden width `d`.
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        rng: &mut R,
+        layout: &FeatureLayout,
+        d: usize,
+    ) -> Self {
+        Rrn {
+            layout: *layout,
+            item_emb: Embedding::new(ps, rng, "rrn.item", layout.n_items, d),
+            user_emb: Embedding::new(ps, rng, "rrn.user", layout.n_users, d),
+            gru: GruCell::new(ps, rng, "rrn.gru", d, d),
+            user_bias: Embedding::zeros(ps, "rrn.user_bias", layout.n_users, 1),
+            item_bias: Embedding::zeros(ps, "rrn.item_bias", layout.n_items, 1),
+            global_bias: ps.add_dense("rrn.global", Tensor::zeros(Shape::d1(1))),
+            d,
+        }
+    }
+}
+
+impl SeqModel for Rrn {
+    fn name(&self) -> &str {
+        "RRN"
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        _training: bool,
+        _rng: &mut StdRng,
+    ) -> Var {
+        let (b, n, d) = (batch.len, batch.n_dynamic, self.d);
+        let e_hist = self.item_emb.lookup(g, ps, &batch.dyn_idx, b, n); // [b,n,d]
+        // unroll the GRU over the (left-padded) sequence; padded steps feed
+        // zero vectors, which perturb the state far less than real items
+        let mut h = g.input(Tensor::zeros(Shape::d2(b, d)));
+        for t in 0..n {
+            let x_t = g.slice_axis1(e_hist, t, 1);
+            let x_t = g.reshape(x_t, Shape::d2(b, d));
+            h = self.gru.step(g, ps, x_t, h);
+        }
+        let users = user_ids(batch);
+        let cands = candidate_items(batch, &self.layout);
+        let e_user = self.user_emb.lookup(g, ps, &users, b, 1);
+        let e_user = g.reshape(e_user, Shape::d2(b, d));
+        let e_cand = self.item_emb.lookup(g, ps, &cands, b, 1);
+        let e_cand = g.reshape(e_cand, Shape::d2(b, d));
+
+        // ŷ = ⟨h_dyn, e_c⟩ + ⟨p_u, e_c⟩ + b_u + b_i + b₀
+        let dyn_term = g.row_dot(h, e_cand);
+        let stat_term = g.row_dot(e_user, e_cand);
+        let mut out = g.add(dyn_term, stat_term);
+        let bu = self.user_bias.lookup(g, ps, &users, b, 1);
+        let bu = g.reshape(bu, Shape::d1(b));
+        let bi = self.item_bias.lookup(g, ps, &cands, b, 1);
+        let bi = g.reshape(bi, Shape::d1(b));
+        out = g.add(out, bu);
+        out = g.add(out, bi);
+        let out2 = g.reshape(out, Shape::d2(b, 1));
+        let gb = g.param(ps, self.global_bias);
+        let out2 = g.add_bias(out2, gb);
+        g.reshape(out2, Shape::d1(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testkit::*;
+    use rand::SeedableRng;
+
+    fn build() -> (Rrn, ParamStore) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = Rrn::new(&mut ps, &mut rng, &layout(), 8);
+        (m, ps)
+    }
+
+    #[test]
+    fn shapes_and_gradients() {
+        let (m, mut ps) = build();
+        let b = batch();
+        let _ = logits(&m, &ps, &b);
+        check_grad_flow(&m, &mut ps, &b);
+    }
+
+    #[test]
+    fn rrn_is_order_sensitive() {
+        let (m, ps) = build();
+        let b = batch();
+        let a = logits(&m, &ps, &b);
+        let c = logits(&m, &ps, &reverse_history(&b));
+        assert!((a[0] - c[0]).abs() > 1e-6, "GRU ignored item order");
+    }
+
+    #[test]
+    fn recurrent_state_carries_history() {
+        // Different histories, same user/candidate → different scores.
+        let (m, ps) = build();
+        let l = layout();
+        let h1 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+            &l, 0, 5, &[1, 2], MAX_SEQ, 3.0,
+        )]);
+        let h2 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+            &l, 0, 5, &[7, 8], MAX_SEQ, 3.0,
+        )]);
+        let a = logits(&m, &ps, &h1)[0];
+        let b = logits(&m, &ps, &h2)[0];
+        assert!((a - b).abs() > 1e-6);
+    }
+}

@@ -1,0 +1,140 @@
+//! TFM — Translation-based Factorization Machine (Pasricha & McAuley,
+//! RecSys 2018). The paper's second additional ranking baseline (Table II).
+//!
+//! Embeds items in a shared metric space and models a user-specific
+//! *translation*: the next item should lie near `e_last + t_u`, scored by
+//! negative squared Euclidean distance plus biases. As the paper stresses
+//! (§I, §VI-A), TFM "models the influence of only the last item" — this
+//! implementation is faithfully last-item-only, which is exactly why SeqFM
+//! outperforms it on order-2 Markov data.
+
+use crate::util::{candidate_items, last_items, user_ids};
+use rand::rngs::StdRng;
+use rand::Rng;
+use seqfm_autograd::{Graph, ParamStore, Var};
+use seqfm_core::SeqModel;
+use seqfm_data::{Batch, FeatureLayout};
+use seqfm_nn::Embedding;
+use seqfm_tensor::Shape;
+
+/// TFM (TransRec-style translation model).
+pub struct Tfm {
+    layout: FeatureLayout,
+    item_emb: Embedding,
+    user_trans: Embedding,
+    item_bias: Embedding,
+    d: usize,
+}
+
+impl Tfm {
+    /// Builds a TFM with embedding width `d`.
+    pub fn new<R: Rng + ?Sized>(
+        ps: &mut ParamStore,
+        rng: &mut R,
+        layout: &FeatureLayout,
+        d: usize,
+    ) -> Self {
+        Tfm {
+            layout: *layout,
+            item_emb: Embedding::new(ps, rng, "tfm.item", layout.n_items, d),
+            user_trans: Embedding::new(ps, rng, "tfm.trans", layout.n_users, d),
+            item_bias: Embedding::zeros(ps, "tfm.item_bias", layout.n_items, 1),
+            d,
+        }
+    }
+}
+
+impl SeqModel for Tfm {
+    fn name(&self) -> &str {
+        "TFM"
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        _training: bool,
+        _rng: &mut StdRng,
+    ) -> Var {
+        let b = batch.len;
+        let last = last_items(batch);
+        let users = user_ids(batch);
+        let cands = candidate_items(batch, &self.layout);
+        let e_last = self.item_emb.lookup(g, ps, &last, b, 1);
+        let e_last = g.reshape(e_last, Shape::d2(b, self.d));
+        let t_u = self.user_trans.lookup(g, ps, &users, b, 1);
+        let t_u = g.reshape(t_u, Shape::d2(b, self.d));
+        let e_c = self.item_emb.lookup(g, ps, &cands, b, 1);
+        let e_c = g.reshape(e_c, Shape::d2(b, self.d));
+
+        // score = β_c − ‖e_last + t_u − e_c‖²
+        let moved = g.add(e_last, t_u);
+        let diff = g.sub(moved, e_c);
+        let sq = g.square(diff);
+        let dist = g.sum_lastdim(sq); // [b]
+        let neg_dist = g.neg(dist);
+        let bias = self.item_bias.lookup(g, ps, &cands, b, 1);
+        let bias = g.reshape(bias, Shape::d1(b));
+        g.add(neg_dist, bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testkit::*;
+    use rand::SeedableRng;
+
+    fn build() -> (Tfm, ParamStore) {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let m = Tfm::new(&mut ps, &mut rng, &layout(), 8);
+        (m, ps)
+    }
+
+    #[test]
+    fn shapes_and_gradients() {
+        let (m, mut ps) = build();
+        let b = batch();
+        let _ = logits(&m, &ps, &b);
+        check_grad_flow(&m, &mut ps, &b);
+    }
+
+    #[test]
+    fn only_the_last_item_matters() {
+        // Changing earlier history items must not move the score; changing
+        // the last one must. (This is TFM's defining limitation.)
+        let (m, ps) = build();
+        let l = layout();
+        let base = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+            &l, 1, 6, &[2, 3, 4], MAX_SEQ, 1.0,
+        )]);
+        let early_changed = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+            &l, 1, 6, &[9, 10, 4], MAX_SEQ, 1.0,
+        )]);
+        let last_changed = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+            &l, 1, 6, &[2, 3, 11], MAX_SEQ, 1.0,
+        )]);
+        let a = logits(&m, &ps, &base)[0];
+        let b = logits(&m, &ps, &early_changed)[0];
+        let c = logits(&m, &ps, &last_changed)[0];
+        assert!((a - b).abs() < 1e-6, "early history leaked into TFM score");
+        assert!((a - c).abs() > 1e-6, "last item ignored");
+    }
+
+    #[test]
+    fn translation_is_user_specific() {
+        let (m, ps) = build();
+        let l = layout();
+        let u1 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+            &l, 0, 6, &[2], MAX_SEQ, 1.0,
+        )]);
+        let u2 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+            &l, 3, 6, &[2], MAX_SEQ, 1.0,
+        )]);
+        let a = logits(&m, &ps, &u1)[0];
+        let b = logits(&m, &ps, &u2)[0];
+        assert!((a - b).abs() > 1e-6);
+    }
+}

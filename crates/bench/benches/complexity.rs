@@ -1,0 +1,87 @@
+//! Criterion benchmark validating the paper's §III-I complexity claim:
+//! per-sample cost O((n° + n˙)²·d + l·d²). Forward latency should grow
+//! ~quadratically in the sequence length n˙ and ~linearly in d (attention
+//! term dominant), and linearly in the FFN depth l.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::{Graph, ParamStore};
+use seqfm_core::{SeqFm, SeqFmConfig, SeqModel};
+use seqfm_data::{build_instance, Batch, FeatureLayout};
+
+fn batch_for(layout: &FeatureLayout, max_seq: usize) -> Batch {
+    let insts: Vec<_> = (0..64)
+        .map(|i| {
+            let hist: Vec<u32> = (0..max_seq).map(|j| ((i + j) % layout.n_items) as u32).collect();
+            build_instance(layout, (i % layout.n_users) as u32, (i % layout.n_items) as u32, &hist, max_seq, 1.0)
+        })
+        .collect();
+    Batch::from_instances(&insts)
+}
+
+fn bench_scaling_in_seq_len(c: &mut Criterion) {
+    let layout = FeatureLayout { n_users: 100, n_items: 300 };
+    let mut group = c.benchmark_group("seqfm_forward_vs_nseq_d32");
+    group.sample_size(10);
+    for &n in &[10usize, 20, 40, 80] {
+        let cfg = SeqFmConfig { d: 32, max_seq: n, ..Default::default() };
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+        let batch = batch_for(&layout, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let y = model.forward(&mut g, &ps, &batch, false, &mut rng);
+                std::hint::black_box(g.value(y).sum());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_d(c: &mut Criterion) {
+    let layout = FeatureLayout { n_users: 100, n_items: 300 };
+    let mut group = c.benchmark_group("seqfm_forward_vs_d_n20");
+    group.sample_size(10);
+    for &d in &[16usize, 32, 64, 128] {
+        let cfg = SeqFmConfig { d, max_seq: 20, ..Default::default() };
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+        let batch = batch_for(&layout, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let y = model.forward(&mut g, &ps, &batch, false, &mut rng);
+                std::hint::black_box(g.value(y).sum());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_depth(c: &mut Criterion) {
+    let layout = FeatureLayout { n_users: 100, n_items: 300 };
+    let mut group = c.benchmark_group("seqfm_forward_vs_l_d32_n20");
+    group.sample_size(10);
+    for &l in &[1usize, 2, 4] {
+        let cfg = SeqFmConfig { d: 32, layers: l, max_seq: 20, ..Default::default() };
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+        let batch = batch_for(&layout, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let y = model.forward(&mut g, &ps, &batch, false, &mut rng);
+                std::hint::black_box(g.value(y).sum());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_in_seq_len, bench_scaling_in_d, bench_scaling_in_depth);
+criterion_main!(benches);

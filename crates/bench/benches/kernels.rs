@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the tensor kernels that dominate SeqFM's
+//! runtime: matrix multiplies, batched attention products, and masked
+//! softmax.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqfm_tensor::{bmm_nt, matmul_nn, softmax_lastdim_masked, AttnMask, Shape, Tensor};
+
+fn rand(shape: Shape, seed: &mut u64) -> Tensor {
+    seqfm_tensor::testutil::rand_tensor(shape, seed)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_nn");
+    group.sample_size(20);
+    for &n in &[32usize, 64, 128] {
+        let mut seed = 1;
+        let a = rand(Shape::d2(n, n), &mut seed);
+        let b = rand(Shape::d2(n, n), &mut seed);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul_nn(std::hint::black_box(&a), std::hint::black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention_scores(c: &mut Criterion) {
+    // Q·Kᵀ for a typical SeqFM batch: [batch, n°+n˙, d]
+    let mut group = c.benchmark_group("bmm_nt_attention_scores");
+    group.sample_size(20);
+    for &(batch, n, d) in &[(128usize, 22usize, 32usize), (128, 52, 32), (128, 22, 64)] {
+        let mut seed = 2;
+        let q = rand(Shape::d3(batch, n, d), &mut seed);
+        let k = rand(Shape::d3(batch, n, d), &mut seed);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("b{batch}_n{n}_d{d}")),
+            &n,
+            |bench, _| {
+                bench.iter(|| bmm_nt(std::hint::black_box(&q), std::hint::black_box(&k)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_masked_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masked_softmax");
+    group.sample_size(20);
+    for &n in &[22usize, 52] {
+        let mut seed = 3;
+        let scores = rand(Shape::d3(128, n, n), &mut seed);
+        let mask = AttnMask::causal(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| softmax_lastdim_masked(std::hint::black_box(&scores), &mask));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_attention_scores, bench_masked_softmax);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of full model training steps (forward + backward +
+//! Adam) for representative models of each family — the practical per-step
+//! cost behind the paper's Fig. 4 efficiency discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::{Graph, ParamStore};
+use seqfm_baselines::registry::{build, ModelKind};
+use seqfm_data::{build_instance, Batch, FeatureLayout};
+use seqfm_nn::{Adam, Optimizer};
+
+fn demo_batch(layout: &FeatureLayout, batch: usize, max_seq: usize) -> Batch {
+    let insts: Vec<_> = (0..batch)
+        .map(|i| {
+            let user = (i % layout.n_users) as u32;
+            let cand = (i % layout.n_items) as u32;
+            let hist: Vec<u32> = (0..max_seq).map(|j| ((i + j) % layout.n_items) as u32).collect();
+            build_instance(layout, user, cand, &hist, max_seq, 1.0)
+        })
+        .collect();
+    Batch::from_instances(&insts)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let layout = FeatureLayout { n_users: 200, n_items: 500 };
+    let max_seq = 20;
+    let batch = demo_batch(&layout, 128, max_seq);
+    let kinds = [
+        ModelKind::Fm,
+        ModelKind::Nfm,
+        ModelKind::SasRec,
+        ModelKind::XDeepFm,
+        ModelKind::Rrn,
+        ModelKind::SeqFm,
+    ];
+
+    let mut group = c.benchmark_group("train_step_batch128_d32");
+    group.sample_size(10);
+    for kind in kinds {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
+            let mut ps = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let model = build(kind, &mut ps, &mut rng, &layout, 32, max_seq);
+            let mut opt = Adam::new(1e-3);
+            b.iter(|| {
+                let mut g = Graph::new();
+                let y = model.forward(&mut g, &ps, &batch, true, &mut rng);
+                let sq = g.square(y);
+                let loss = g.mean_all(sq);
+                ps.zero_grads();
+                g.backward(loss, &mut ps);
+                opt.step(&mut ps).expect("finite");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let layout = FeatureLayout { n_users: 200, n_items: 500 };
+    let max_seq = 20;
+    let batch = demo_batch(&layout, 256, max_seq);
+    let mut group = c.benchmark_group("inference_batch256_d32");
+    group.sample_size(10);
+    for kind in [ModelKind::Fm, ModelKind::SeqFm] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
+            let mut ps = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let model = build(kind, &mut ps, &mut rng, &layout, 32, max_seq);
+            b.iter(|| {
+                let mut g = Graph::new();
+                let y = model.forward(&mut g, &ps, &batch, false, &mut rng);
+                std::hint::black_box(g.value(y).sum());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_inference);
+criterion_main!(benches);

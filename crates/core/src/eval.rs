@@ -1,0 +1,380 @@
+//! Evaluation protocols (paper §V-C).
+//!
+//! * Ranking: each user's held-out test item is mixed with `J` sampled
+//!   negatives; HR@K / NDCG@K over the induced ranking.
+//! * Classification: one sampled negative per positive test instance; AUC
+//!   and RMSE over the predicted probabilities.
+//! * Regression: direct MAE / RRSE on the held-out ratings.
+
+use crate::SeqModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::{Graph, ParamStore};
+use seqfm_data::{build_instance, Batch, FeatureLayout, Instance, LeaveOneOut, NegativeSampler};
+use seqfm_metrics::{auc, rmse_binary, RankingAccumulator};
+use seqfm_tensor::ew::sigmoid_scalar;
+
+/// Which held-out events to evaluate on: the validation events (second-to-
+/// last; used for model selection during training) or the test events (last;
+/// reported numbers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalSplit {
+    /// Second-to-last event per user.
+    Validation,
+    /// Last event per user.
+    Test,
+}
+
+impl EvalSplit {
+    fn target(self, split: &LeaveOneOut, u: usize) -> seqfm_data::Event {
+        match self {
+            EvalSplit::Validation => split.valid[u],
+            EvalSplit::Test => split.test[u],
+        }
+    }
+
+    fn history(self, split: &LeaveOneOut, u: usize) -> Vec<u32> {
+        match self {
+            EvalSplit::Validation => split.history_for_valid(u),
+            EvalSplit::Test => split.history_for_test(u),
+        }
+    }
+}
+
+/// Scores a list of instances with `model` (inference mode), batching
+/// internally.
+pub fn score_instances(
+    model: &dyn SeqModel,
+    ps: &ParamStore,
+    instances: &[Instance],
+    batch_size: usize,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    let mut scores = Vec::with_capacity(instances.len());
+    for chunk in instances.chunks(batch_size.max(1)) {
+        let batch = Batch::from_instances(chunk);
+        let mut g = Graph::new();
+        let y = model.forward(&mut g, ps, &batch, false, rng);
+        scores.extend_from_slice(g.value(y).data());
+    }
+    scores
+}
+
+/// Ranking evaluation config.
+#[derive(Clone, Copy, Debug)]
+pub struct RankingEvalConfig {
+    /// Number of sampled negatives `J` (paper: 1000).
+    pub negatives: usize,
+    /// Maximum dynamic sequence length.
+    pub max_seq: usize,
+    /// Scoring batch size.
+    pub batch_size: usize,
+    /// Seed for the candidate sampler.
+    pub seed: u64,
+}
+
+impl Default for RankingEvalConfig {
+    fn default() -> Self {
+        RankingEvalConfig { negatives: 200, max_seq: 20, batch_size: 256, seed: 7 }
+    }
+}
+
+/// Leave-one-out ranking evaluation on the test events: HR@{5,10,20} and
+/// NDCG@{5,10,20}.
+pub fn evaluate_ranking(
+    model: &dyn SeqModel,
+    ps: &ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    sampler: &NegativeSampler,
+    cfg: &RankingEvalConfig,
+) -> RankingAccumulator {
+    evaluate_ranking_on(model, ps, split, layout, sampler, cfg, EvalSplit::Test)
+}
+
+/// Ranking evaluation on a chosen split (validation during training, test
+/// for reporting).
+pub fn evaluate_ranking_on(
+    model: &dyn SeqModel,
+    ps: &ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    sampler: &NegativeSampler,
+    cfg: &RankingEvalConfig,
+    on: EvalSplit,
+) -> RankingAccumulator {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut acc = RankingAccumulator::new(&[5, 10, 20]);
+    for u in 0..split.test.len() {
+        let hist = on.history(split, u);
+        let positive = on.target(split, u).item;
+        let negs = sampler.sample_distinct(u, cfg.negatives, &mut rng);
+        let mut insts = Vec::with_capacity(negs.len() + 1);
+        insts.push(build_instance(layout, u as u32, positive, &hist, cfg.max_seq, 1.0));
+        for &n in &negs {
+            insts.push(build_instance(layout, u as u32, n, &hist, cfg.max_seq, 0.0));
+        }
+        let scores = score_instances(model, ps, &insts, cfg.batch_size, &mut rng);
+        acc.record_scores(scores[0], &scores[1..]);
+    }
+    acc
+}
+
+/// Classification evaluation result.
+#[derive(Clone, Copy, Debug)]
+pub struct CtrEval {
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// RMSE between predicted probabilities and 0/1 labels.
+    pub rmse: f64,
+}
+
+/// CTR evaluation on the test events: the held-out click plus one sampled
+/// non-click per user (paper §V-C), probabilities via the sigmoid output
+/// layer (Eq. 23).
+pub fn evaluate_ctr(
+    model: &dyn SeqModel,
+    ps: &ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    sampler: &NegativeSampler,
+    max_seq: usize,
+    seed: u64,
+) -> CtrEval {
+    evaluate_ctr_on(model, ps, split, layout, sampler, max_seq, seed, EvalSplit::Test)
+}
+
+/// CTR evaluation on a chosen split.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_ctr_on(
+    model: &dyn SeqModel,
+    ps: &ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    sampler: &NegativeSampler,
+    max_seq: usize,
+    seed: u64,
+    on: EvalSplit,
+) -> CtrEval {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut insts = Vec::with_capacity(split.test.len() * 2);
+    let mut labels = Vec::with_capacity(split.test.len() * 2);
+    for u in 0..split.test.len() {
+        let hist = on.history(split, u);
+        insts.push(build_instance(layout, u as u32, on.target(split, u).item, &hist, max_seq, 1.0));
+        labels.push(true);
+        let neg = sampler.sample(u, &mut rng);
+        insts.push(build_instance(layout, u as u32, neg, &hist, max_seq, 0.0));
+        labels.push(false);
+    }
+    let logits = score_instances(model, ps, &insts, 256, &mut rng);
+    let probs: Vec<f32> = logits.iter().map(|&z| sigmoid_scalar(z)).collect();
+    CtrEval { auc: auc(&probs, &labels), rmse: rmse_binary(&probs, &labels) }
+}
+
+/// Regression evaluation result.
+#[derive(Clone, Copy, Debug)]
+pub struct RatingEval {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root relative squared error (Eq. 28).
+    pub rrse: f64,
+}
+
+/// Rating evaluation: predict each user's held-out rating; MAE / RRSE.
+/// `offset` is the target centring constant from
+/// [`crate::TrainReport::target_offset`]; predictions are un-centred and
+/// clamped to the valid rating range `[1, 5]` (standard for rating
+/// predictors).
+pub fn evaluate_rating(
+    model: &dyn SeqModel,
+    ps: &ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    max_seq: usize,
+    offset: f32,
+) -> RatingEval {
+    evaluate_rating_on(model, ps, split, layout, max_seq, offset, EvalSplit::Test)
+}
+
+/// Rating evaluation on a chosen split.
+pub fn evaluate_rating_on(
+    model: &dyn SeqModel,
+    ps: &ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    max_seq: usize,
+    offset: f32,
+    on: EvalSplit,
+) -> RatingEval {
+    let mut rng = StdRng::seed_from_u64(0);
+    let insts: Vec<Instance> = (0..split.test.len())
+        .map(|u| {
+            let hist = on.history(split, u);
+            let e = on.target(split, u);
+            build_instance(layout, u as u32, e.item, &hist, max_seq, e.rating)
+        })
+        .collect();
+    let raw = score_instances(model, ps, &insts, 256, &mut rng);
+    let preds: Vec<f32> = raw.iter().map(|&p| (p + offset).clamp(1.0, 5.0)).collect();
+    let truth: Vec<f32> = (0..split.test.len()).map(|u| on.target(split, u).rating).collect();
+    RatingEval {
+        mae: seqfm_metrics::mae(&preds, &truth),
+        rrse: seqfm_metrics::rrse(&preds, &truth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeqModel;
+    use rand::rngs::StdRng;
+    use seqfm_autograd::Var;
+    use seqfm_data::{Event, Scale};
+    use seqfm_tensor::Tensor;
+
+    /// Mock model scoring `hi` when the candidate equals the per-user answer
+    /// and `lo` otherwise — lets the protocols be verified exactly.
+    struct Oracle {
+        answers: Vec<u32>,
+        layout: FeatureLayout,
+        hi: f32,
+        lo: f32,
+    }
+
+    impl SeqModel for Oracle {
+        fn name(&self) -> &str {
+            "Oracle"
+        }
+
+        fn forward(
+            &self,
+            g: &mut Graph,
+            _ps: &ParamStore,
+            batch: &seqfm_data::Batch,
+            _training: bool,
+            _rng: &mut StdRng,
+        ) -> Var {
+            let scores: Vec<f32> = (0..batch.len)
+                .map(|i| {
+                    let user = batch.static_idx[i * batch.n_static] as usize;
+                    let cand = batch.candidate_item(&self.layout, i);
+                    if self.answers[user] == cand {
+                        self.hi
+                    } else {
+                        self.lo
+                    }
+                })
+                .collect();
+            g.input(Tensor::vector(scores))
+        }
+    }
+
+    fn setup() -> (seqfm_data::Dataset, LeaveOneOut, FeatureLayout, NegativeSampler) {
+        let mut cfg = seqfm_data::ranking::RankingConfig::gowalla(Scale::Small);
+        cfg.n_users = 12;
+        cfg.n_items = 40;
+        cfg.n_clusters = 4;
+        cfg.min_len = 5;
+        cfg.max_len = 8;
+        let ds = seqfm_data::ranking::generate(&cfg).unwrap();
+        let split = LeaveOneOut::split(&ds);
+        let layout = FeatureLayout::of(&ds);
+        let seen = (0..ds.n_users).map(|u| split.seen_items(u)).collect();
+        let sampler = NegativeSampler::new(ds.n_items, seen);
+        (ds, split, layout, sampler)
+    }
+
+    #[test]
+    fn perfect_oracle_achieves_hr_and_ndcg_one() {
+        let (_, split, layout, sampler) = setup();
+        let answers: Vec<u32> = split.test.iter().map(|e| e.item).collect();
+        let oracle = Oracle { answers, layout, hi: 10.0, lo: 0.0 };
+        let ps = ParamStore::new();
+        let cfg = RankingEvalConfig { negatives: 20, max_seq: 6, ..Default::default() };
+        let acc = evaluate_ranking(&oracle, &ps, &split, &layout, &sampler, &cfg);
+        assert_eq!(acc.hr(5), 1.0);
+        assert_eq!(acc.ndcg(5), 1.0);
+    }
+
+    #[test]
+    fn anti_oracle_scores_zero() {
+        let (_, split, layout, sampler) = setup();
+        let answers: Vec<u32> = split.test.iter().map(|e| e.item).collect();
+        // positive gets the LOW score → always ranked last
+        let oracle = Oracle { answers, layout, hi: -10.0, lo: 0.0 };
+        let ps = ParamStore::new();
+        let cfg = RankingEvalConfig { negatives: 20, max_seq: 6, ..Default::default() };
+        let acc = evaluate_ranking(&oracle, &ps, &split, &layout, &sampler, &cfg);
+        assert_eq!(acc.hr(20), 0.0);
+    }
+
+    #[test]
+    fn ctr_oracle_reaches_auc_one() {
+        let (_, split, layout, sampler) = setup();
+        let answers: Vec<u32> = split.test.iter().map(|e| e.item).collect();
+        let oracle = Oracle { answers, layout, hi: 5.0, lo: -5.0 };
+        let ps = ParamStore::new();
+        let ev = evaluate_ctr(&oracle, &ps, &split, &layout, &sampler, 6, 1);
+        assert_eq!(ev.auc, 1.0);
+        assert!(ev.rmse < 0.05, "confident correct probabilities, rmse {}", ev.rmse);
+    }
+
+    #[test]
+    fn validation_and_test_splits_use_different_targets() {
+        let (_, split, layout, sampler) = setup();
+        // oracle keyed on VALIDATION items: perfect on valid, poor on test
+        let answers: Vec<u32> = split.valid.iter().map(|e| e.item).collect();
+        let oracle = Oracle { answers, layout, hi: 10.0, lo: 0.0 };
+        let ps = ParamStore::new();
+        let cfg = RankingEvalConfig { negatives: 20, max_seq: 6, ..Default::default() };
+        let on_valid =
+            evaluate_ranking_on(&oracle, &ps, &split, &layout, &sampler, &cfg, EvalSplit::Validation);
+        let on_test =
+            evaluate_ranking_on(&oracle, &ps, &split, &layout, &sampler, &cfg, EvalSplit::Test);
+        assert_eq!(on_valid.hr(5), 1.0);
+        assert!(on_test.hr(5) < 1.0, "test split must differ from validation");
+    }
+
+    #[test]
+    fn rating_offset_is_applied_and_clamped() {
+        let split = LeaveOneOut {
+            train: vec![
+                vec![Event { item: 0, time: 1, rating: 4.0 }],
+                vec![Event { item: 0, time: 1, rating: 2.0 }],
+            ],
+            valid: vec![
+                Event { item: 0, time: 2, rating: 4.0 },
+                Event { item: 0, time: 2, rating: 2.0 },
+            ],
+            // deliberately out-of-range truth to exercise clamping; two
+            // distinct values so RRSE's variance is non-zero
+            test: vec![
+                Event { item: 1, time: 3, rating: 9.0 },
+                Event { item: 1, time: 3, rating: 1.0 },
+            ],
+        };
+        // model always outputs 0 → prediction = offset, clamped to [1,5]
+        struct Zero;
+        impl SeqModel for Zero {
+            fn name(&self) -> &str {
+                "Zero"
+            }
+            fn forward(
+                &self,
+                g: &mut Graph,
+                _ps: &ParamStore,
+                batch: &seqfm_data::Batch,
+                _training: bool,
+                _rng: &mut StdRng,
+            ) -> Var {
+                g.input(Tensor::vector(vec![0.0; batch.len]))
+            }
+        }
+        let layout = FeatureLayout { n_users: 2, n_items: 2 };
+        let ps = ParamStore::new();
+        let ev = evaluate_rating(&Zero, &ps, &split, &layout, 4, 7.5);
+        // offset 7.5 clamps to 5.0 for both; |5-9| = 4 and |5-1| = 4 → MAE 4
+        assert!((ev.mae - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,301 @@
+//! Task-specific training loops (paper §IV).
+//!
+//! All three tasks share the same skeleton: enumerate training positions
+//! (user, prefix-length) pairs from the leave-one-out training split, build
+//! mini-batches of [`seqfm_data::Instance`]s, run a forward pass of any
+//! [`SeqModel`], apply the task loss, and step Adam (§IV-D).
+//!
+//! * ranking — BPR pairwise loss over (positive, sampled-negative) pairs
+//!   (Eq. 21);
+//! * CTR — log loss with `ctr_negatives` sampled negatives per positive
+//!   (Eq. 24, §IV-D uses 5);
+//! * rating — squared error (Eq. 26), no negative sampling.
+
+use crate::SeqModel;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use seqfm_autograd::{Graph, ParamStore};
+use seqfm_data::{build_instance, Batch, FeatureLayout, Instance, LeaveOneOut, NegativeSampler};
+use seqfm_nn::{Adam, Optimizer};
+use seqfm_tensor::Tensor;
+use std::time::Instant;
+
+/// Trainer configuration shared by all tasks.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Number of passes over the training positions.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 512 on GPU; smaller default for CPU).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 1e-4 at full scale; larger at small
+    /// scale — see EXPERIMENTS.md).
+    pub lr: f32,
+    /// Maximum dynamic sequence length n˙ fed to the models.
+    pub max_seq: usize,
+    /// Negatives per positive for CTR training (paper: 5).
+    pub ctr_negatives: usize,
+    /// RNG seed controlling shuffling, negative sampling, and dropout.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 10, batch_size: 128, lr: 3e-3, max_seq: 20, ctr_negatives: 5, seed: 42 }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Wall-clock seconds spent in the loop (Fig. 4 measurements).
+    pub seconds: f64,
+    /// Optimizer steps taken.
+    pub steps: usize,
+    /// Constant subtracted from regression targets during training (the
+    /// training-set mean rating); add it back to raw predictions. Zero for
+    /// ranking/CTR.
+    pub target_offset: f32,
+}
+
+impl TrainReport {
+    /// Loss of the final epoch.
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().expect("at least one epoch")
+    }
+}
+
+/// All (user, prefix_len) training positions with non-empty history.
+fn training_positions(split: &LeaveOneOut) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (u, seq) in split.train.iter().enumerate() {
+        for i in 1..seq.len() {
+            out.push((u, i));
+        }
+    }
+    out
+}
+
+fn history(split: &LeaveOneOut, u: usize, prefix: usize) -> Vec<u32> {
+    split.train[u][..prefix].iter().map(|e| e.item).collect()
+}
+
+/// Trains with the BPR pairwise ranking loss (Eq. 21):
+/// `L = −Σ log σ(ŷ⁺ − ŷ⁻)`, negatives drawn uniformly from items the user
+/// never interacted with.
+pub fn train_ranking(
+    model: &dyn SeqModel,
+    ps: &mut ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    sampler: &NegativeSampler,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    train_ranking_with_hook(model, ps, split, layout, sampler, cfg, |_, _| false)
+}
+
+/// [`train_ranking`] with an `after_epoch(epoch, ps) -> stop` hook — the
+/// harness uses it for validation-based early selection and early stopping
+/// (evaluate on the held-out validation events, checkpoint the best epoch,
+/// stop when the metric plateaus, restore the best afterwards). Returning
+/// `true` ends training after the current epoch.
+pub fn train_ranking_with_hook(
+    model: &dyn SeqModel,
+    ps: &mut ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    sampler: &NegativeSampler,
+    cfg: &TrainConfig,
+    mut after_epoch: impl FnMut(usize, &mut ParamStore) -> bool,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut positions = training_positions(split);
+    let start = Instant::now();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut steps = 0usize;
+
+    for _ in 0..cfg.epochs {
+        positions.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in positions.chunks(cfg.batch_size) {
+            let mut pos = Vec::with_capacity(chunk.len());
+            let mut neg = Vec::with_capacity(chunk.len());
+            for &(u, i) in chunk {
+                let hist = history(split, u, i);
+                let target = split.train[u][i].item;
+                let negative = sampler.sample(u, &mut rng);
+                pos.push(build_instance(layout, u as u32, target, &hist, cfg.max_seq, 1.0));
+                neg.push(build_instance(layout, u as u32, negative, &hist, cfg.max_seq, 0.0));
+            }
+            let pb = Batch::from_instances(&pos);
+            let nb = Batch::from_instances(&neg);
+            let mut g = Graph::new();
+            let y_pos = model.forward(&mut g, ps, &pb, true, &mut rng);
+            let y_neg = model.forward(&mut g, ps, &nb, true, &mut rng);
+            let diff = g.sub(y_pos, y_neg);
+            // −log σ(x) = softplus(−x)
+            let ndiff = g.neg(diff);
+            let per = g.softplus(ndiff);
+            let loss = g.mean_all(per);
+            epoch_loss += g.scalar_value(loss) as f64;
+            batches += 1;
+            ps.zero_grads();
+            g.backward(loss, ps);
+            opt.step(ps).expect("finite gradients");
+            steps += 1;
+        }
+        epoch_losses.push(epoch_loss / batches.max(1) as f64);
+        if after_epoch(epoch_losses.len() - 1, ps) {
+            break;
+        }
+    }
+    TrainReport { epoch_losses, seconds: start.elapsed().as_secs_f64(), steps, target_offset: 0.0 }
+}
+
+/// Trains with the binary log loss (Eq. 24), sampling
+/// [`TrainConfig::ctr_negatives`] unobserved items per positive (§IV-D).
+pub fn train_ctr(
+    model: &dyn SeqModel,
+    ps: &mut ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    sampler: &NegativeSampler,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    train_ctr_with_hook(model, ps, split, layout, sampler, cfg, |_, _| false)
+}
+
+/// [`train_ctr`] with an `after_epoch(epoch, ps) -> stop` hook (see
+/// [`train_ranking_with_hook`]).
+pub fn train_ctr_with_hook(
+    model: &dyn SeqModel,
+    ps: &mut ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    sampler: &NegativeSampler,
+    cfg: &TrainConfig,
+    mut after_epoch: impl FnMut(usize, &mut ParamStore) -> bool,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut positions = training_positions(split);
+    let start = Instant::now();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut steps = 0usize;
+    // keep the *instance* count per batch near batch_size
+    let group = 1 + cfg.ctr_negatives;
+    let positives_per_batch = (cfg.batch_size / group).max(1);
+
+    for _ in 0..cfg.epochs {
+        positions.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in positions.chunks(positives_per_batch) {
+            let mut insts: Vec<Instance> = Vec::with_capacity(chunk.len() * group);
+            for &(u, i) in chunk {
+                let hist = history(split, u, i);
+                let target = split.train[u][i].item;
+                insts.push(build_instance(layout, u as u32, target, &hist, cfg.max_seq, 1.0));
+                for _ in 0..cfg.ctr_negatives {
+                    let negative = sampler.sample(u, &mut rng);
+                    insts.push(build_instance(layout, u as u32, negative, &hist, cfg.max_seq, 0.0));
+                }
+            }
+            let batch = Batch::from_instances(&insts);
+            let mut g = Graph::new();
+            let logits = model.forward(&mut g, ps, &batch, true, &mut rng);
+            let per = g.bce_with_logits(logits, &batch.targets);
+            let loss = g.mean_all(per);
+            epoch_loss += g.scalar_value(loss) as f64;
+            batches += 1;
+            ps.zero_grads();
+            g.backward(loss, ps);
+            opt.step(ps).expect("finite gradients");
+            steps += 1;
+        }
+        epoch_losses.push(epoch_loss / batches.max(1) as f64);
+        if after_epoch(epoch_losses.len() - 1, ps) {
+            break;
+        }
+    }
+    TrainReport { epoch_losses, seconds: start.elapsed().as_secs_f64(), steps, target_offset: 0.0 }
+}
+
+/// Trains with the squared-error loss (Eq. 26); targets are the observed
+/// ratings, no negative sampling.
+///
+/// Targets are centred on the training-set mean rating (returned as
+/// [`TrainReport::target_offset`]) — equivalent to initialising the global
+/// bias at the mean, the standard warm start for rating predictors; without
+/// it Adam spends hundreds of steps dragging w₀ from 0 to ≈3.5.
+pub fn train_rating(
+    model: &dyn SeqModel,
+    ps: &mut ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    train_rating_with_hook(model, ps, split, layout, cfg, |_, _| false)
+}
+
+/// [`train_rating`] with an `after_epoch(epoch, ps) -> stop` hook (see
+/// [`train_ranking_with_hook`]).
+pub fn train_rating_with_hook(
+    model: &dyn SeqModel,
+    ps: &mut ParamStore,
+    split: &LeaveOneOut,
+    layout: &FeatureLayout,
+    cfg: &TrainConfig,
+    mut after_epoch: impl FnMut(usize, &mut ParamStore) -> bool,
+) -> TrainReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut positions = training_positions(split);
+    let start = Instant::now();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut steps = 0usize;
+    let offset = {
+        let (sum, count) = split.train.iter().flatten().fold((0.0f64, 0usize), |(s, c), e| {
+            (s + e.rating as f64, c + 1)
+        });
+        (sum / count.max(1) as f64) as f32
+    };
+
+    for _ in 0..cfg.epochs {
+        positions.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in positions.chunks(cfg.batch_size) {
+            let insts: Vec<Instance> = chunk
+                .iter()
+                .map(|&(u, i)| {
+                    let hist = history(split, u, i);
+                    let e = split.train[u][i];
+                    build_instance(layout, u as u32, e.item, &hist, cfg.max_seq, e.rating - offset)
+                })
+                .collect();
+            let batch = Batch::from_instances(&insts);
+            let mut g = Graph::new();
+            let pred = model.forward(&mut g, ps, &batch, true, &mut rng);
+            let targets = g.input(Tensor::vector(batch.targets.clone()));
+            let err = g.sub(pred, targets);
+            let sq = g.square(err);
+            let loss = g.mean_all(sq);
+            epoch_loss += g.scalar_value(loss) as f64;
+            batches += 1;
+            ps.zero_grads();
+            g.backward(loss, ps);
+            opt.step(ps).expect("finite gradients");
+            steps += 1;
+        }
+        epoch_losses.push(epoch_loss / batches.max(1) as f64);
+        if after_epoch(epoch_losses.len() - 1, ps) {
+            break;
+        }
+    }
+    TrainReport { epoch_losses, seconds: start.elapsed().as_secs_f64(), steps, target_offset: offset }
+}

@@ -1,0 +1,233 @@
+//! Shared machinery for the synthetic generators: Zipf popularity,
+//! categorical sampling, cluster assignment, preference vectors.
+
+use rand::Rng;
+
+/// Validation errors for generator configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Fewer items than clusters (every cluster needs at least one item).
+    TooFewItems {
+        /// Configured item count.
+        items: usize,
+        /// Configured cluster count.
+        clusters: usize,
+    },
+    /// `min_len` must be ≥ 3 (leave-one-out needs 3 events) and ≤ `max_len`.
+    BadLengths {
+        /// Configured minimum sequence length.
+        min: usize,
+        /// Configured maximum sequence length.
+        max: usize,
+    },
+    /// A probability-like field is outside `[0, 1]`.
+    BadProbability {
+        /// Field name.
+        field: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Users or items are zero.
+    Empty,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooFewItems { items, clusters } => {
+                write!(f, "{items} items cannot fill {clusters} clusters")
+            }
+            Self::BadLengths { min, max } => {
+                write!(f, "invalid sequence lengths: min {min}, max {max} (need 3 ≤ min ≤ max)")
+            }
+            Self::BadProbability { field, value } => {
+                write!(f, "{field} = {value} is not a probability")
+            }
+            Self::Empty => write!(f, "users and items must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates the fields shared by every generator config.
+pub fn validate_common(
+    n_users: usize,
+    n_items: usize,
+    n_clusters: usize,
+    min_len: usize,
+    max_len: usize,
+) -> Result<(), ConfigError> {
+    if n_users == 0 || n_items == 0 {
+        return Err(ConfigError::Empty);
+    }
+    if n_items < n_clusters || n_clusters == 0 {
+        return Err(ConfigError::TooFewItems { items: n_items, clusters: n_clusters });
+    }
+    if min_len < 3 || min_len > max_len {
+        return Err(ConfigError::BadLengths { min: min_len, max: max_len });
+    }
+    Ok(())
+}
+
+/// Checks a probability-like field.
+pub fn validate_prob(field: &'static str, value: f64) -> Result<(), ConfigError> {
+    if !(0.0..=1.0).contains(&value) || value.is_nan() {
+        return Err(ConfigError::BadProbability { field, value });
+    }
+    Ok(())
+}
+
+/// Assigns each of `n_items` to one of `n_clusters` clusters, guaranteeing
+/// every cluster is non-empty (first `n_clusters` items seed the clusters,
+/// the rest are assigned uniformly at random).
+pub fn assign_clusters<R: Rng + ?Sized>(rng: &mut R, n_items: usize, n_clusters: usize) -> Vec<u16> {
+    let mut cluster = Vec::with_capacity(n_items);
+    for i in 0..n_items {
+        if i < n_clusters {
+            cluster.push(i as u16);
+        } else {
+            cluster.push(rng.gen_range(0..n_clusters) as u16);
+        }
+    }
+    cluster
+}
+
+/// Inverts a cluster assignment into per-cluster item lists.
+pub fn cluster_members(cluster: &[u16], n_clusters: usize) -> Vec<Vec<u32>> {
+    let mut members = vec![Vec::new(); n_clusters];
+    for (i, &c) in cluster.iter().enumerate() {
+        members[c as usize].push(i as u32);
+    }
+    members
+}
+
+/// Cumulative distribution over `n` ranks with Zipf weights `1 / rank^s` —
+/// web-scale item popularity is famously heavy-tailed, and the paper's
+/// datasets (POI check-ins, clicks, Amazon ratings) all follow this shape.
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf over empty support");
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for rank in 1..=n {
+        acc += 1.0 / (rank as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Samples an index from a cumulative distribution.
+pub fn sample_cdf<R: Rng + ?Sized>(rng: &mut R, cdf: &[f64]) -> usize {
+    let u: f64 = rng.gen();
+    match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+        Ok(i) => i,
+        Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+/// Per-user cluster-preference distribution: softmax of `N(0, sharpness)`
+/// scores, returned as a CDF. Larger `sharpness` → more peaked interests.
+pub fn preference_cdf<R: Rng + ?Sized>(rng: &mut R, n_clusters: usize, sharpness: f64) -> Vec<f64> {
+    let logits: Vec<f64> = (0..n_clusters)
+        .map(|_| {
+            // Box–Muller standard normal
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sharpness
+        })
+        .collect();
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// Draws strictly-increasing integer timestamps for `n` events.
+pub fn timestamps<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<u32> {
+    let mut t = 0u32;
+    (0..n)
+        .map(|_| {
+            t += rng.gen_range(1..5u32);
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation_catches_all_errors() {
+        assert!(validate_common(0, 10, 2, 3, 5).is_err());
+        assert!(validate_common(5, 1, 2, 3, 5).is_err());
+        assert!(validate_common(5, 10, 2, 2, 5).is_err());
+        assert!(validate_common(5, 10, 2, 6, 5).is_err());
+        assert!(validate_common(5, 10, 2, 3, 5).is_ok());
+        assert!(validate_prob("p", 1.5).is_err());
+        assert!(validate_prob("p", f64::NAN).is_err());
+        assert!(validate_prob("p", 0.7).is_ok());
+    }
+
+    #[test]
+    fn clusters_are_complete_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = assign_clusters(&mut rng, 100, 8);
+        assert_eq!(c.len(), 100);
+        let members = cluster_members(&c, 8);
+        assert!(members.iter().all(|m| !m.is_empty()), "empty cluster");
+        assert_eq!(members.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn zipf_is_monotone_normalised_and_heavy_headed() {
+        let cdf = zipf_cdf(100, 1.1);
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+        // head rank carries far more mass than a tail rank
+        let p0 = cdf[0];
+        let p99 = cdf[99] - cdf[98];
+        assert!(p0 > 20.0 * p99, "head {p0} vs tail {p99}");
+    }
+
+    #[test]
+    fn cdf_sampling_matches_distribution_roughly() {
+        let cdf = vec![0.5, 0.75, 1.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sample_cdf(&mut rng, &cdf)] += 1;
+        }
+        assert!((counts[0] as f64 / 10_000.0 - 0.5).abs() < 0.03);
+        assert!((counts[1] as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+
+    #[test]
+    fn preference_cdf_is_valid_distribution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cdf = preference_cdf(&mut rng, 16, 1.5);
+        assert_eq!(cdf.len(), 16);
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = timestamps(&mut rng, 50);
+        assert!(t.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,112 @@
+//! Negative sampling.
+//!
+//! Ranking training draws corrupted items `v⁻` the user never interacted
+//! with (paper §IV-A); CTR training draws 5 negatives per positive (§IV-D);
+//! ranking evaluation mixes the ground truth with `J` sampled negatives
+//! (§V-C).
+
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Uniform negative sampler with per-user exclusion sets.
+pub struct NegativeSampler {
+    n_items: usize,
+    seen: Vec<HashSet<u32>>,
+}
+
+impl NegativeSampler {
+    /// Builds the sampler from per-user seen-item lists.
+    ///
+    /// # Panics
+    /// Panics if any user has seen every item (no negatives exist).
+    pub fn new(n_items: usize, seen_per_user: Vec<Vec<u32>>) -> Self {
+        let seen: Vec<HashSet<u32>> =
+            seen_per_user.into_iter().map(|v| v.into_iter().collect()).collect();
+        for (u, s) in seen.iter().enumerate() {
+            assert!(
+                s.len() < n_items,
+                "user {u} has interacted with all {n_items} items; cannot sample negatives"
+            );
+        }
+        NegativeSampler { n_items, seen }
+    }
+
+    /// Number of items in the universe.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// `true` if user `u` has interacted with `item`.
+    pub fn is_seen(&self, u: usize, item: u32) -> bool {
+        self.seen[u].contains(&item)
+    }
+
+    /// Samples one item user `u` has never interacted with.
+    pub fn sample<R: Rng + ?Sized>(&self, u: usize, rng: &mut R) -> u32 {
+        loop {
+            let cand = rng.gen_range(0..self.n_items) as u32;
+            if !self.seen[u].contains(&cand) {
+                return cand;
+            }
+        }
+    }
+
+    /// Samples `k` *distinct* negatives for user `u` (evaluation candidate
+    /// pools; paper uses J = 1000).
+    ///
+    /// # Panics
+    /// Panics if fewer than `k` unseen items exist.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, u: usize, k: usize, rng: &mut R) -> Vec<u32> {
+        let unseen = self.n_items - self.seen[u].len();
+        assert!(unseen >= k, "user {u}: requested {k} negatives but only {unseen} unseen items");
+        let mut out = HashSet::with_capacity(k);
+        while out.len() < k {
+            out.insert(self.sample(u, rng));
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_samples_seen_items() {
+        let sampler = NegativeSampler::new(10, vec![vec![0, 1, 2, 3, 4]]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sampler.sample(0, &mut rng);
+            assert!(s >= 5, "sampled seen item {s}");
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_is_distinct_and_unseen() {
+        let sampler = NegativeSampler::new(20, vec![vec![1, 3, 5]]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let negs = sampler.sample_distinct(0, 10, &mut rng);
+        assert_eq!(negs.len(), 10);
+        let set: HashSet<_> = negs.iter().collect();
+        assert_eq!(set.len(), 10, "duplicates in distinct sample");
+        for &n in &negs {
+            assert!(!sampler.is_seen(0, n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample negatives")]
+    fn rejects_saturated_users() {
+        let _ = NegativeSampler::new(3, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn distinct_requires_enough_items() {
+        let sampler = NegativeSampler::new(5, vec![vec![0, 1]]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = sampler.sample_distinct(0, 4, &mut rng);
+    }
+}

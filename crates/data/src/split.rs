@@ -1,0 +1,115 @@
+//! Leave-one-out chronological splitting (paper §V-C).
+//!
+//! "Within each user's transaction, we hold out her/his last record as the
+//! ground truth for test and the second last record for validation. All the
+//! rest records are used to train the models."
+
+use crate::common::{Dataset, Event};
+
+/// Per-user leave-one-out split.
+#[derive(Clone, Debug)]
+pub struct LeaveOneOut {
+    /// Training prefix per user (everything but the last two events).
+    pub train: Vec<Vec<Event>>,
+    /// Validation event per user (second-to-last).
+    pub valid: Vec<Event>,
+    /// Test event per user (last).
+    pub test: Vec<Event>,
+}
+
+impl LeaveOneOut {
+    /// Splits a dataset. Every user must have at least 3 events (the
+    /// generators guarantee this; real datasets are filtered the same way in
+    /// the paper — users with < 10 interactions are dropped).
+    ///
+    /// # Panics
+    /// Panics if any user has fewer than 3 events.
+    pub fn split(ds: &Dataset) -> Self {
+        let mut train = Vec::with_capacity(ds.n_users);
+        let mut valid = Vec::with_capacity(ds.n_users);
+        let mut test = Vec::with_capacity(ds.n_users);
+        for (u, seq) in ds.per_user.iter().enumerate() {
+            assert!(seq.len() >= 3, "user {u} has {} events; leave-one-out needs ≥ 3", seq.len());
+            let n = seq.len();
+            train.push(seq[..n - 2].to_vec());
+            valid.push(seq[n - 2]);
+            test.push(seq[n - 1]);
+        }
+        LeaveOneOut { train, valid, test }
+    }
+
+    /// History visible when predicting the *validation* event of user `u`
+    /// (their training prefix).
+    pub fn history_for_valid(&self, u: usize) -> Vec<u32> {
+        self.train[u].iter().map(|e| e.item).collect()
+    }
+
+    /// History visible when predicting the *test* event of user `u`
+    /// (training prefix + validation event — temporal causality preserved).
+    pub fn history_for_test(&self, u: usize) -> Vec<u32> {
+        let mut h = self.history_for_valid(u);
+        h.push(self.valid[u].item);
+        h
+    }
+
+    /// Items the user has interacted with anywhere (train ∪ valid ∪ test) —
+    /// the exclusion set for negative sampling.
+    pub fn seen_items(&self, u: usize) -> Vec<u32> {
+        let mut s: Vec<u32> = self.train[u].iter().map(|e| e.item).collect();
+        s.push(self.valid[u].item);
+        s.push(self.test[u].item);
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset {
+            name: "t".into(),
+            n_users: 1,
+            n_items: 5,
+            item_cluster: vec![0; 5],
+            per_user: vec![vec![
+                Event { item: 0, time: 1, rating: 1.0 },
+                Event { item: 1, time: 2, rating: 1.0 },
+                Event { item: 2, time: 3, rating: 1.0 },
+                Event { item: 3, time: 4, rating: 1.0 },
+            ]],
+        }
+    }
+
+    #[test]
+    fn holds_out_last_two() {
+        let s = LeaveOneOut::split(&ds());
+        assert_eq!(s.train[0].len(), 2);
+        assert_eq!(s.valid[0].item, 2);
+        assert_eq!(s.test[0].item, 3);
+    }
+
+    #[test]
+    fn histories_respect_causality() {
+        let s = LeaveOneOut::split(&ds());
+        assert_eq!(s.history_for_valid(0), vec![0, 1]);
+        // test prediction may additionally see the validation event
+        assert_eq!(s.history_for_test(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn seen_items_cover_all_splits() {
+        let s = LeaveOneOut::split(&ds());
+        assert_eq!(s.seen_items(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 3")]
+    fn rejects_short_users() {
+        let mut d = ds();
+        d.per_user[0].truncate(2);
+        let _ = LeaveOneOut::split(&d);
+    }
+}

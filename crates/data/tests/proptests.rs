@@ -1,0 +1,109 @@
+//! Property-based tests of the dataset generators and protocol machinery
+//! under randomly drawn (valid) configurations.
+
+use proptest::prelude::*;
+use seqfm_data::{build_instance, FeatureLayout, LeaveOneOut, NegativeSampler, PAD};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any valid ranking config yields a dataset satisfying all invariants,
+    /// and its leave-one-out split preserves event counts.
+    #[test]
+    fn ranking_generator_invariants(
+        n_users in 5usize..30,
+        n_items in 30usize..80,
+        n_clusters in 2usize..8,
+        p_trans in 0.0f64..0.4,
+        p_recent in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let cfg = seqfm_data::ranking::RankingConfig {
+            name: "prop".into(),
+            n_users,
+            n_items,
+            n_clusters,
+            min_len: 5,
+            max_len: 12,
+            p_transition: p_trans,
+            p_recent,
+            drift_every: 6,
+            zipf_s: 1.0,
+            pref_sharpness: 1.0,
+            seed,
+        };
+        let ds = seqfm_data::ranking::generate(&cfg).expect("valid config");
+        ds.validate(5);
+        let total = ds.n_instances();
+        let split = LeaveOneOut::split(&ds);
+        let split_total: usize = split.train.iter().map(Vec::len).sum::<usize>()
+            + split.valid.len()
+            + split.test.len();
+        prop_assert_eq!(total, split_total);
+        // causality: every train timestamp precedes the valid and test ones
+        for u in 0..n_users {
+            for e in &split.train[u] {
+                prop_assert!(e.time < split.valid[u].time);
+            }
+            prop_assert!(split.valid[u].time < split.test[u].time);
+        }
+    }
+
+    /// CTR and rating generators also uphold invariants for random seeds.
+    #[test]
+    fn other_generators_invariants(seed in 0u64..500) {
+        let mut ctr = seqfm_data::ctr::CtrConfig::trivago(seqfm_data::Scale::Small);
+        ctr.n_users = 15;
+        ctr.n_items = 50;
+        ctr.n_clusters = 5;
+        ctr.seed = seed;
+        seqfm_data::ctr::generate(&ctr).expect("valid").validate(3);
+
+        let mut rat = seqfm_data::rating::RatingConfig::toys(seqfm_data::Scale::Small);
+        rat.n_users = 15;
+        rat.n_items = 50;
+        rat.n_clusters = 5;
+        rat.seed = seed;
+        let ds = seqfm_data::rating::generate(&rat).expect("valid");
+        ds.validate(3);
+        for seq in &ds.per_user {
+            for e in seq {
+                prop_assert!((1.0..=5.0).contains(&e.rating));
+            }
+        }
+    }
+
+    /// build_instance always produces a fixed-width, front-padded window.
+    #[test]
+    fn instance_window_invariants(
+        hist in proptest::collection::vec(0u32..50, 0..40),
+        max_seq in 1usize..30,
+    ) {
+        let layout = FeatureLayout { n_users: 10, n_items: 50 };
+        let inst = build_instance(&layout, 3, 7, &hist, max_seq, 1.0);
+        prop_assert_eq!(inst.dyn_idx.len(), max_seq);
+        // padding is a strict prefix
+        let pad_len = inst.dyn_idx.iter().take_while(|&&i| i == PAD).count();
+        prop_assert!(inst.dyn_idx[pad_len..].iter().all(|&i| i != PAD));
+        // suffix equals the most recent history
+        let take = hist.len().min(max_seq);
+        let expected: Vec<i64> = hist[hist.len() - take..].iter().map(|&i| i as i64).collect();
+        prop_assert_eq!(&inst.dyn_idx[max_seq - take..], &expected[..]);
+    }
+
+    /// The negative sampler never emits a seen item, for arbitrary seen sets.
+    #[test]
+    fn sampler_never_emits_seen(
+        seen in proptest::collection::btree_set(0u32..40, 0..30),
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let seen: Vec<u32> = seen.into_iter().collect();
+        let sampler = NegativeSampler::new(50, vec![seen.clone()]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let s = sampler.sample(0, &mut rng);
+            prop_assert!(!seen.contains(&s));
+        }
+    }
+}

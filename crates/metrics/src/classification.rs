@@ -1,0 +1,150 @@
+//! Classification metrics: AUC and RMSE over probabilities (paper §V-C,
+//! Table III), plus log-loss for training diagnostics.
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney U) formulation.
+/// Ties receive half credit. Returns 0.5 when either class is empty.
+///
+/// # Panics
+/// Panics if `scores.len() != labels.len()`.
+pub fn auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    // average ranks, handling ties
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0; // 1-based
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let rank_sum_pos: f64 = ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(&r, _)| r).sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Root mean squared error between predicted probabilities and 0/1 labels —
+/// the paper pairs AUC with RMSE for CTR (Table III, following NFM/AFM).
+///
+/// # Panics
+/// Panics if lengths differ or inputs are empty.
+pub fn rmse_binary(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "probs/labels length mismatch");
+    assert!(!probs.is_empty(), "empty input");
+    let sse: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| {
+            let t = if l { 1.0 } else { 0.0 };
+            let e = p as f64 - t;
+            e * e
+        })
+        .sum();
+    (sse / probs.len() as f64).sqrt()
+}
+
+/// Mean binary log-loss (cross-entropy, Eq. 24) with probability clamping.
+///
+/// # Panics
+/// Panics if lengths differ or inputs are empty.
+pub fn log_loss(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "probs/labels length mismatch");
+    assert!(!probs.is_empty(), "empty input");
+    let eps = 1e-7f64;
+    let sum: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| {
+            let p = (p as f64).clamp(eps, 1.0 - eps);
+            if l {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    sum / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn auc_hand_checked() {
+        // perfect separation
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &[false, false, true, true]), 1.0);
+        // perfectly wrong
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &[false, false, true, true]), 0.0);
+        // positives {0.6, 0.45} vs negatives {0.4, 0.5}: 3 of 4 pairs correct
+        assert!((auc(&[0.4, 0.6, 0.5, 0.45], &[false, true, false, true]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_ties_get_half_credit() {
+        let a = auc(&[0.5, 0.5], &[true, false]);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_classes() {
+        assert_eq!(auc(&[0.3, 0.4], &[true, true]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn rmse_and_logloss_hand_checked() {
+        let probs = [1.0f32, 0.0, 0.5];
+        let labels = [true, false, false];
+        assert!((rmse_binary(&probs, &labels) - (0.25f64 / 3.0).sqrt()).abs() < 1e-9);
+        let ll = log_loss(&[0.5, 0.5], &[true, false]);
+        assert!((ll - std::f64::consts::LN_2).abs() < 1e-6);
+    }
+
+    proptest! {
+        /// AUC is invariant to strictly monotone score transforms.
+        #[test]
+        fn auc_monotone_invariant(
+            scores in proptest::collection::vec(-3.0f32..3.0, 2..60),
+            flags in proptest::collection::vec(any::<bool>(), 2..60),
+        ) {
+            let n = scores.len().min(flags.len());
+            let s = &scores[..n];
+            let l = &flags[..n];
+            let base = auc(s, l);
+            let mapped: Vec<f32> = s.iter().map(|&x| x * 0.5 + 2.0).collect();
+            prop_assert!((base - auc(&mapped, l)).abs() < 1e-9);
+        }
+
+        /// AUC is bounded and flipping all scores mirrors it around 0.5.
+        #[test]
+        fn auc_bounds_and_symmetry(
+            scores in proptest::collection::vec(-3.0f32..3.0, 2..60),
+            flags in proptest::collection::vec(any::<bool>(), 2..60),
+        ) {
+            let n = scores.len().min(flags.len());
+            let s = &scores[..n];
+            let l = &flags[..n];
+            let a = auc(s, l);
+            prop_assert!((0.0..=1.0).contains(&a));
+            let neg: Vec<f32> = s.iter().map(|&x| -x).collect();
+            let b = auc(&neg, l);
+            let n_pos = l.iter().filter(|&&x| x).count();
+            if n_pos > 0 && n_pos < n {
+                prop_assert!((a + b - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

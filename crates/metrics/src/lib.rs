@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # seqfm-metrics
+//!
+//! Evaluation metrics for the three SeqFM task families (paper §V-C):
+//!
+//! * [`ranking`] — HR@K and NDCG@K under the sampled-negative leave-one-out
+//!   protocol (Eq. 27);
+//! * [`classification`] — AUC (rank-sum with tie handling) and RMSE over
+//!   predicted probabilities;
+//! * [`regression`] — MAE and RRSE (Eq. 28), plus RMSE.
+//!
+//! All metrics accumulate in `f64` regardless of the `f32` model outputs.
+
+pub mod classification;
+pub mod ranking;
+pub mod regression;
+
+pub use classification::{auc, log_loss, rmse_binary};
+pub use ranking::{rank_of_positive, RankingAccumulator};
+pub use regression::{mae, rmse, rrse};

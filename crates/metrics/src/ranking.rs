@@ -1,0 +1,158 @@
+//! Ranking metrics: HR@K and NDCG@K (paper Eq. 27).
+//!
+//! The paper's protocol: for each test instance, mix the ground-truth item
+//! with `J` sampled negatives, rank all `J+1` candidates, then measure
+//! whether the positive lands in the top-K (HR) and how high (NDCG).
+
+/// 0-based rank of the positive among `1 + negatives` candidates: the number
+/// of negative scores strictly greater than `pos_score`, with ties counted
+/// as losses (pessimistic, deterministic — a model scoring everything
+/// equally gets no credit).
+pub fn rank_of_positive(pos_score: f32, neg_scores: &[f32]) -> usize {
+    neg_scores.iter().filter(|&&s| s >= pos_score).count()
+}
+
+/// Accumulator over test cases for HR@K / NDCG@K at several cutoffs.
+#[derive(Clone, Debug)]
+pub struct RankingAccumulator {
+    ks: Vec<usize>,
+    hits: Vec<usize>,
+    ndcg: Vec<f64>,
+    cases: usize,
+}
+
+impl RankingAccumulator {
+    /// Accumulator for the given cutoffs (e.g. `[5, 10, 20]`).
+    ///
+    /// # Panics
+    /// Panics if `ks` is empty or contains 0.
+    pub fn new(ks: &[usize]) -> Self {
+        assert!(!ks.is_empty(), "need at least one cutoff");
+        assert!(ks.iter().all(|&k| k > 0), "cutoffs must be positive");
+        RankingAccumulator { ks: ks.to_vec(), hits: vec![0; ks.len()], ndcg: vec![0.0; ks.len()], cases: 0 }
+    }
+
+    /// Records one test case given the positive's 0-based rank.
+    ///
+    /// HR@K counts `rank < K`; NDCG@K adds `1/log₂(rank+2)` when it hits
+    /// (ideal DCG is 1 because there is a single relevant item — Eq. 27).
+    pub fn record(&mut self, rank: usize) {
+        self.cases += 1;
+        for (i, &k) in self.ks.iter().enumerate() {
+            if rank < k {
+                self.hits[i] += 1;
+                self.ndcg[i] += 1.0 / ((rank as f64) + 2.0).log2();
+            }
+        }
+    }
+
+    /// Convenience: records a case from raw scores.
+    pub fn record_scores(&mut self, pos_score: f32, neg_scores: &[f32]) {
+        self.record(rank_of_positive(pos_score, neg_scores));
+    }
+
+    /// Number of recorded cases.
+    pub fn cases(&self) -> usize {
+        self.cases
+    }
+
+    /// `HR@k` for a cutoff previously passed to [`Self::new`].
+    ///
+    /// # Panics
+    /// Panics if `k` was not configured.
+    pub fn hr(&self, k: usize) -> f64 {
+        let i = self.index(k);
+        self.hits[i] as f64 / self.cases.max(1) as f64
+    }
+
+    /// `NDCG@k` for a configured cutoff.
+    ///
+    /// # Panics
+    /// Panics if `k` was not configured.
+    pub fn ndcg(&self, k: usize) -> f64 {
+        let i = self.index(k);
+        self.ndcg[i] / self.cases.max(1) as f64
+    }
+
+    fn index(&self, k: usize) -> usize {
+        self.ks
+            .iter()
+            .position(|&kk| kk == k)
+            .unwrap_or_else(|| panic!("cutoff {k} not configured (have {:?})", self.ks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rank_counts_strictly_better_negatives() {
+        assert_eq!(rank_of_positive(0.9, &[0.1, 0.5, 0.95]), 1);
+        assert_eq!(rank_of_positive(1.0, &[0.1, 0.5]), 0);
+        assert_eq!(rank_of_positive(0.0, &[0.1, 0.5]), 2);
+        // ties count against the model
+        assert_eq!(rank_of_positive(0.5, &[0.5, 0.4]), 1);
+    }
+
+    #[test]
+    fn hand_checked_hr_and_ndcg() {
+        let mut acc = RankingAccumulator::new(&[1, 5]);
+        acc.record(0); // hit@1: ndcg 1/log2(2) = 1
+        acc.record(3); // miss@1, hit@5: ndcg 1/log2(5)
+        acc.record(9); // miss both
+        assert!((acc.hr(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((acc.hr(5) - 2.0 / 3.0).abs() < 1e-12);
+        let expect_ndcg5 = (1.0 + 1.0 / 5.0f64.log2()) / 3.0;
+        assert!((acc.ndcg(5) - expect_ndcg5).abs() < 1e-12);
+        assert_eq!(acc.cases(), 3);
+    }
+
+    #[test]
+    fn perfect_ranker_scores_one() {
+        let mut acc = RankingAccumulator::new(&[5, 10]);
+        for _ in 0..10 {
+            acc.record(0);
+        }
+        assert_eq!(acc.hr(5), 1.0);
+        assert_eq!(acc.ndcg(10), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not configured")]
+    fn unknown_cutoff_panics() {
+        let acc = RankingAccumulator::new(&[5]);
+        let _ = acc.hr(10);
+    }
+
+    proptest! {
+        /// HR@K is monotone in K and NDCG ≤ HR.
+        #[test]
+        fn hr_monotone_ndcg_bounded(ranks in proptest::collection::vec(0usize..50, 1..100)) {
+            let mut acc = RankingAccumulator::new(&[5, 10, 20]);
+            for r in &ranks {
+                acc.record(*r);
+            }
+            prop_assert!(acc.hr(5) <= acc.hr(10) + 1e-12);
+            prop_assert!(acc.hr(10) <= acc.hr(20) + 1e-12);
+            for k in [5usize, 10, 20] {
+                prop_assert!(acc.ndcg(k) <= acc.hr(k) + 1e-12);
+                prop_assert!(acc.ndcg(k) >= 0.0 && acc.hr(k) <= 1.0);
+            }
+        }
+
+        /// Rank is invariant under any strictly-increasing transform of the
+        /// scores.
+        #[test]
+        fn rank_invariant_to_monotone_transform(
+            pos in -5.0f32..5.0,
+            negs in proptest::collection::vec(-5.0f32..5.0, 0..40),
+        ) {
+            let base = rank_of_positive(pos, &negs);
+            let f = |x: f32| 2.5 * x + 1.0;
+            let mapped: Vec<f32> = negs.iter().map(|&x| f(x)).collect();
+            prop_assert_eq!(base, rank_of_positive(f(pos), &mapped));
+        }
+    }
+}

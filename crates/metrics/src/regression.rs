@@ -1,0 +1,124 @@
+//! Regression metrics: MAE and RRSE (paper Eq. 28, Table IV), plus RMSE.
+
+/// Mean absolute error.
+///
+/// # Panics
+/// Panics if lengths differ or inputs are empty.
+pub fn mae(pred: &[f32], truth: &[f32]) -> f64 {
+    check(pred, truth);
+    pred.iter().zip(truth).map(|(&p, &t)| (p as f64 - t as f64).abs()).sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+/// Panics if lengths differ or inputs are empty.
+pub fn rmse(pred: &[f32], truth: &[f32]) -> f64 {
+    check(pred, truth);
+    let sse: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let e = p as f64 - t as f64;
+            e * e
+        })
+        .sum();
+    (sse / pred.len() as f64).sqrt()
+}
+
+/// Root relative squared error (paper Eq. 28):
+/// `√( Σ(ŷ−y)² / (|S|·Var(y)) )` — squared error normalised by the variance
+/// of the ground truth, so 1.0 matches the predict-the-mean baseline.
+///
+/// # Panics
+/// Panics if lengths differ, inputs are empty, or the truth is constant
+/// (zero variance).
+pub fn rrse(pred: &[f32], truth: &[f32]) -> f64 {
+    check(pred, truth);
+    let n = truth.len() as f64;
+    let mean = truth.iter().map(|&t| t as f64).sum::<f64>() / n;
+    let var = truth.iter().map(|&t| (t as f64 - mean) * (t as f64 - mean)).sum::<f64>() / n;
+    assert!(var > 0.0, "RRSE undefined for constant ground truth");
+    let sse: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let e = p as f64 - t as f64;
+            e * e
+        })
+        .sum();
+    (sse / (n * var)).sqrt()
+}
+
+fn check(pred: &[f32], truth: &[f32]) {
+    assert_eq!(pred.len(), truth.len(), "pred/truth length mismatch");
+    assert!(!pred.is_empty(), "empty input");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hand_checked_values() {
+        let pred = [3.0f32, 5.0, 1.0];
+        let truth = [2.0f32, 5.0, 3.0];
+        assert!((mae(&pred, &truth) - 1.0).abs() < 1e-9);
+        assert!((rmse(&pred, &truth) - (5.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_prediction_is_zero() {
+        let t = [1.0f32, 2.0, 3.0];
+        assert_eq!(mae(&t, &t), 0.0);
+        assert_eq!(rmse(&t, &t), 0.0);
+        assert_eq!(rrse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn mean_predictor_has_rrse_one() {
+        let truth = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let mean = truth.iter().sum::<f32>() / 5.0;
+        let pred = [mean; 5];
+        assert!((rrse(&pred, &truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant ground truth")]
+    fn rrse_rejects_constant_truth() {
+        let _ = rrse(&[1.0, 2.0], &[3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_checked() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        /// MAE ≤ RMSE (Jensen) and both are non-negative.
+        #[test]
+        fn mae_bounded_by_rmse(
+            pred in proptest::collection::vec(-10.0f32..10.0, 1..50),
+            truth in proptest::collection::vec(-10.0f32..10.0, 1..50),
+        ) {
+            let n = pred.len().min(truth.len());
+            let p = &pred[..n];
+            let t = &truth[..n];
+            prop_assert!(mae(p, t) <= rmse(p, t) + 1e-9);
+            prop_assert!(mae(p, t) >= 0.0);
+        }
+
+        /// RRSE scales correctly: predicting the truth's mean gives exactly 1.
+        #[test]
+        fn rrse_of_mean_is_one(truth in proptest::collection::vec(-10.0f32..10.0, 3..50)) {
+            let mean = truth.iter().sum::<f32>() / truth.len() as f32;
+            let spread: f32 = truth.iter().map(|&t| (t - mean).abs()).sum();
+            prop_assume!(spread > 1e-3);
+            let pred = vec![mean; truth.len()];
+            prop_assert!((rrse(&pred, &truth) - 1.0).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Binary model checkpoints.
+//!
+//! Serialises every parameter value of a [`ParamStore`] into a compact,
+//! versioned binary blob (via the `bytes` crate) and restores it by parameter
+//! name with shape verification. Optimizer state is deliberately not
+//! persisted — checkpoints are for inference and experiment reproducibility,
+//! matching what the paper's released code shipped.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use seqfm_autograd::ParamStore;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"SQFM";
+const VERSION: u16 = 1;
+
+/// Errors produced while decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Blob does not start with the `SQFM` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Blob ended unexpectedly.
+    Truncated,
+    /// Checkpoint contains a parameter the store does not know.
+    UnknownParam(String),
+    /// Shape on disk disagrees with the registered parameter.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Element count in the blob.
+        stored: usize,
+        /// Element count registered in the store.
+        expected: usize,
+    },
+    /// Store has parameters the checkpoint lacks.
+    MissingParams(usize),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a SeqFM checkpoint (bad magic)"),
+            Self::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            Self::Truncated => write!(f, "checkpoint truncated"),
+            Self::UnknownParam(n) => write!(f, "checkpoint has unknown parameter `{n}`"),
+            Self::ShapeMismatch { name, stored, expected } => {
+                write!(f, "parameter `{name}`: {stored} elements stored, {expected} expected")
+            }
+            Self::MissingParams(n) => write!(f, "checkpoint is missing {n} parameter(s)"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Encodes all parameter values.
+pub fn save(ps: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + ps.total_elems() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(ps.len() as u32);
+    for (_, p) in ps.iter() {
+        let name = p.name().as_bytes();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        buf.put_u32_le(p.value().numel() as u32);
+        for &v in p.value().data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores parameter values by name.
+///
+/// Every parameter present in the blob must exist in the store with a
+/// matching element count, and every store parameter must appear in the blob.
+///
+/// # Errors
+/// See [`CheckpointError`].
+pub fn load(ps: &mut ParamStore, blob: &[u8]) -> Result<(), CheckpointError> {
+    let mut buf = blob;
+    if buf.remaining() < 10 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut restored = 0usize;
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return Err(CheckpointError::Truncated);
+        }
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let name = String::from_utf8_lossy(&buf[..name_len]).into_owned();
+        buf.advance(name_len);
+        let numel = buf.get_u32_le() as usize;
+        if buf.remaining() < numel * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let id = ps
+            .id_of(&name)
+            .ok_or_else(|| CheckpointError::UnknownParam(name.clone()))?;
+        let expected = ps.value(id).numel();
+        if expected != numel {
+            return Err(CheckpointError::ShapeMismatch { name, stored: numel, expected });
+        }
+        for v in ps.value_mut(id).data_mut() {
+            *v = buf.get_f32_le();
+        }
+        restored += 1;
+    }
+    if restored < ps.len() {
+        return Err(CheckpointError::MissingParams(ps.len() - restored));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqfm_tensor::{Shape, Tensor};
+
+    fn sample_store() -> ParamStore {
+        let mut ps = ParamStore::new();
+        ps.add_dense("w", Tensor::from_vec(Shape::d2(2, 2), vec![1.0, -2.0, 3.5, 0.25]));
+        ps.add_sparse("emb", Tensor::from_vec(Shape::d2(3, 2), vec![0.1; 6]));
+        ps
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_values() {
+        let ps = sample_store();
+        let blob = save(&ps);
+        let mut fresh = sample_store();
+        // scramble
+        for id in fresh.ids() {
+            for v in fresh.value_mut(id).data_mut() {
+                *v = 99.0;
+            }
+        }
+        load(&mut fresh, &blob).expect("roundtrip");
+        for ((_, a), (_, b)) in ps.iter().zip(fresh.iter()) {
+            assert_eq!(a.value().data(), b.value().data());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut ps = sample_store();
+        assert_eq!(load(&mut ps, b"nope"), Err(CheckpointError::Truncated));
+        assert_eq!(load(&mut ps, b"NOPE------"), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncated_blob() {
+        let ps = sample_store();
+        let blob = save(&ps);
+        let mut fresh = sample_store();
+        let cut = &blob[..blob.len() - 3];
+        assert_eq!(load(&mut fresh, cut), Err(CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let ps = sample_store();
+        let blob = save(&ps);
+        let mut other = ParamStore::new();
+        other.add_dense("w", Tensor::zeros(Shape::d2(2, 3))); // 6 elems, not 4
+        other.add_sparse("emb", Tensor::zeros(Shape::d2(3, 2)));
+        match load(&mut other, &blob) {
+            Err(CheckpointError::ShapeMismatch { name, stored, expected }) => {
+                assert_eq!(name, "w");
+                assert_eq!(stored, 4);
+                assert_eq!(expected, 6);
+            }
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing_params() {
+        let ps = sample_store();
+        let blob = save(&ps);
+        // Store without `emb`: first decoded param `w` works, `emb` unknown.
+        let mut partial = ParamStore::new();
+        partial.add_dense("w", Tensor::zeros(Shape::d2(2, 2)));
+        assert_eq!(load(&mut partial, &blob), Err(CheckpointError::UnknownParam("emb".into())));
+        // Store with an extra parameter: blob is missing it.
+        let mut extra = sample_store();
+        extra.add_dense("extra", Tensor::zeros(Shape::d1(1)));
+        assert_eq!(load(&mut extra, &blob), Err(CheckpointError::MissingParams(1)));
+    }
+}

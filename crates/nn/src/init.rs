@@ -1,0 +1,92 @@
+//! Weight initializers.
+//!
+//! `rand_distr` is not available offline, so the normal sampler is a
+//! hand-rolled Box–Muller transform; everything is seeded through the caller's
+//! RNG so experiments stay fully deterministic.
+
+use rand::Rng;
+use seqfm_tensor::{Shape, Tensor};
+
+/// Uniform initialisation in `[lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: Shape, lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform: lo {lo} must be < hi {hi}");
+    let data = (0..shape.numel()).map(|_| rng.gen::<f32>() * (hi - lo) + lo).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Zero-mean Gaussian initialisation with standard deviation `std`
+/// (Box–Muller).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, shape: Shape, std: f32) -> Tensor {
+    assert!(std >= 0.0, "normal: std must be non-negative, got {std}");
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen::<f32>().max(1e-12);
+        let u2: f32 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` weight
+/// matrix: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, Shape::d2(fan_in, fan_out), -limit, limit)
+}
+
+/// Embedding-table initialisation: `N(0, 1/√d)` over `[rows, d]` — small
+/// enough that initial FM interaction terms start near zero, as is standard
+/// for factorization models.
+pub fn embedding<R: Rng + ?Sized>(rng: &mut R, rows: usize, d: usize) -> Tensor {
+    normal(rng, Shape::d2(rows, d), 1.0 / (d as f32).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        let a = uniform(&mut r1, Shape::d2(10, 10), -0.5, 0.5);
+        let b = uniform(&mut r2, Shape::d2(10, 10), -0.5, 0.5);
+        assert_eq!(a.data(), b.data());
+        assert!(a.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(&mut rng, Shape::d2(100, 100), 2.0);
+        let mean = t.mean();
+        let var =
+            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_limit_scales_with_fans() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = xavier_uniform(&mut rng, 8, 8);
+        let limit = (6.0f32 / 16.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= limit));
+        assert_eq!(t.shape(), Shape::d2(8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be <")]
+    fn uniform_validates_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = uniform(&mut rng, Shape::d1(2), 1.0, 1.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Optimizers: SGD and Adam (with lazy sparse-row updates for embeddings).
+//!
+//! The paper trains every task with mini-batch Adam (§IV-D). Embedding tables
+//! receive gradients only on rows touched by the current batch
+//! ([`seqfm_autograd::ParamStore`] tracks these), so Adam applies *lazy*
+//! updates: moment decay and the parameter step are performed only on touched
+//! rows, as in TensorFlow's `LazyAdamOptimizer`. This keeps a training step
+//! O(batch · d) instead of O(vocabulary · d).
+
+use seqfm_autograd::{ParamKind, ParamStore};
+use seqfm_tensor::Tensor;
+use std::fmt;
+
+/// Error raised when a gradient contains NaN/±∞ — stepping on such a gradient
+/// would silently poison every parameter it touches.
+#[derive(Debug, Clone)]
+pub struct NonFiniteGradError {
+    /// Name of the offending parameter.
+    pub param: String,
+}
+
+impl fmt::Display for NonFiniteGradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "non-finite gradient in parameter `{}`", self.param)
+    }
+}
+
+impl std::error::Error for NonFiniteGradError {}
+
+/// Common interface: consume the store's accumulated gradients and update
+/// parameter values in place. Implementations must **not** zero gradients —
+/// the training loop owns that (`ParamStore::zero_grads`).
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// # Errors
+    /// Returns [`NonFiniteGradError`] (without updating anything else) if any
+    /// gradient is NaN/±∞.
+    fn step(&mut self, ps: &mut ParamStore) -> Result<(), NonFiniteGradError>;
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Clips the global gradient norm to `max_norm` (in place), returning the
+/// pre-clip norm. Standard stabiliser for recurrent baselines (RRN) whose
+/// unrolled gradients can spike on long sequences.
+pub fn clip_grad_norm(ps: &mut ParamStore, max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive, got {max_norm}");
+    let norm = ps.grad_sq_norm().sqrt();
+    if norm > max_norm {
+        let scale = (max_norm / norm) as f32;
+        for id in ps.ids() {
+            // scaling the gradient in place via the accumulation API keeps
+            // sparse touched-row bookkeeping intact
+            let (_, grad) = ps.value_grad_mut(id);
+            let scaled: Vec<f32> = grad.data().iter().map(|&g| g * (scale - 1.0)).collect();
+            let shape = grad.shape();
+            ps.accumulate_dense(id, &seqfm_tensor::Tensor::from_vec(shape, scaled));
+        }
+    }
+    norm
+}
+
+/// Learning-rate schedules, applied between epochs by the training loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative factor per decay (0 < gamma ≤ 1).
+        gamma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `epoch` given the initial rate.
+    pub fn at(&self, initial: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => initial,
+            LrSchedule::StepDecay { every, gamma } => {
+                assert!(every > 0, "decay interval must be positive");
+                assert!((0.0..=1.0).contains(&gamma), "gamma must be in (0,1]");
+                initial * gamma.powi((epoch / every) as i32)
+            }
+        }
+    }
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    pub fn apply(&self, opt: &mut dyn Optimizer, initial: f32, epoch: usize) {
+        opt.set_learning_rate(self.at(initial, epoch));
+    }
+}
+
+fn check_finite(ps: &ParamStore) -> Result<(), NonFiniteGradError> {
+    for (_, p) in ps.iter() {
+        if p.grad().has_non_finite() {
+            return Err(NonFiniteGradError { param: p.name().to_string() });
+        }
+    }
+    Ok(())
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr·∇θ`.
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, ps: &mut ParamStore) -> Result<(), NonFiniteGradError> {
+        check_finite(ps)?;
+        for id in ps.ids() {
+            let lr = self.lr;
+            match ps.param(id).kind() {
+                ParamKind::Dense => {
+                    let (value, grad) = ps.value_grad_mut(id);
+                    for (v, &g) in value.data_mut().iter_mut().zip(grad.data()) {
+                        *v -= lr * g;
+                    }
+                }
+                ParamKind::SparseRows => {
+                    let rows = ps.touched_rows(id);
+                    let cols = ps.value(id).shape().dim(1);
+                    let (value, grad) = ps.value_grad_mut(id);
+                    for r in rows {
+                        let v = &mut value.data_mut()[r * cols..(r + 1) * cols];
+                        let g = &grad.data()[r * cols..(r + 1) * cols];
+                        for (vv, &gg) in v.iter_mut().zip(g) {
+                            *vv -= lr * gg;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with lazy sparse-row updates for embedding
+/// tables. Bias correction uses the global step count for all parameters
+/// (the standard lazy-Adam approximation).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    /// First/second moment estimates, allocated on first step, aligned with
+    /// the store's parameter order.
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with paper-standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive, got {lr}");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> i32 {
+        self.t
+    }
+
+    fn ensure_state(&mut self, ps: &ParamStore) {
+        if self.m.len() == ps.len() {
+            return;
+        }
+        assert!(
+            self.m.is_empty(),
+            "parameter count changed after optimization started ({} -> {})",
+            self.m.len(),
+            ps.len()
+        );
+        for (_, p) in ps.iter() {
+            self.m.push(Tensor::zeros(p.value().shape()));
+            self.v.push(Tensor::zeros(p.value().shape()));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, ps: &mut ParamStore) -> Result<(), NonFiniteGradError> {
+        check_finite(ps)?;
+        self.ensure_state(ps);
+        self.t += 1;
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        let bc1 = 1.0 - b1.powi(self.t);
+        let bc2 = 1.0 - b2.powi(self.t);
+        let alpha = self.lr * bc2.sqrt() / bc1;
+
+        for (i, id) in ps.ids().into_iter().enumerate() {
+            let kind = ps.param(id).kind();
+            match kind {
+                ParamKind::Dense => {
+                    let (value, grad) = ps.value_grad_mut(id);
+                    let (m, v) = (self.m[i].data_mut(), self.v[i].data_mut());
+                    for (((p, &g), mm), vv) in
+                        value.data_mut().iter_mut().zip(grad.data()).zip(m).zip(v)
+                    {
+                        *mm = b1 * *mm + (1.0 - b1) * g;
+                        *vv = b2 * *vv + (1.0 - b2) * g * g;
+                        *p -= alpha * *mm / (vv.sqrt() + eps);
+                    }
+                }
+                ParamKind::SparseRows => {
+                    let rows = ps.touched_rows(id);
+                    let cols = ps.value(id).shape().dim(1);
+                    let (value, grad) = ps.value_grad_mut(id);
+                    for r in rows {
+                        let range = r * cols..(r + 1) * cols;
+                        let p = &mut value.data_mut()[range.clone()];
+                        let gr = &grad.data()[range.clone()];
+                        let m = &mut self.m[i].data_mut()[range.clone()];
+                        let v = &mut self.v[i].data_mut()[range];
+                        for (((pv, &g), mm), vv) in p.iter_mut().zip(gr).zip(m).zip(v) {
+                            *mm = b1 * *mm + (1.0 - b1) * g;
+                            *vv = b2 * *vv + (1.0 - b2) * g * g;
+                            *pv -= alpha * *mm / (vv.sqrt() + eps);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqfm_tensor::{Shape, Tensor};
+
+    /// Minimises f(θ) = Σ (θ − target)² with each optimizer.
+    fn quadratic_descent(mut opt: impl Optimizer, iters: usize) -> f32 {
+        let mut ps = ParamStore::new();
+        let theta = ps.add_dense("theta", Tensor::vector(vec![5.0, -3.0]));
+        let target = [1.0f32, 2.0];
+        for _ in 0..iters {
+            ps.zero_grads();
+            let g: Vec<f32> = ps
+                .value(theta)
+                .data()
+                .iter()
+                .zip(&target)
+                .map(|(&t, &tgt)| 2.0 * (t - tgt))
+                .collect();
+            ps.accumulate_dense(theta, &Tensor::vector(g));
+            opt.step(&mut ps).expect("finite gradients");
+        }
+        ps.value(theta)
+            .data()
+            .iter()
+            .zip(&target)
+            .map(|(&t, &tgt)| (t - tgt) * (t - tgt))
+            .sum()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let loss = quadratic_descent(Sgd::new(0.1), 100);
+        assert!(loss < 1e-6, "SGD failed to converge, loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let loss = quadratic_descent(Adam::new(0.2), 200);
+        assert!(loss < 1e-4, "Adam failed to converge, loss {loss}");
+    }
+
+    #[test]
+    fn adam_lazy_sparse_updates_only_touched_rows() {
+        let mut ps = ParamStore::new();
+        let e = ps.add_sparse("emb", Tensor::ones(Shape::d2(4, 2)));
+        let mut adam = Adam::new(0.1);
+        ps.accumulate_row(e, 1, &[1.0, 1.0]);
+        adam.step(&mut ps).unwrap();
+        let v = ps.value(e);
+        // rows 0, 2, 3 untouched
+        for r in [0usize, 2, 3] {
+            assert_eq!(v.row(r), &[1.0, 1.0], "row {r} should be untouched");
+        }
+        assert!(v.row(1)[0] < 1.0, "touched row should move against the gradient");
+    }
+
+    #[test]
+    fn non_finite_gradient_is_rejected() {
+        let mut ps = ParamStore::new();
+        let w = ps.add_dense("w", Tensor::vector(vec![1.0]));
+        ps.accumulate_dense(w, &Tensor::vector(vec![f32::NAN]));
+        let mut adam = Adam::new(0.1);
+        let err = adam.step(&mut ps).unwrap_err();
+        assert_eq!(err.param, "w");
+        // parameter value must be untouched
+        assert_eq!(ps.value(w).data(), &[1.0]);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Sgd::new(0.5);
+        assert_eq!(opt.learning_rate(), 0.5);
+        opt.set_learning_rate(0.25);
+        assert_eq!(opt.learning_rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_rejected() {
+        let _ = Adam::new(0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales_large_gradients() {
+        let mut ps = ParamStore::new();
+        let w = ps.add_dense("w", Tensor::vector(vec![0.0, 0.0]));
+        ps.accumulate_dense(w, &Tensor::vector(vec![3.0, 4.0])); // norm 5
+        let pre = clip_grad_norm(&mut ps, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let g = ps.grad(w);
+        let norm = (g.data()[0] * g.data()[0] + g.data()[1] * g.data()[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-4, "clipped norm {norm}");
+        // direction preserved
+        assert!((g.data()[0] / g.data()[1] - 0.75).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients_alone() {
+        let mut ps = ParamStore::new();
+        let w = ps.add_dense("w", Tensor::vector(vec![0.0]));
+        ps.accumulate_dense(w, &Tensor::vector(vec![0.5]));
+        let pre = clip_grad_norm(&mut ps, 1.0);
+        assert!((pre - 0.5).abs() < 1e-7);
+        assert_eq!(ps.grad(w).data(), &[0.5]);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.at(1.0, 0), 1.0);
+        assert_eq!(s.at(1.0, 9), 1.0);
+        assert_eq!(s.at(1.0, 10), 0.5);
+        assert_eq!(s.at(1.0, 25), 0.25);
+        assert_eq!(LrSchedule::Constant.at(0.1, 99), 0.1);
+        let mut opt = Sgd::new(1.0);
+        s.apply(&mut opt, 1.0, 20);
+        assert_eq!(opt.learning_rate(), 0.25);
+    }
+}

@@ -1,0 +1,196 @@
+//! Rank-2 matrix multiplication kernels.
+//!
+//! Three transpose flavours are provided because reverse-mode autodiff needs
+//! all of them: for `C = A·B`, the backward pass computes `dA = dC·Bᵀ`
+//! ([`matmul_nt`]) and `dB = Aᵀ·dC` ([`matmul_tn`]).
+//!
+//! The `nn` and `tn` kernels use the `ikj` loop order so the innermost loop
+//! walks both `B` and `C` contiguously (auto-vectorises well); `nt` uses a
+//! dot-product inner loop since both operands are then walked contiguously.
+
+use crate::{Shape, Tensor};
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// # Panics
+/// Panics if either operand is not rank 2 or the inner dimensions disagree.
+pub fn matmul_nn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nn lhs");
+    let (k2, n) = dims2(b, "matmul_nn rhs");
+    assert_eq!(k, k2, "matmul_nn inner dim mismatch: {} vs {}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(Shape::d2(m, n));
+    matmul_nn_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ`.
+///
+/// # Panics
+/// Panics if either operand is not rank 2 or the inner dimensions disagree.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_nt lhs");
+    let (n, k2) = dims2(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt inner dim mismatch: {} vs {}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(Shape::d2(m, n));
+    matmul_nt_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// `C[m,n] = A[k,m]ᵀ · B[k,n]`.
+///
+/// # Panics
+/// Panics if either operand is not rank 2 or the inner dimensions disagree.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_tn lhs");
+    let (k2, n) = dims2(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn inner dim mismatch: {} vs {}", a.shape(), b.shape());
+    let mut out = Tensor::zeros(Shape::d2(m, n));
+    matmul_tn_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// Raw slice kernel: `c[m,n] += a[m,k] · b[k,n]`. Accumulates into `c`.
+pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue; // embeddings of padding rows are exactly zero
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                *c_el += a_ip * b_el;
+            }
+        }
+    }
+}
+
+/// Raw slice kernel: `c[m,n] += a[m,k] · b[n,k]ᵀ`. Accumulates into `c`.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, c_el) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *c_el += acc;
+        }
+    }
+}
+
+/// Raw slice kernel: `c[m,n] += a[k,m]ᵀ · b[k,n]`. Accumulates into `c`.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            if a_pi == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                *c_el += a_pi * b_el;
+            }
+        }
+    }
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be rank 2, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_close;
+
+    fn t2(r: usize, c: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(Shape::d2(r, c), v.to_vec())
+    }
+
+    #[test]
+    fn nn_hand_checked() {
+        // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+        let a = t2(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t2(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = matmul_nn(&a, &b);
+        assert_close(c.data(), &[19.0, 22.0, 43.0, 50.0], 1e-6);
+    }
+
+    #[test]
+    fn nn_rectangular() {
+        let a = t2(2, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0]);
+        let b = t2(3, 2, &[3.0, 1.0, 2.0, 1.0, 1.0, 0.0]);
+        let c = matmul_nn(&a, &b);
+        assert_close(c.data(), &[5.0, 1.0, 4.0, 2.0], 1e-6);
+        assert_eq!(c.shape(), Shape::d2(2, 2));
+    }
+
+    #[test]
+    fn nt_equals_nn_with_transposed_rhs() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 4, &(0..12).map(|x| x as f32 * 0.5).collect::<Vec<_>>());
+        // Manually transpose b -> bt [4,3]
+        let mut bt = vec![0.0; 12];
+        for r in 0..3 {
+            for c in 0..4 {
+                bt[c * 3 + r] = b.data()[r * 4 + c];
+            }
+        }
+        let bt = t2(4, 3, &bt);
+        let via_nn = matmul_nn(&a, &b);
+        let via_nt = matmul_nt(&a, &bt);
+        assert_close(via_nn.data(), via_nt.data(), 1e-5);
+    }
+
+    #[test]
+    fn tn_equals_nn_with_transposed_lhs() {
+        let a = t2(3, 2, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]); // aᵀ = [1 2 3; 4 5 6]
+        let b = t2(3, 2, &[1.0, -1.0, 0.5, 2.0, 3.0, 0.0]);
+        let at = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let via_tn = matmul_tn(&a, &b);
+        let via_nn = matmul_nn(&at, &b);
+        assert_close(via_tn.data(), via_nn.data(), 1e-5);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let a = t2(3, 3, &(0..9).map(|x| x as f32).collect::<Vec<_>>());
+        let mut eye = Tensor::zeros(Shape::d2(3, 3));
+        for i in 0..3 {
+            eye.data_mut()[i * 3 + i] = 1.0;
+        }
+        assert_close(matmul_nn(&a, &eye).data(), a.data(), 1e-6);
+        assert_close(matmul_nn(&eye, &a).data(), a.data(), 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dim mismatch")]
+    fn nn_rejects_mismatch() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(2, 2));
+        let _ = matmul_nn(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be rank 2")]
+    fn nn_rejects_rank3() {
+        let a = Tensor::zeros(Shape::d3(1, 2, 3));
+        let b = Tensor::zeros(Shape::d2(3, 2));
+        let _ = matmul_nn(&a, &b);
+    }
+}

@@ -1,0 +1,12 @@
+//! Numerical kernels operating on [`crate::Tensor`] values.
+//!
+//! Kernels are free functions rather than methods so the autograd layer can
+//! call them on both values and gradients without borrow gymnastics. Every
+//! kernel allocates its output (there is no aliasing) except the explicitly
+//! `_into` / `accumulate` variants used on hot paths.
+
+pub mod bmm;
+pub mod elementwise;
+pub mod matmul;
+pub mod reduce;
+pub mod softmax;

@@ -1,0 +1,170 @@
+//! Reduction kernels (sums / means over an axis) and their adjoints.
+//!
+//! The paper's intra-view pooling (Eq. 14) is `mean_axis1` over the stacked
+//! per-feature interaction vectors; the linear term and the loss heads need
+//! `sum_lastdim` / scalar reductions.
+
+use crate::{Shape, Tensor};
+
+/// Mean over axis 1 of a rank-3 tensor: `[b, n, d] → [b, d]`.
+///
+/// # Panics
+/// Panics if `x` is not rank 3.
+pub fn mean_axis1(x: &Tensor) -> Tensor {
+    let s = sum_axis1(x);
+    let n = x.shape().dim(1) as f32;
+    s.map(|v| v / n)
+}
+
+/// Sum over axis 1 of a rank-3 tensor: `[b, n, d] → [b, d]`.
+///
+/// # Panics
+/// Panics if `x` is not rank 3.
+pub fn sum_axis1(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 3, "sum_axis1 expects rank 3, got {}", x.shape());
+    let (b, n, d) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let mut out = Tensor::zeros(Shape::d2(b, d));
+    for bi in 0..b {
+        let o = &mut out.data_mut()[bi * d..(bi + 1) * d];
+        for r in 0..n {
+            let row = &x.data()[(bi * n + r) * d..(bi * n + r + 1) * d];
+            for (ov, &v) in o.iter_mut().zip(row) {
+                *ov += v;
+            }
+        }
+    }
+    out
+}
+
+/// Adjoint of [`sum_axis1`]: broadcasts `dy [b, d]` back to `[b, n, d]`,
+/// scaling each copy by `scale` (use `1/n` for the mean).
+///
+/// # Panics
+/// Panics if `dy` is not rank 2.
+pub fn broadcast_axis1(dy: &Tensor, n: usize, scale: f32) -> Tensor {
+    assert_eq!(dy.shape().rank(), 2, "broadcast_axis1 expects rank 2, got {}", dy.shape());
+    let (b, d) = (dy.shape().dim(0), dy.shape().dim(1));
+    let mut out = Tensor::zeros(Shape::d3(b, n, d));
+    for bi in 0..b {
+        let src = &dy.data()[bi * d..(bi + 1) * d];
+        for r in 0..n {
+            let dst = &mut out.data_mut()[(bi * n + r) * d..(bi * n + r + 1) * d];
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o = v * scale;
+            }
+        }
+    }
+    out
+}
+
+/// Sum over the last dimension, reducing rank by one:
+/// `[b, d] → [b]` or `[b, n, d] → [b, n]`.
+///
+/// # Panics
+/// Panics if `x` is rank 1 (use [`Tensor::sum`] instead).
+pub fn sum_lastdim(x: &Tensor) -> Tensor {
+    let d = x.shape().last_dim();
+    let out_shape = match x.shape().rank() {
+        2 => Shape::d1(x.shape().dim(0)),
+        3 => Shape::d2(x.shape().dim(0), x.shape().dim(1)),
+        r => panic!("sum_lastdim expects rank 2 or 3, got rank {r}"),
+    };
+    let mut out = Tensor::zeros(out_shape);
+    for (o, row) in out.data_mut().iter_mut().zip(x.data().chunks_exact(d)) {
+        *o = row.iter().sum();
+    }
+    out
+}
+
+/// Adjoint of [`sum_lastdim`]: expands `dy` (rank r−1) back to `shape`
+/// (rank r) by repeating each entry `last_dim` times.
+///
+/// # Panics
+/// Panics if `dy.numel() * shape.last_dim() != shape.numel()`.
+pub fn expand_lastdim(dy: &Tensor, shape: Shape) -> Tensor {
+    let d = shape.last_dim();
+    assert_eq!(
+        dy.numel() * d,
+        shape.numel(),
+        "expand_lastdim: {} cannot expand to {shape}",
+        dy.shape()
+    );
+    let mut out = Tensor::zeros(shape);
+    for (row, &v) in out.data_mut().chunks_exact_mut(d).zip(dy.data()) {
+        row.fill(v);
+    }
+    out
+}
+
+/// Scalar mean of all elements, as a `[1]` tensor.
+pub fn mean_all(x: &Tensor) -> Tensor {
+    Tensor::scalar(x.mean())
+}
+
+/// Scalar sum of all elements, as a `[1]` tensor.
+pub fn sum_all(x: &Tensor) -> Tensor {
+    Tensor::scalar(x.sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_close;
+
+    #[test]
+    fn mean_and_sum_axis1() {
+        let x = Tensor::from_vec(
+            Shape::d3(1, 3, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        );
+        assert_close(sum_axis1(&x).data(), &[9.0, 12.0], 1e-6);
+        assert_close(mean_axis1(&x).data(), &[3.0, 4.0], 1e-6);
+    }
+
+    #[test]
+    fn broadcast_is_sum_adjoint() {
+        // <broadcast(dy), x> must equal <dy, sum(x)> (adjoint property).
+        let x = Tensor::from_vec(Shape::d3(2, 2, 2), (0..8).map(|v| v as f32).collect());
+        let dy = Tensor::from_vec(Shape::d2(2, 2), vec![0.5, -1.0, 2.0, 0.25]);
+        let lhs: f32 = broadcast_axis1(&dy, 2, 1.0)
+            .data()
+            .iter()
+            .zip(x.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = dy.data().iter().zip(sum_axis1(&x).data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sum_lastdim_ranks() {
+        let x2 = Tensor::from_vec(Shape::d2(2, 3), (1..=6).map(|v| v as f32).collect());
+        assert_close(sum_lastdim(&x2).data(), &[6.0, 15.0], 1e-6);
+        let x3 = Tensor::from_vec(Shape::d3(1, 2, 2), vec![1.0, 1.0, 2.0, 3.0]);
+        let y = sum_lastdim(&x3);
+        assert_eq!(y.shape(), Shape::d2(1, 2));
+        assert_close(y.data(), &[2.0, 5.0], 1e-6);
+    }
+
+    #[test]
+    fn expand_is_sum_lastdim_adjoint() {
+        let shape = Shape::d2(2, 3);
+        let x = Tensor::from_vec(shape, (0..6).map(|v| v as f32 - 2.0).collect());
+        let dy = Tensor::vector(vec![1.5, -0.5]);
+        let lhs: f32 = expand_lastdim(&dy, shape)
+            .data()
+            .iter()
+            .zip(x.data())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = dy.data().iter().zip(sum_lastdim(&x).data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn scalar_reductions() {
+        let x = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_close(sum_all(&x).data(), &[10.0], 1e-6);
+        assert_close(mean_all(&x).data(), &[2.5], 1e-6);
+    }
+}

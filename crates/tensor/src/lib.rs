@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # seqfm-tensor
+//!
+//! Dense `f32` tensor library underpinning the SeqFM reproduction.
+//!
+//! The paper's models only ever need rank-1/2/3 row-major tensors, so this
+//! crate deliberately implements a small, fast, predictable subset of a
+//! general tensor library instead of an n-dimensional strided one:
+//!
+//! * [`Tensor`] — contiguous row-major `f32` storage plus a [`Shape`].
+//! * 2-D matrix multiply kernels in all transpose flavours
+//!   ([`matmul_nn`], [`matmul_nt`], [`matmul_tn`]) with cache-friendly loop
+//!   ordering.
+//! * Batched (rank-3) matrix multiplies ([`bmm_nn`], [`bmm_nt`], [`bmm_tn`]).
+//! * Numerically-stable masked softmax over the last dimension
+//!   ([`softmax_lastdim`], [`softmax_lastdim_masked`]) — the core primitive of
+//!   the paper's multi-view self-attention (Eq. 8, 9, 11).
+//! * Reductions over axis 1 and the last axis (intra-view pooling, Eq. 14).
+//!
+//! All shape errors are programming errors and panic with a descriptive
+//! message; the panic contract is documented on each function.
+
+mod shape;
+mod tensor;
+
+pub mod kernels;
+pub mod testutil;
+
+pub use kernels::bmm::{bmm_nn, bmm_nt, bmm_tn};
+pub use kernels::elementwise as ew;
+pub use kernels::matmul::{matmul_nn, matmul_nt, matmul_tn};
+pub use kernels::reduce;
+pub use kernels::softmax::{
+    softmax_backward_lastdim, softmax_lastdim, softmax_lastdim_masked, AttnMask,
+};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,161 @@
+//! Tensor shapes (rank 1–3).
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: an ordered list of dimension sizes.
+///
+/// Only ranks 1 through 3 are constructible, matching everything the SeqFM
+/// models need (vectors, matrices, and batched matrices). The inner storage is
+/// a fixed-size array to keep `Shape` `Copy` and allocation-free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; 3],
+    rank: u8,
+}
+
+impl Shape {
+    /// Rank-1 shape `[n]`.
+    pub fn d1(n: usize) -> Self {
+        Shape { dims: [n, 1, 1], rank: 1 }
+    }
+
+    /// Rank-2 shape `[r, c]`.
+    pub fn d2(r: usize, c: usize) -> Self {
+        Shape { dims: [r, c, 1], rank: 2 }
+    }
+
+    /// Rank-3 shape `[b, r, c]`.
+    pub fn d3(b: usize, r: usize, c: usize) -> Self {
+        Shape { dims: [b, r, c], rank: 3 }
+    }
+
+    /// Builds a shape from a slice of dimensions.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or has more than 3 entries.
+    pub fn from_slice(dims: &[usize]) -> Self {
+        match dims {
+            [n] => Self::d1(*n),
+            [r, c] => Self::d2(*r, *c),
+            [b, r, c] => Self::d3(*b, *r, *c),
+            _ => panic!("Shape supports rank 1..=3, got rank {}", dims.len()),
+        }
+    }
+
+    /// Number of dimensions (1, 2, or 3).
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// Dimension sizes as a slice of length `rank()`.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        assert!(i < self.rank(), "dim index {i} out of range for {self}");
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Size of the last dimension.
+    pub fn last_dim(&self) -> usize {
+        self.dims[self.rank as usize - 1]
+    }
+
+    /// Number of contiguous rows of length [`Self::last_dim`] — i.e. the
+    /// product of all dimensions except the last. Softmax/LayerNorm-style
+    /// kernels iterate over these rows.
+    pub fn outer_rows(&self) -> usize {
+        self.numel() / self.last_dim().max(1)
+    }
+
+    /// `true` if `self` and `other` describe the same dims (same rank, same
+    /// sizes).
+    pub fn same(&self, other: &Shape) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims().iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_dims() {
+        let s = Shape::d1(7);
+        assert_eq!(s.rank(), 1);
+        assert_eq!(s.dims(), &[7]);
+        assert_eq!(s.numel(), 7);
+
+        let s = Shape::d2(3, 4);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.dims(), &[3, 4]);
+        assert_eq!(s.numel(), 12);
+        assert_eq!(s.last_dim(), 4);
+        assert_eq!(s.outer_rows(), 3);
+
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.outer_rows(), 6);
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        assert_eq!(Shape::from_slice(&[5]), Shape::d1(5));
+        assert_eq!(Shape::from_slice(&[5, 6]), Shape::d2(5, 6));
+        assert_eq!(Shape::from_slice(&[5, 6, 7]), Shape::d3(5, 6, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn from_slice_rejects_rank4() {
+        let _ = Shape::from_slice(&[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dim_out_of_range_panics() {
+        let _ = Shape::d2(2, 2).dim(2);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Shape::d3(2, 3, 4)), "[2x3x4]");
+        assert_eq!(format!("{}", Shape::d1(9)), "[9]");
+    }
+
+    #[test]
+    fn equality_distinguishes_rank() {
+        // [4] vs [4,1] must differ even though numel matches.
+        assert_ne!(Shape::d1(4), Shape::d2(4, 1));
+    }
+}

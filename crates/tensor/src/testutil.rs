@@ -1,0 +1,72 @@
+//! Shared test helpers (also used by downstream crates' tests).
+
+use crate::{Shape, Tensor};
+
+/// Asserts that two slices are elementwise within `tol` of each other.
+///
+/// # Panics
+/// Panics (with the offending index and values) when any pair differs by more
+/// than `tol`, or when lengths differ.
+pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) {
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "length mismatch: {} vs {}",
+        actual.len(),
+        expected.len()
+    );
+    for (i, (&a, &e)) in actual.iter().zip(expected).enumerate() {
+        assert!(
+            (a - e).abs() <= tol,
+            "element {i}: actual {a} vs expected {e} (tol {tol})"
+        );
+    }
+}
+
+/// Deterministic pseudo-random tensor in `[-1, 1)` from a tiny splitmix64
+/// generator — keeps this crate dependency-free (no `rand` here).
+///
+/// The `seed` is advanced in place so consecutive calls yield different data.
+pub fn rand_tensor(shape: Shape, seed: &mut u64) -> Tensor {
+    let n = shape.numel();
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(next_uniform(seed) * 2.0 - 1.0);
+    }
+    Tensor::from_vec(shape, data)
+}
+
+/// Next uniform sample in `[0, 1)` from a splitmix64 stream.
+pub fn next_uniform(seed: &mut u64) -> f32 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // take the top 24 bits for a clean f32 mantissa
+    ((z >> 40) as f32) / ((1u64 << 24) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_tensor_is_deterministic_and_bounded() {
+        let mut s1 = 42;
+        let mut s2 = 42;
+        let a = rand_tensor(Shape::d2(4, 4), &mut s1);
+        let b = rand_tensor(Shape::d2(4, 4), &mut s2);
+        assert_eq!(a.data(), b.data());
+        assert!(a.data().iter().all(|&v| (-1.0..1.0).contains(&v)));
+        // stream advances
+        let c = rand_tensor(Shape::d2(4, 4), &mut s1);
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "element 1")]
+    fn assert_close_reports_index() {
+        assert_close(&[1.0, 2.0], &[1.0, 3.0], 0.5);
+    }
+}

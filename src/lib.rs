@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # seqfm-repro
+//!
+//! Umbrella crate for the SeqFM reproduction workspace (ICDE 2020,
+//! *Sequence-Aware Factorization Machines for Temporal Predictive
+//! Analytics*). It re-exports the member crates so downstream users can
+//! depend on a single crate, and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Crate map:
+//!
+//! * [`tensor`] — dense f32 tensors and kernels (matmul/bmm/softmax/…)
+//! * [`autograd`] — tape-based reverse-mode autodiff
+//! * [`nn`] — layers, optimizers, initializers, checkpoints
+//! * [`data`] — synthetic chronological datasets + evaluation protocol
+//! * [`metrics`] — HR/NDCG, AUC/RMSE, MAE/RRSE
+//! * [`core`] — **SeqFM** (the paper's model), trainers, evaluators
+//! * [`baselines`] — all 11 comparison models
+//! * [`bench_harness`] — the table/figure regeneration harness
+
+pub use seqfm_autograd as autograd;
+pub use seqfm_baselines as baselines;
+pub use seqfm_bench as bench_harness;
+pub use seqfm_core as core;
+pub use seqfm_data as data;
+pub use seqfm_metrics as metrics;
+pub use seqfm_nn as nn;
+pub use seqfm_tensor as tensor;

@@ -1,0 +1,128 @@
+//! End-to-end integration tests spanning the whole workspace: data
+//! generation → splitting → training → evaluation → checkpointing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::ParamStore;
+use seqfm_core::{
+    evaluate_ctr, evaluate_ranking, evaluate_rating, train_ctr, train_ranking, train_rating,
+    RankingEvalConfig, SeqFm, SeqFmConfig, TrainConfig,
+};
+use seqfm_data::{FeatureLayout, LeaveOneOut, NegativeSampler, Scale};
+use seqfm_nn::checkpoint;
+
+fn ranking_setup() -> (seqfm_data::Dataset, LeaveOneOut, FeatureLayout, NegativeSampler) {
+    let mut cfg = seqfm_data::ranking::RankingConfig::gowalla(Scale::Small);
+    cfg.n_users = 40;
+    cfg.n_items = 100;
+    cfg.min_len = 8;
+    cfg.max_len = 16;
+    let ds = seqfm_data::ranking::generate(&cfg).expect("valid");
+    let split = LeaveOneOut::split(&ds);
+    let layout = FeatureLayout::of(&ds);
+    let seen = (0..ds.n_users).map(|u| split.seen_items(u)).collect();
+    let sampler = NegativeSampler::new(ds.n_items, seen);
+    (ds, split, layout, sampler)
+}
+
+#[test]
+fn ranking_pipeline_beats_chance_and_roundtrips_checkpoints() {
+    let (_, split, layout, sampler) = ranking_setup();
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = SeqFmConfig { d: 8, max_seq: 10, dropout: 0.2, ..Default::default() };
+    let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+    let tc = TrainConfig { epochs: 25, batch_size: 128, lr: 8e-3, max_seq: 10, ..Default::default() };
+    train_ranking(&model, &mut ps, &split, &layout, &sampler, &tc);
+
+    let ec = RankingEvalConfig { negatives: 50, max_seq: 10, ..Default::default() };
+    let acc = evaluate_ranking(&model, &ps, &split, &layout, &sampler, &ec);
+    let chance = 10.0 / 51.0;
+    assert!(acc.hr(10) > chance, "HR@10 {:.3} below chance {:.3}", acc.hr(10), chance);
+
+    // checkpoint → scramble → restore → identical evaluation
+    let blob = checkpoint::save(&ps);
+    for id in ps.ids() {
+        for v in ps.value_mut(id).data_mut() {
+            *v = -1.0;
+        }
+    }
+    checkpoint::load(&mut ps, &blob).expect("restore");
+    let acc2 = evaluate_ranking(&model, &ps, &split, &layout, &sampler, &ec);
+    assert_eq!(acc.hr(10), acc2.hr(10));
+    assert_eq!(acc.ndcg(20), acc2.ndcg(20));
+}
+
+#[test]
+fn ctr_pipeline_beats_chance() {
+    let mut cfg = seqfm_data::ctr::CtrConfig::taobao(Scale::Small);
+    cfg.n_users = 40;
+    cfg.n_items = 100;
+    cfg.min_len = 8;
+    cfg.max_len = 16;
+    let ds = seqfm_data::ctr::generate(&cfg).expect("valid");
+    let split = LeaveOneOut::split(&ds);
+    let layout = FeatureLayout::of(&ds);
+    let seen = (0..ds.n_users).map(|u| split.seen_items(u)).collect();
+    let sampler = NegativeSampler::new(ds.n_items, seen);
+
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mcfg = SeqFmConfig { d: 8, max_seq: 10, dropout: 0.2, ..Default::default() };
+    let model = SeqFm::new(&mut ps, &mut rng, &layout, mcfg);
+    let tc = TrainConfig { epochs: 20, batch_size: 120, lr: 8e-3, max_seq: 10, ..Default::default() };
+    let report = train_ctr(&model, &mut ps, &split, &layout, &sampler, &tc);
+    assert!(report.final_loss() < report.epoch_losses[0]);
+
+    let ev = evaluate_ctr(&model, &ps, &split, &layout, &sampler, 10, 3);
+    assert!(ev.auc > 0.55, "AUC {:.3} barely above chance", ev.auc);
+    assert!(ev.rmse < 0.7, "RMSE {:.3} implausible", ev.rmse);
+}
+
+#[test]
+fn rating_pipeline_beats_constant_predictor() {
+    let mut cfg = seqfm_data::rating::RatingConfig::beauty(Scale::Small);
+    cfg.n_users = 40;
+    cfg.n_items = 90;
+    cfg.min_len = 7;
+    cfg.max_len = 14;
+    let ds = seqfm_data::rating::generate(&cfg).expect("valid");
+    let split = LeaveOneOut::split(&ds);
+    let layout = FeatureLayout::of(&ds);
+
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mcfg = SeqFmConfig { d: 8, max_seq: 10, dropout: 0.2, ..Default::default() };
+    let model = SeqFm::new(&mut ps, &mut rng, &layout, mcfg);
+    let tc = TrainConfig { epochs: 30, batch_size: 128, lr: 8e-3, max_seq: 10, ..Default::default() };
+    let report = train_rating(&model, &mut ps, &split, &layout, &tc);
+
+    let ev = evaluate_rating(&model, &ps, &split, &layout, 10, report.target_offset);
+    let constant = vec![report.target_offset; split.test.len()];
+    let truth: Vec<f32> = split.test.iter().map(|e| e.rating).collect();
+    let base_mae = seqfm_metrics::mae(&constant, &truth);
+    assert!(
+        ev.mae < base_mae + 0.02,
+        "MAE {:.3} vs constant baseline {:.3}",
+        ev.mae,
+        base_mae
+    );
+}
+
+#[test]
+fn full_run_is_deterministic_across_processes_logic() {
+    // Same seeds → byte-identical losses and metrics.
+    let (_, split, layout, sampler) = ranking_setup();
+    let run = || {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let cfg = SeqFmConfig { d: 8, max_seq: 10, ..Default::default() };
+        let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+        let tc = TrainConfig { epochs: 3, batch_size: 128, lr: 5e-3, max_seq: 10, ..Default::default() };
+        let rep = train_ranking(&model, &mut ps, &split, &layout, &sampler, &tc);
+        let ec = RankingEvalConfig { negatives: 30, max_seq: 10, ..Default::default() };
+        let acc = evaluate_ranking(&model, &ps, &split, &layout, &sampler, &ec);
+        (rep.epoch_losses.clone(), acc.hr(10), acc.ndcg(10))
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,128 @@
+//! Cross-crate contracts: every model in the registry honours the `SeqModel`
+//! interface and its documented sequence semantics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::{Graph, ParamStore};
+use seqfm_baselines::registry::{build, ModelKind};
+use seqfm_core::SeqModel;
+use seqfm_data::{build_instance, Batch, FeatureLayout};
+
+const ALL: [ModelKind; 12] = [
+    ModelKind::Fm,
+    ModelKind::WideDeep,
+    ModelKind::DeepCross,
+    ModelKind::Nfm,
+    ModelKind::Afm,
+    ModelKind::SasRec,
+    ModelKind::Tfm,
+    ModelKind::Din,
+    ModelKind::XDeepFm,
+    ModelKind::Rrn,
+    ModelKind::Hofm,
+    ModelKind::SeqFm,
+];
+
+/// Models whose score must change when the history *order* changes
+/// (position-aware or recurrence-based).
+const ORDER_SENSITIVE: [ModelKind; 3] = [ModelKind::SasRec, ModelKind::Rrn, ModelKind::SeqFm];
+
+fn layout() -> FeatureLayout {
+    FeatureLayout { n_users: 8, n_items: 20 }
+}
+
+fn score(model: &dyn SeqModel, ps: &ParamStore, hist: &[u32]) -> f32 {
+    let inst = build_instance(&layout(), 1, 5, hist, 6, 1.0);
+    let b = Batch::from_instances(&[inst]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = Graph::new();
+    let y = model.forward(&mut g, ps, &b, false, &mut rng);
+    g.value(y).data()[0]
+}
+
+#[test]
+fn every_model_is_inference_deterministic() {
+    for kind in ALL {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = build(kind, &mut ps, &mut rng, &layout(), 8, 6);
+        let a = score(model.as_ref(), &ps, &[2, 7, 11]);
+        let b = score(model.as_ref(), &ps, &[2, 7, 11]);
+        assert_eq!(a, b, "{kind:?} is non-deterministic at inference");
+        assert!(a.is_finite(), "{kind:?} emitted non-finite score");
+    }
+}
+
+#[test]
+fn order_sensitivity_matches_model_class() {
+    for kind in ALL {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = build(kind, &mut ps, &mut rng, &layout(), 8, 6);
+        // same multiset, different order, same last item (so TFM is also
+        // expected to be invariant here)
+        let a = score(model.as_ref(), &ps, &[2, 7, 11, 4]);
+        let b = score(model.as_ref(), &ps, &[11, 7, 2, 4]);
+        let sensitive = ORDER_SENSITIVE.contains(&kind);
+        if sensitive {
+            assert!(
+                (a - b).abs() > 1e-7,
+                "{kind:?} should be order-sensitive but scored {a} == {b}"
+            );
+        } else {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "{kind:?} should be order-invariant but scored {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_model_reacts_to_the_candidate() {
+    for kind in ALL {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = build(kind, &mut ps, &mut rng, &layout(), 8, 6);
+        let l = layout();
+        let mk = |cand: u32| {
+            let inst = build_instance(&l, 1, cand, &[2, 7], 6, 1.0);
+            Batch::from_instances(&[inst])
+        };
+        let mut g = Graph::new();
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let b5 = mk(5);
+        let b9 = mk(9);
+        let y5 = model.forward(&mut g, &ps, &b5, false, &mut rng2);
+        let y9 = model.forward(&mut g, &ps, &b9, false, &mut rng2);
+        let (a, b) = (g.value(y5).data()[0], g.value(y9).data()[0]);
+        assert!((a - b).abs() > 1e-8, "{kind:?} ignores the candidate item");
+    }
+}
+
+#[test]
+fn every_model_trains_one_step_without_panic() {
+    use seqfm_core::{train_ranking, TrainConfig};
+    use seqfm_data::{LeaveOneOut, NegativeSampler, Scale};
+    let mut cfg = seqfm_data::ranking::RankingConfig::gowalla(Scale::Small);
+    cfg.n_users = 10;
+    cfg.n_items = 20;
+    cfg.n_clusters = 5;
+    cfg.min_len = 5;
+    cfg.max_len = 8;
+    let ds = seqfm_data::ranking::generate(&cfg).expect("valid");
+    let split = LeaveOneOut::split(&ds);
+    let l = FeatureLayout::of(&ds);
+    let seen = (0..ds.n_users).map(|u| split.seen_items(u)).collect();
+    let sampler = NegativeSampler::new(ds.n_items, seen);
+    for kind in ALL {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = build(kind, &mut ps, &mut rng, &l, 4, 6);
+        let tc = TrainConfig { epochs: 1, batch_size: 32, lr: 1e-3, max_seq: 6, ..Default::default() };
+        let report = train_ranking(model.as_ref(), &mut ps, &split, &l, &sampler, &tc);
+        assert_eq!(report.epoch_losses.len(), 1, "{kind:?}");
+        assert!(report.final_loss().is_finite(), "{kind:?} diverged in one epoch");
+        assert!(!ps.has_non_finite(), "{kind:?} produced non-finite parameters");
+    }
+}
