@@ -4,8 +4,8 @@ use crate::graph::{Graph, Var};
 use crate::op::Op;
 use crate::store::ParamStore;
 use seqfm_tensor::{
-    bmm_nn, bmm_tn, ew, matmul_nn, matmul_nt, matmul_tn, reduce, softmax_backward_lastdim,
-    Shape, Tensor,
+    bmm_nn, bmm_tn, ew, matmul_nn, matmul_nt, matmul_tn, reduce, softmax_backward_lastdim, Shape,
+    Tensor,
 };
 
 impl Graph {
@@ -35,7 +35,13 @@ impl Graph {
     }
 
     /// Propagates `dy` of node `i` one op backwards.
-    fn step_backward(&self, i: usize, dy: &Tensor, grads: &mut [Option<Tensor>], ps: &mut ParamStore) {
+    fn step_backward(
+        &self,
+        i: usize,
+        dy: &Tensor,
+        grads: &mut [Option<Tensor>],
+        ps: &mut ParamStore,
+    ) {
         let node = &self.nodes[i];
         let val = |v: Var| -> &Tensor { self.value(v) };
         match &node.op {
@@ -112,18 +118,21 @@ impl Graph {
             Op::LMatmul { w, x } => {
                 let (wv, xv) = (val(*w), val(*x));
                 let (p, q) = (wv.shape().dim(0), wv.shape().dim(1));
-                let (bsz, _, d) = (
-                    xv.shape().dim(0),
-                    xv.shape().dim(1),
-                    xv.shape().dim(2),
-                );
+                let (bsz, _, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
                 let mut dw = Tensor::zeros(Shape::d2(p, q));
                 let mut dx = Tensor::zeros(xv.shape());
                 for bi in 0..bsz {
                     let dy_b = &dy.data()[bi * p * d..(bi + 1) * p * d];
                     let x_b = &xv.data()[bi * q * d..(bi + 1) * q * d];
                     // dW += dY_b · X_bᵀ
-                    seqfm_tensor::kernels::matmul::matmul_nt_into(dy_b, x_b, dw.data_mut(), p, d, q);
+                    seqfm_tensor::kernels::matmul::matmul_nt_into(
+                        dy_b,
+                        x_b,
+                        dw.data_mut(),
+                        p,
+                        d,
+                        q,
+                    );
                     // dX_b = Wᵀ · dY_b
                     seqfm_tensor::kernels::matmul::matmul_tn_into(
                         wv.data(),
@@ -163,11 +172,8 @@ impl Graph {
                 let mut dx = Tensor::zeros(xv.shape());
                 let mut ds = vec![0.0f32; d];
                 let mut db = vec![0.0f32; d];
-                for (r, (xrow, dyrow)) in xv
-                    .data()
-                    .chunks_exact(d)
-                    .zip(dy.data().chunks_exact(d))
-                    .enumerate()
+                for (r, (xrow, dyrow)) in
+                    xv.data().chunks_exact(d).zip(dy.data().chunks_exact(d)).enumerate()
                 {
                     let (mu, rs) = (cache.mean[r], cache.rstd[r]);
                     let mut mean_g = 0.0f32;
@@ -271,10 +277,8 @@ impl Graph {
                 let bsz = dy.shape().dim(0);
                 let mut dp = Tensor::zeros(pv.shape());
                 for bi in 0..bsz {
-                    for (o, &g) in dp
-                        .data_mut()
-                        .iter_mut()
-                        .zip(&dy.data()[bi * n * d..(bi + 1) * n * d])
+                    for (o, &g) in
+                        dp.data_mut().iter_mut().zip(&dy.data()[bi * n * d..(bi + 1) * n * d])
                     {
                         *o += g;
                     }
@@ -306,12 +310,8 @@ impl Graph {
             Op::BceWithLogits { logits, targets } => {
                 let zv = val(*logits);
                 let mut dz = Tensor::zeros(zv.shape());
-                for (i, ((o, &z), &g)) in dz
-                    .data_mut()
-                    .iter_mut()
-                    .zip(zv.data())
-                    .zip(dy.data())
-                    .enumerate()
+                for (i, ((o, &z), &g)) in
+                    dz.data_mut().iter_mut().zip(zv.data()).zip(dy.data()).enumerate()
                 {
                     *o = g * (ew::sigmoid_scalar(z) - targets[i]);
                 }

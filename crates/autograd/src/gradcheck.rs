@@ -79,8 +79,5 @@ pub fn assert_grad_check(
     build: impl Fn(&mut Graph, &ParamStore) -> Var,
 ) {
     let report = grad_check(ps, ids, eps, build);
-    assert!(
-        report.max_rel_err <= tol,
-        "gradient check failed: {report:?} (tol {tol})"
-    );
+    assert!(report.max_rel_err <= tol, "gradient check failed: {report:?} (tol {tol})");
 }

@@ -93,7 +93,14 @@ impl Graph {
     ///
     /// # Panics
     /// Panics if `idx.len() != b*n` or an index is out of table range.
-    pub fn gather(&mut self, ps: &ParamStore, table: ParamId, idx: &[i64], b: usize, n: usize) -> Var {
+    pub fn gather(
+        &mut self,
+        ps: &ParamStore,
+        table: ParamId,
+        idx: &[i64],
+        b: usize,
+        n: usize,
+    ) -> Var {
         assert_eq!(idx.len(), b * n, "gather: idx len {} != {}x{}", idx.len(), b, n);
         let tbl = ps.value(table);
         let (rows, d) = (tbl.shape().dim(0), tbl.shape().dim(1));
@@ -104,7 +111,8 @@ impl Graph {
             }
             let i = i as usize;
             assert!(i < rows, "gather index {i} out of range ({rows} rows)");
-            out.data_mut()[slot * d..(slot + 1) * d].copy_from_slice(&tbl.data()[i * d..(i + 1) * d]);
+            out.data_mut()[slot * d..(slot + 1) * d]
+                .copy_from_slice(&tbl.data()[i * d..(i + 1) * d]);
         }
         self.push(out, Op::Gather { table, idx: Arc::new(idx.to_vec()) }, true)
     }
@@ -258,7 +266,12 @@ impl Graph {
     pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
         let (av, bv) = (self.value(a), self.value(b));
         assert_eq!(av.shape().rank(), 2, "row_dot expects rank 2, got {}", av.shape());
-        assert!(av.shape().same(&bv.shape()), "row_dot shape mismatch: {} vs {}", av.shape(), bv.shape());
+        assert!(
+            av.shape().same(&bv.shape()),
+            "row_dot shape mismatch: {} vs {}",
+            av.shape(),
+            bv.shape()
+        );
         let prod = ew::mul(av, bv);
         let v = reduce::sum_lastdim(&prod);
         let g = self.ng(a) || self.ng(b);
@@ -297,11 +310,7 @@ impl Graph {
         let mut rstd = Vec::with_capacity(rows);
         let mut out = Tensor::zeros(xv.shape());
         let (sv, bv) = (self.value(scale).data().to_vec(), self.value(bias).data().to_vec());
-        for (row, orow) in xv
-            .data()
-            .chunks_exact(d)
-            .zip(self_chunks_mut(&mut out, d))
-        {
+        for (row, orow) in xv.data().chunks_exact(d).zip(self_chunks_mut(&mut out, d)) {
             let mu = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
             let rs = 1.0 / (var + eps).sqrt();
@@ -329,9 +338,8 @@ impl Graph {
         let keep = 1.0 - p;
         let inv = 1.0 / keep;
         let xv = self.value(x);
-        let mask: Vec<f32> = (0..xv.numel())
-            .map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 })
-            .collect();
+        let mask: Vec<f32> =
+            (0..xv.numel()).map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 }).collect();
         let mut v = xv.clone();
         for (o, &m) in v.data_mut().iter_mut().zip(&mask) {
             *o *= m;
@@ -469,9 +477,7 @@ impl Graph {
         assert_eq!((pv.shape().dim(0), pv.shape().dim(1)), (n, d), "broadcast shape mismatch");
         let mut out = xv.clone();
         for bi in 0..b {
-            for (o, &pvv) in out.data_mut()[bi * n * d..(bi + 1) * n * d]
-                .iter_mut()
-                .zip(pv.data())
+            for (o, &pvv) in out.data_mut()[bi * n * d..(bi + 1) * n * d].iter_mut().zip(pv.data())
             {
                 *o += pvv;
             }

@@ -28,7 +28,10 @@ pub(crate) enum Op {
     Param(ParamId),
     /// Embedding lookup: rows of `table` selected by `idx` (`-1` = padding →
     /// zero row, no gradient). Value shape `[b, n, d]` with `idx.len() == b·n`.
-    Gather { table: ParamId, idx: Arc<Vec<i64>> },
+    Gather {
+        table: ParamId,
+        idx: Arc<Vec<i64>>,
+    },
 
     // -- elementwise ---------------------------------------------------------
     Add(Var, Var),
@@ -43,7 +46,10 @@ pub(crate) enum Op {
     Tanh(Var),
     Softplus(Var),
     /// `x + bias` where bias is rank-1 broadcast over rows.
-    AddBias { x: Var, b: Var },
+    AddBias {
+        x: Var,
+        b: Var,
+    },
 
     // -- linear algebra ------------------------------------------------------
     /// `A[m,k]·B[k,n]`.
@@ -55,7 +61,10 @@ pub(crate) enum Op {
     /// Batched `A[b,m,k]·B[b,n,k]ᵀ` (attention scores `Q·Kᵀ`).
     BmmNT(Var, Var),
     /// Left-broadcast matmul `W[p,q]·X[b,q,d] → [b,p,d]` (CIN layers).
-    LMatmul { w: Var, x: Var },
+    LMatmul {
+        w: Var,
+        x: Var,
+    },
     /// Row-wise dot product `[b,d]·[b,d] → [b]`.
     RowDot(Var, Var),
 
@@ -63,11 +72,21 @@ pub(crate) enum Op {
     /// Softmax over the last dim (optionally masked at forward time). The
     /// node value *is* the softmax output; the backward pass needs only it,
     /// so the mask is not retained.
-    Softmax { x: Var },
+    Softmax {
+        x: Var,
+    },
     /// LayerNorm over the last dim with learned `scale`/`bias` (Eq. 16).
-    LayerNorm { x: Var, scale: Var, bias: Var, cache: LnCache },
+    LayerNorm {
+        x: Var,
+        scale: Var,
+        bias: Var,
+        cache: LnCache,
+    },
     /// Inverted dropout; `mask` entries are `0` or `1/(1-p)`.
-    Dropout { x: Var, mask: Arc<Vec<f32>> },
+    Dropout {
+        x: Var,
+        mask: Arc<Vec<f32>>,
+    },
 
     // -- shape / gather ------------------------------------------------------
     Reshape(Var),
@@ -76,13 +95,25 @@ pub(crate) enum Op {
     /// Concatenate rank-3 tensors along axis 1 (cross-view stack, Eq. 12).
     ConcatAxis1(Var, Var),
     /// Select rows along axis 1 by constant indices: `[b,n,d] → [b,|idx|,d]`.
-    IndexSelectAxis1 { x: Var, idx: Arc<Vec<usize>> },
+    IndexSelectAxis1 {
+        x: Var,
+        idx: Arc<Vec<usize>>,
+    },
     /// Contiguous slice along axis 1.
-    SliceAxis1 { x: Var, start: usize, len: usize },
+    SliceAxis1 {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
     /// Broadcast `[b,d] → [b,n,d]`.
-    ExpandAxis1 { x: Var },
+    ExpandAxis1 {
+        x: Var,
+    },
     /// `X[b,n,d] + P[n,d]` (positional embeddings).
-    AddBroadcastBatch { x: Var, p: Var },
+    AddBroadcastBatch {
+        x: Var,
+        p: Var,
+    },
 
     // -- reductions ----------------------------------------------------------
     /// Mean over axis 1: `[b,n,d] → [b,d]` (intra-view pooling, Eq. 14).
@@ -95,5 +126,8 @@ pub(crate) enum Op {
 
     // -- losses --------------------------------------------------------------
     /// Numerically-stable `BCE(σ(logit), target)` per element → `[b]`.
-    BceWithLogits { logits: Var, targets: Arc<Vec<f32>> },
+    BceWithLogits {
+        logits: Var,
+        targets: Arc<Vec<f32>>,
+    },
 }

@@ -98,10 +98,7 @@ impl ParamStore {
     }
 
     fn add(&mut self, name: String, value: Tensor, kind: ParamKind) -> ParamId {
-        assert!(
-            !self.by_name.contains_key(&name),
-            "parameter `{name}` registered twice"
-        );
+        assert!(!self.by_name.contains_key(&name), "parameter `{name}` registered twice");
         let id = ParamId(self.params.len());
         let grad = Tensor::zeros(value.shape());
         self.params.push(Param { name: name.clone(), value, grad, kind, touched: Vec::new() });
@@ -229,18 +226,12 @@ impl ParamStore {
 
     /// Sum of squared gradient elements across all parameters (diagnostics).
     pub fn grad_sq_norm(&self) -> f64 {
-        self.params
-            .iter()
-            .flat_map(|p| p.grad.data())
-            .map(|&g| (g as f64) * (g as f64))
-            .sum()
+        self.params.iter().flat_map(|p| p.grad.data()).map(|&g| (g as f64) * (g as f64)).sum()
     }
 
     /// `true` if any parameter value or gradient contains NaN/inf.
     pub fn has_non_finite(&self) -> bool {
-        self.params
-            .iter()
-            .any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
+        self.params.iter().any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
     }
 }
 

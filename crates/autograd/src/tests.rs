@@ -272,10 +272,8 @@ fn grad_bce_with_logits() {
 #[test]
 fn gather_routes_gradients_to_rows() {
     let mut ps = ParamStore::new();
-    let table = ps.add_sparse(
-        "emb",
-        Tensor::from_vec(Shape::d2(4, 2), vec![1., 2., 3., 4., 5., 6., 7., 8.]),
-    );
+    let table = ps
+        .add_sparse("emb", Tensor::from_vec(Shape::d2(4, 2), vec![1., 2., 3., 4., 5., 6., 7., 8.]));
     let mut g = Graph::new();
     // batch=2, n=2; second sample starts with padding (-1).
     let e = g.gather(&ps, table, &[0, 2, -1, 3], 2, 2);

@@ -99,20 +99,11 @@ mod tests {
         // dynamic 2, dynamic 6
         let es = ps.value(m.base.emb_static.table());
         let ed = ps.value(m.base.emb_dynamic.table());
-        let rows: Vec<&[f32]> = vec![
-            es.row(1),
-            es.row(l.n_users + 4),
-            ed.row(2),
-            ed.row(6),
-        ];
+        let rows: Vec<&[f32]> = vec![es.row(1), es.row(l.n_users + 4), ed.row(2), ed.row(6)];
         let mut brute = 0.0f64;
         for i in 0..rows.len() {
             for j in (i + 1)..rows.len() {
-                brute += rows[i]
-                    .iter()
-                    .zip(rows[j])
-                    .map(|(&a, &b)| (a * b) as f64)
-                    .sum::<f64>();
+                brute += rows[i].iter().zip(rows[j]).map(|(&a, &b)| (a * b) as f64).sum::<f64>();
             }
         }
         // subtract linear terms (zero-init) and w0 (zero) → logit is exactly

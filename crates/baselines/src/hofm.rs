@@ -119,15 +119,10 @@ mod tests {
             ed.row(3).to_vec(),
             ed.row(7).to_vec(),
         ];
-        let dot = |a: &[f32], b: &[f32]| -> f64 {
-            a.iter().zip(b).map(|(&x, &y)| (x * y) as f64).sum()
-        };
+        let dot =
+            |a: &[f32], b: &[f32]| -> f64 { a.iter().zip(b).map(|(&x, &y)| (x * y) as f64).sum() };
         let tri = |a: &[f32], b: &[f32], c: &[f32]| -> f64 {
-            a.iter()
-                .zip(b)
-                .zip(c)
-                .map(|((&x, &y), &z)| (x * y * z) as f64)
-                .sum()
+            a.iter().zip(b).zip(c).map(|((&x, &y), &z)| (x * y * z) as f64).sum()
         };
         let mut brute = 0.0f64;
         for i in 0..rows.len() {

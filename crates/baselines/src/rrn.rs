@@ -64,6 +64,7 @@ impl SeqModel for Rrn {
     ) -> Var {
         let (b, n, d) = (batch.len, batch.n_dynamic, self.d);
         let e_hist = self.item_emb.lookup(g, ps, &batch.dyn_idx, b, n); // [b,n,d]
+
         // unroll the GRU over the (left-padded) sequence; padded steps feed
         // zero vectors, which perturb the state far less than real items
         let mut h = g.input(Tensor::zeros(Shape::d2(b, d)));
@@ -132,10 +133,20 @@ mod tests {
         let (m, ps) = build();
         let l = layout();
         let h1 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 0, 5, &[1, 2], MAX_SEQ, 3.0,
+            &l,
+            0,
+            5,
+            &[1, 2],
+            MAX_SEQ,
+            3.0,
         )]);
         let h2 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 0, 5, &[7, 8], MAX_SEQ, 3.0,
+            &l,
+            0,
+            5,
+            &[7, 8],
+            MAX_SEQ,
+            3.0,
         )]);
         let a = logits(&m, &ps, &h1)[0];
         let b = logits(&m, &ps, &h2)[0];

@@ -51,10 +51,8 @@ impl SasRec {
         dropout: f32,
     ) -> Self {
         let item_emb = Embedding::new(ps, rng, "sasrec.item", layout.n_items, d);
-        let pos_emb = ps.add_dense(
-            "sasrec.pos",
-            seqfm_nn::init::normal(rng, Shape::d2(max_seq, d), 0.02),
-        );
+        let pos_emb =
+            ps.add_dense("sasrec.pos", seqfm_nn::init::normal(rng, Shape::d2(max_seq, d), 0.02));
         let item_bias = Embedding::zeros(ps, "sasrec.item_bias", layout.n_items, 1);
         let blocks = (0..n_blocks)
             .map(|i| Block {
@@ -162,10 +160,20 @@ mod tests {
         let (m, ps) = build();
         let l = layout();
         let same = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 0, 2, &[2], MAX_SEQ, 1.0,
+            &l,
+            0,
+            2,
+            &[2],
+            MAX_SEQ,
+            1.0,
         )]);
         let diff = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 0, 9, &[2], MAX_SEQ, 1.0,
+            &l,
+            0,
+            9,
+            &[2],
+            MAX_SEQ,
+            1.0,
         )]);
         let a = logits(&m, &ps, &same)[0];
         let c = logits(&m, &ps, &diff)[0];
@@ -178,7 +186,12 @@ mod tests {
         let (m, ps) = build();
         let l = layout();
         let wrong = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 0, 2, &[1], MAX_SEQ + 1, 1.0,
+            &l,
+            0,
+            2,
+            &[1],
+            MAX_SEQ + 1,
+            1.0,
         )]);
         let _ = logits(&m, &ps, &wrong);
     }

@@ -108,13 +108,28 @@ mod tests {
         let (m, ps) = build();
         let l = layout();
         let base = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 1, 6, &[2, 3, 4], MAX_SEQ, 1.0,
+            &l,
+            1,
+            6,
+            &[2, 3, 4],
+            MAX_SEQ,
+            1.0,
         )]);
         let early_changed = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 1, 6, &[9, 10, 4], MAX_SEQ, 1.0,
+            &l,
+            1,
+            6,
+            &[9, 10, 4],
+            MAX_SEQ,
+            1.0,
         )]);
         let last_changed = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 1, 6, &[2, 3, 11], MAX_SEQ, 1.0,
+            &l,
+            1,
+            6,
+            &[2, 3, 11],
+            MAX_SEQ,
+            1.0,
         )]);
         let a = logits(&m, &ps, &base)[0];
         let b = logits(&m, &ps, &early_changed)[0];
@@ -128,10 +143,20 @@ mod tests {
         let (m, ps) = build();
         let l = layout();
         let u1 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 0, 6, &[2], MAX_SEQ, 1.0,
+            &l,
+            0,
+            6,
+            &[2],
+            MAX_SEQ,
+            1.0,
         )]);
         let u2 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
-            &l, 3, 6, &[2], MAX_SEQ, 1.0,
+            &l,
+            3,
+            6,
+            &[2],
+            MAX_SEQ,
+            1.0,
         )]);
         let a = logits(&m, &ps, &u1)[0];
         let b = logits(&m, &ps, &u2)[0];

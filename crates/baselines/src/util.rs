@@ -49,8 +49,20 @@ impl FmBase {
         d: usize,
     ) -> Self {
         FmBase {
-            emb_static: Embedding::new(ps, rng, &format!("{name}.emb_static"), layout.m_static(), d),
-            emb_dynamic: Embedding::new(ps, rng, &format!("{name}.emb_dynamic"), layout.m_dynamic(), d),
+            emb_static: Embedding::new(
+                ps,
+                rng,
+                &format!("{name}.emb_static"),
+                layout.m_static(),
+                d,
+            ),
+            emb_dynamic: Embedding::new(
+                ps,
+                rng,
+                &format!("{name}.emb_dynamic"),
+                layout.m_dynamic(),
+                d,
+            ),
             w_static: Embedding::zeros(ps, &format!("{name}.w_static"), layout.m_static(), 1),
             w_dynamic: Embedding::zeros(ps, &format!("{name}.w_dynamic"), layout.m_dynamic(), 1),
             w0: ps.add_dense(format!("{name}.w0"), seqfm_tensor::Tensor::zeros(Shape::d1(1))),

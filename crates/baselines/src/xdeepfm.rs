@@ -170,16 +170,11 @@ mod tests {
         // field_products on a hand-built tensor: [b=1, m=2, d=2] with itself
         // gives 4 rows of elementwise products.
         let mut g = Graph::new();
-        let x = g.input(seqfm_tensor::Tensor::from_vec(
-            Shape::d3(1, 2, 2),
-            vec![1.0, 2.0, 3.0, 4.0],
-        ));
+        let x =
+            g.input(seqfm_tensor::Tensor::from_vec(Shape::d3(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]));
         let p = XDeepFm::field_products(&mut g, x, x);
         assert_eq!(g.value(p).shape(), Shape::d3(1, 4, 2));
         // rows: f0⊙f0, f0⊙f1, f1⊙f0, f1⊙f1
-        assert_eq!(
-            g.value(p).data(),
-            &[1.0, 4.0, 3.0, 8.0, 3.0, 8.0, 9.0, 16.0]
-        );
+        assert_eq!(g.value(p).data(), &[1.0, 4.0, 3.0, 8.0, 3.0, 8.0, 9.0, 16.0]);
     }
 }

@@ -14,7 +14,14 @@ fn batch_for(layout: &FeatureLayout, max_seq: usize) -> Batch {
     let insts: Vec<_> = (0..64)
         .map(|i| {
             let hist: Vec<u32> = (0..max_seq).map(|j| ((i + j) % layout.n_items) as u32).collect();
-            build_instance(layout, (i % layout.n_users) as u32, (i % layout.n_items) as u32, &hist, max_seq, 1.0)
+            build_instance(
+                layout,
+                (i % layout.n_users) as u32,
+                (i % layout.n_items) as u32,
+                &hist,
+                max_seq,
+                1.0,
+            )
         })
         .collect();
     Batch::from_instances(&insts)

@@ -38,21 +38,25 @@ fn bench_train_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("train_step_batch128_d32");
     group.sample_size(10);
     for kind in kinds {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
-            let mut ps = ParamStore::new();
-            let mut rng = StdRng::seed_from_u64(1);
-            let model = build(kind, &mut ps, &mut rng, &layout, 32, max_seq);
-            let mut opt = Adam::new(1e-3);
-            b.iter(|| {
-                let mut g = Graph::new();
-                let y = model.forward(&mut g, &ps, &batch, true, &mut rng);
-                let sq = g.square(y);
-                let loss = g.mean_all(sq);
-                ps.zero_grads();
-                g.backward(loss, &mut ps);
-                opt.step(&mut ps).expect("finite");
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut ps = ParamStore::new();
+                let mut rng = StdRng::seed_from_u64(1);
+                let model = build(kind, &mut ps, &mut rng, &layout, 32, max_seq);
+                let mut opt = Adam::new(1e-3);
+                b.iter(|| {
+                    let mut g = Graph::new();
+                    let y = model.forward(&mut g, &ps, &batch, true, &mut rng);
+                    let sq = g.square(y);
+                    let loss = g.mean_all(sq);
+                    ps.zero_grads();
+                    g.backward(loss, &mut ps);
+                    opt.step(&mut ps).expect("finite");
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -64,16 +68,20 @@ fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("inference_batch256_d32");
     group.sample_size(10);
     for kind in [ModelKind::Fm, ModelKind::SeqFm] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &kind, |b, &kind| {
-            let mut ps = ParamStore::new();
-            let mut rng = StdRng::seed_from_u64(1);
-            let model = build(kind, &mut ps, &mut rng, &layout, 32, max_seq);
-            b.iter(|| {
-                let mut g = Graph::new();
-                let y = model.forward(&mut g, &ps, &batch, false, &mut rng);
-                std::hint::black_box(g.value(y).sum());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                let mut ps = ParamStore::new();
+                let mut rng = StdRng::seed_from_u64(1);
+                let model = build(kind, &mut ps, &mut rng, &layout, 32, max_seq);
+                b.iter(|| {
+                    let mut g = Graph::new();
+                    let y = model.forward(&mut g, &ps, &batch, false, &mut rng);
+                    std::hint::black_box(g.value(y).sum());
+                });
+            },
+        );
     }
     group.finish();
 }

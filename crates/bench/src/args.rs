@@ -67,9 +67,8 @@ impl HarnessArgs {
         let mut out = HarnessArgs::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
-            let mut value = |name: &str| {
-                it.next().ok_or_else(|| format!("missing value for {name}"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
             match arg.as_str() {
                 "--scale" => {
                     out.scale = match value("--scale")?.as_str() {
@@ -81,9 +80,7 @@ impl HarnessArgs {
                 "--d" => out.d = parse_num(&value("--d")?, "--d")?,
                 "--epochs" => out.epochs = Some(parse_num(&value("--epochs")?, "--epochs")?),
                 "--lr" => {
-                    out.lr = value("--lr")?
-                        .parse()
-                        .map_err(|_| "invalid --lr".to_string())?
+                    out.lr = value("--lr")?.parse().map_err(|_| "invalid --lr".to_string())?
                 }
                 "--negatives" => out.negatives = parse_num(&value("--negatives")?, "--negatives")?,
                 "--seq" => out.max_seq = parse_num(&value("--seq")?, "--seq")?,

@@ -31,13 +31,8 @@ fn run_point(p: Point, task: Task, prep: &Prepared, args: &HarnessArgs) -> f64 {
         ctr_negatives: 5,
         seed: args.seed,
     };
-    let cfg = SeqFmConfig {
-        d: p.d,
-        layers: p.l,
-        max_seq: p.n_seq,
-        dropout: p.rho,
-        ..Default::default()
-    };
+    let cfg =
+        SeqFmConfig { d: p.d, layers: p.l, max_seq: p.n_seq, dropout: p.rho, ..Default::default() };
     let mut ps = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0xC0FFEE);
     let model = SeqFm::new(&mut ps, &mut rng, &prep.layout, cfg);
@@ -54,12 +49,21 @@ fn run_point(p: Point, task: Task, prep: &Prepared, args: &HarnessArgs) -> f64 {
         }
         Task::Ctr => {
             train_ctr(&model, &mut ps, &prep.split, &prep.layout, &prep.sampler, &tc);
-            evaluate_ctr(&model, &ps, &prep.split, &prep.layout, &prep.sampler, p.n_seq, args.seed ^ 0xE7A2)
-                .auc
+            evaluate_ctr(
+                &model,
+                &ps,
+                &prep.split,
+                &prep.layout,
+                &prep.sampler,
+                p.n_seq,
+                args.seed ^ 0xE7A2,
+            )
+            .auc
         }
         Task::Rating => {
             let report = train_rating(&model, &mut ps, &prep.split, &prep.layout, &tc);
-            evaluate_rating(&model, &ps, &prep.split, &prep.layout, p.n_seq, report.target_offset).mae
+            evaluate_rating(&model, &ps, &prep.split, &prep.layout, p.n_seq, report.target_offset)
+                .mae
         }
     }
 }

@@ -21,7 +21,10 @@ fn main() {
     let args = HarnessArgs::parse();
     let sets = all_presets(args.scale);
     let mut table = Table::new(
-        format!("Table I — dataset statistics (scale: {:?}; paper values in parentheses)", args.scale),
+        format!(
+            "Table I — dataset statistics (scale: {:?}; paper values in parentheses)",
+            args.scale
+        ),
         &["#Instance", "#User", "#Object", "#Feature(Sparse)"],
     );
     for (ds, paper) in sets.iter().zip(PAPER) {

@@ -9,7 +9,7 @@ use seqfm_data::ranking::{generate, RankingConfig};
 fn main() {
     let args = HarnessArgs::parse();
     let models = ranking_models();
-    let datasets = vec![
+    let datasets = [
         Prepared::new(generate(&RankingConfig::gowalla(args.scale)).expect("preset valid")),
         Prepared::new(generate(&RankingConfig::foursquare(args.scale)).expect("preset valid")),
     ];
@@ -23,9 +23,8 @@ fn main() {
     );
 
     // one job per (dataset, model)
-    let jobs: Vec<(usize, usize)> = (0..datasets.len())
-        .flat_map(|di| (0..models.len()).map(move |mi| (di, mi)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..datasets.len()).flat_map(|di| (0..models.len()).map(move |mi| (di, mi))).collect();
     let results = run_jobs(jobs.len(), args.serial, |j| {
         let (di, mi) = jobs[j];
         run_one(models[mi], Task::Ranking, &datasets[di], &args)
@@ -46,10 +45,8 @@ fn main() {
             );
         }
         print!("{}", table.render());
-        let path = args
-            .out
-            .clone()
-            .unwrap_or_else(|| format!("results/table2_{}.tsv", prep.ds.name));
+        let path =
+            args.out.clone().unwrap_or_else(|| format!("results/table2_{}.tsv", prep.ds.name));
         table.write_tsv(&path);
     }
     let total: f64 = results.iter().map(|r| r.train_seconds).sum();

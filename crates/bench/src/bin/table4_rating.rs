@@ -9,7 +9,7 @@ use seqfm_data::rating::{generate, RatingConfig};
 fn main() {
     let args = HarnessArgs::parse();
     let models = rating_models();
-    let datasets = vec![
+    let datasets = [
         Prepared::new(generate(&RatingConfig::beauty(args.scale)).expect("preset valid")),
         Prepared::new(generate(&RatingConfig::toys(args.scale)).expect("preset valid")),
     ];
@@ -21,9 +21,8 @@ fn main() {
         args.epochs_or(seqfm_bench::default_epochs(Task::Rating)),
     );
 
-    let jobs: Vec<(usize, usize)> = (0..datasets.len())
-        .flat_map(|di| (0..models.len()).map(move |mi| (di, mi)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..datasets.len()).flat_map(|di| (0..models.len()).map(move |mi| (di, mi))).collect();
     let results = run_jobs(jobs.len(), args.serial, |j| {
         let (di, mi) = jobs[j];
         run_one(models[mi], Task::Rating, &datasets[di], &args)
@@ -44,10 +43,8 @@ fn main() {
             );
         }
         print!("{}", table.render());
-        let path = args
-            .out
-            .clone()
-            .unwrap_or_else(|| format!("results/table4_{}.tsv", prep.ds.name));
+        let path =
+            args.out.clone().unwrap_or_else(|| format!("results/table4_{}.tsv", prep.ds.name));
         table.write_tsv(&path);
     }
     let total: f64 = results.iter().map(|r| r.train_seconds).sum();

@@ -41,13 +41,28 @@ fn run_variant(ablation: Ablation, task: Task, prep: &Prepared, args: &HarnessAr
         }
         Task::Ctr => {
             train_ctr(&model, &mut ps, &prep.split, &prep.layout, &prep.sampler, &tc);
-            evaluate_ctr(&model, &ps, &prep.split, &prep.layout, &prep.sampler, args.max_seq, args.seed ^ 0xE7A2)
-                .auc
+            evaluate_ctr(
+                &model,
+                &ps,
+                &prep.split,
+                &prep.layout,
+                &prep.sampler,
+                args.max_seq,
+                args.seed ^ 0xE7A2,
+            )
+            .auc
         }
         Task::Rating => {
             let report = train_rating(&model, &mut ps, &prep.split, &prep.layout, &tc);
-            evaluate_rating(&model, &ps, &prep.split, &prep.layout, args.max_seq, report.target_offset)
-                .mae
+            evaluate_rating(
+                &model,
+                &ps,
+                &prep.split,
+                &prep.layout,
+                args.max_seq,
+                report.target_offset,
+            )
+            .mae
         }
     }
 }
@@ -65,9 +80,8 @@ fn main() {
         .collect();
     eprintln!("table5: {} variants x {} datasets", variants.len(), datasets.len());
 
-    let jobs: Vec<(usize, usize)> = (0..variants.len())
-        .flat_map(|vi| (0..datasets.len()).map(move |di| (vi, di)))
-        .collect();
+    let jobs: Vec<(usize, usize)> =
+        (0..variants.len()).flat_map(|vi| (0..datasets.len()).map(move |di| (vi, di))).collect();
     let results = run_jobs(jobs.len(), args.serial, |j| {
         let (vi, di) = jobs[j];
         let (task, prep) = &datasets[di];

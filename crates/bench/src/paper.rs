@@ -11,13 +11,29 @@
 /// `(name, [gowalla HR@5,10,20, NDCG@5,10,20], [foursquare …])`.
 pub const TABLE2: &[(&str, [f64; 6], [f64; 6])] = &[
     ("FM", [0.232, 0.318, 0.419, 0.158, 0.187, 0.211], [0.241, 0.303, 0.433, 0.169, 0.201, 0.217]),
-    ("Wide&Deep", [0.288, 0.401, 0.532, 0.199, 0.238, 0.267], [0.233, 0.317, 0.422, 0.165, 0.192, 0.218]),
-    ("DeepCross", [0.273, 0.379, 0.505, 0.182, 0.204, 0.241], [0.282, 0.355, 0.492, 0.198, 0.210, 0.229]),
+    (
+        "Wide&Deep",
+        [0.288, 0.401, 0.532, 0.199, 0.238, 0.267],
+        [0.233, 0.317, 0.422, 0.165, 0.192, 0.218],
+    ),
+    (
+        "DeepCross",
+        [0.273, 0.379, 0.505, 0.182, 0.204, 0.241],
+        [0.282, 0.355, 0.492, 0.198, 0.210, 0.229],
+    ),
     ("NFM", [0.286, 0.395, 0.525, 0.199, 0.236, 0.264], [0.239, 0.325, 0.435, 0.170, 0.198, 0.225]),
     ("AFM", [0.295, 0.407, 0.534, 0.204, 0.242, 0.270], [0.279, 0.379, 0.504, 0.199, 0.212, 0.233]),
-    ("SASRec", [0.310, 0.424, 0.559, 0.209, 0.253, 0.285], [0.266, 0.350, 0.467, 0.175, 0.204, 0.216]),
+    (
+        "SASRec",
+        [0.310, 0.424, 0.559, 0.209, 0.253, 0.285],
+        [0.266, 0.350, 0.467, 0.175, 0.204, 0.216],
+    ),
     ("TFM", [0.307, 0.430, 0.556, 0.216, 0.256, 0.283], [0.283, 0.390, 0.512, 0.203, 0.223, 0.248]),
-    ("SeqFM", [0.345, 0.467, 0.603, 0.243, 0.283, 0.316], [0.324, 0.431, 0.554, 0.227, 0.262, 0.293]),
+    (
+        "SeqFM",
+        [0.345, 0.467, 0.603, 0.243, 0.283, 0.316],
+        [0.324, 0.431, 0.554, 0.227, 0.262, 0.293],
+    ),
 ];
 
 /// Table III: CTR results. Per model:
@@ -46,10 +62,12 @@ pub const TABLE4: &[(&str, [f64; 2], [f64; 2])] = &[
     ("SeqFM", [0.890, 0.975], [0.704, 0.956]),
 ];
 
-/// Table V: ablation study. Per variant:
-/// `(name, [HR@10 gowalla, foursquare], [AUC trivago, taobao],
-/// [MAE beauty, toys])`.
-pub const TABLE5: &[(&str, [f64; 2], [f64; 2], [f64; 2])] = &[
+/// One Table-V row: `(name, [HR@10 gowalla, foursquare],
+/// [AUC trivago, taobao], [MAE beauty, toys])`.
+pub type AblationRow = (&'static str, [f64; 2], [f64; 2], [f64; 2]);
+
+/// Table V: ablation study.
+pub const TABLE5: &[AblationRow] = &[
     ("Default", [0.467, 0.431], [0.957, 0.826], [0.890, 0.704]),
     ("Remove SV", [0.455, 0.420], [0.892, 0.765], [0.959, 0.762]),
     ("Remove DV", [0.424, 0.396], [0.862, 0.731], [0.972, 0.772]),
@@ -115,11 +133,7 @@ mod tests {
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;
-        let slope: f64 = xs
-            .iter()
-            .zip(&ys)
-            .map(|(&x, &y)| (x - mx) * (y - my))
-            .sum::<f64>()
+        let slope: f64 = xs.iter().zip(&ys).map(|(&x, &y)| (x - mx) * (y - my)).sum::<f64>()
             / xs.iter().map(|&x| (x - mx) * (x - mx)).sum::<f64>();
         for (&x, &y) in xs.iter().zip(&ys) {
             let fit = my + slope * (x - mx);

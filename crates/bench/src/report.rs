@@ -37,14 +37,8 @@ impl Table {
 
     /// Renders an aligned text table.
     pub fn render(&self) -> String {
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain(std::iter::once(5))
-            .max()
-            .unwrap_or(5)
-            + 2;
+        let label_w =
+            self.rows.iter().map(|(l, _)| l.len()).chain(std::iter::once(5)).max().unwrap_or(5) + 2;
         let col_ws: Vec<usize> = self
             .columns
             .iter()

@@ -108,7 +108,7 @@ impl BestEpoch {
     /// Records epoch `epoch` with validation `metric` (higher = better);
     /// returns `true` when training should stop (metric plateaued).
     pub fn observe(&mut self, epoch: usize, total: usize, metric: f64, ps: &ParamStore) -> bool {
-        if epoch % self.every != 0 && epoch + 1 != total {
+        if !epoch.is_multiple_of(self.every) && epoch + 1 != total {
             return false;
         }
         if metric > self.best_metric {
@@ -124,7 +124,7 @@ impl BestEpoch {
 
     /// `true` when `epoch` is an evaluation epoch.
     pub fn due(&self, epoch: usize, total: usize) -> bool {
-        epoch % self.every == 0 || epoch + 1 == total
+        epoch.is_multiple_of(self.every) || epoch + 1 == total
     }
 
     /// Restores the best checkpoint into `ps`.
@@ -163,17 +163,30 @@ pub fn run_one(kind: ModelKind, task: Task, prep: &Prepared, args: &HarnessArgs)
             let report = {
                 let m: &dyn SeqModel = model.as_ref();
                 let sel = &mut selector;
-                train_ranking_with_hook(m, &mut ps, &prep.split, &prep.layout, &prep.sampler, &tc, |epoch, ps| {
-                    if sel.due(epoch, epochs) {
-                        let acc = evaluate_ranking_on(
-                            m, ps, &prep.split, &prep.layout, &prep.sampler, &valid_ec,
-                            EvalSplit::Validation,
-                        );
-                        sel.observe(epoch, epochs, acc.hr(10), ps)
-                    } else {
-                        false
-                    }
-                })
+                train_ranking_with_hook(
+                    m,
+                    &mut ps,
+                    &prep.split,
+                    &prep.layout,
+                    &prep.sampler,
+                    &tc,
+                    |epoch, ps| {
+                        if sel.due(epoch, epochs) {
+                            let acc = evaluate_ranking_on(
+                                m,
+                                ps,
+                                &prep.split,
+                                &prep.layout,
+                                &prep.sampler,
+                                &valid_ec,
+                                EvalSplit::Validation,
+                            );
+                            sel.observe(epoch, epochs, acc.hr(10), ps)
+                        } else {
+                            false
+                        }
+                    },
+                )
             };
             selector.restore(&mut ps);
             let ec = RankingEvalConfig {
@@ -182,10 +195,24 @@ pub fn run_one(kind: ModelKind, task: Task, prep: &Prepared, args: &HarnessArgs)
                 batch_size: 256,
                 seed: args.seed ^ 0xE7A1,
             };
-            let acc = evaluate_ranking(model.as_ref(), &ps, &prep.split, &prep.layout, &prep.sampler, &ec);
+            let acc = evaluate_ranking(
+                model.as_ref(),
+                &ps,
+                &prep.split,
+                &prep.layout,
+                &prep.sampler,
+                &ec,
+            );
             ResultRow {
                 model: model.name().to_string(),
-                metrics: vec![acc.hr(5), acc.hr(10), acc.hr(20), acc.ndcg(5), acc.ndcg(10), acc.ndcg(20)],
+                metrics: vec![
+                    acc.hr(5),
+                    acc.hr(10),
+                    acc.hr(20),
+                    acc.ndcg(5),
+                    acc.ndcg(10),
+                    acc.ndcg(20),
+                ],
                 train_seconds: report.seconds,
             }
         }
@@ -193,17 +220,31 @@ pub fn run_one(kind: ModelKind, task: Task, prep: &Prepared, args: &HarnessArgs)
             let report = {
                 let m: &dyn SeqModel = model.as_ref();
                 let sel = &mut selector;
-                train_ctr_with_hook(m, &mut ps, &prep.split, &prep.layout, &prep.sampler, &tc, |epoch, ps| {
-                    if sel.due(epoch, epochs) {
-                        let ev = evaluate_ctr_on(
-                            m, ps, &prep.split, &prep.layout, &prep.sampler, args.max_seq,
-                            args.seed ^ 0x5A12D, EvalSplit::Validation,
-                        );
-                        sel.observe(epoch, epochs, ev.auc, ps)
-                    } else {
-                        false
-                    }
-                })
+                train_ctr_with_hook(
+                    m,
+                    &mut ps,
+                    &prep.split,
+                    &prep.layout,
+                    &prep.sampler,
+                    &tc,
+                    |epoch, ps| {
+                        if sel.due(epoch, epochs) {
+                            let ev = evaluate_ctr_on(
+                                m,
+                                ps,
+                                &prep.split,
+                                &prep.layout,
+                                &prep.sampler,
+                                args.max_seq,
+                                args.seed ^ 0x5A12D,
+                                EvalSplit::Validation,
+                            );
+                            sel.observe(epoch, epochs, ev.auc, ps)
+                        } else {
+                            false
+                        }
+                    },
+                )
             };
             selector.restore(&mut ps);
             let ev = evaluate_ctr(
@@ -241,7 +282,12 @@ pub fn run_one(kind: ModelKind, task: Task, prep: &Prepared, args: &HarnessArgs)
                 train_rating_with_hook(m, &mut ps, &prep.split, &prep.layout, &tc, |epoch, ps| {
                     if sel.due(epoch, epochs) {
                         let ev = evaluate_rating_on(
-                            m, ps, &prep.split, &prep.layout, args.max_seq, offset,
+                            m,
+                            ps,
+                            &prep.split,
+                            &prep.layout,
+                            args.max_seq,
+                            offset,
                             EvalSplit::Validation,
                         );
                         sel.observe(epoch, epochs, -ev.mae, ps)

@@ -65,7 +65,9 @@ impl Ablation {
     /// Number of active views (width of the aggregated representation is
     /// `views × d`, Eq. 17).
     pub fn active_views(&self) -> usize {
-        usize::from(self.static_view) + usize::from(self.dynamic_view) + usize::from(self.cross_view)
+        usize::from(self.static_view)
+            + usize::from(self.dynamic_view)
+            + usize::from(self.cross_view)
     }
 }
 
@@ -141,8 +143,11 @@ mod tests {
         assert!(!v[5].1.layer_norm);
         // each variant differs from default in exactly the named switch
         for (name, ab) in &v[1..] {
-            assert_eq!(ab.active_views() + usize::from(ab.residual) + usize::from(ab.layer_norm),
-                       4, "variant {name} should disable exactly one switch");
+            assert_eq!(
+                ab.active_views() + usize::from(ab.residual) + usize::from(ab.layer_norm),
+                4,
+                "variant {name} should disable exactly one switch"
+            );
         }
     }
 

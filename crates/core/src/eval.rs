@@ -328,8 +328,15 @@ mod tests {
         let oracle = Oracle { answers, layout, hi: 10.0, lo: 0.0 };
         let ps = ParamStore::new();
         let cfg = RankingEvalConfig { negatives: 20, max_seq: 6, ..Default::default() };
-        let on_valid =
-            evaluate_ranking_on(&oracle, &ps, &split, &layout, &sampler, &cfg, EvalSplit::Validation);
+        let on_valid = evaluate_ranking_on(
+            &oracle,
+            &ps,
+            &split,
+            &layout,
+            &sampler,
+            &cfg,
+            EvalSplit::Validation,
+        );
         let on_test =
             evaluate_ranking_on(&oracle, &ps, &split, &layout, &sampler, &cfg, EvalSplit::Test);
         assert_eq!(on_valid.hr(5), 1.0);

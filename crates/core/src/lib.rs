@@ -105,7 +105,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let cfg = SeqFmConfig { d: 8, max_seq: 8, dropout: 0.1, ..Default::default() };
         let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
-        let tc = TrainConfig { epochs: 30, batch_size: 64, lr: 1e-2, max_seq: 8, ..Default::default() };
+        let tc =
+            TrainConfig { epochs: 30, batch_size: 64, lr: 1e-2, max_seq: 8, ..Default::default() };
         let report = train_ranking(&model, &mut ps, &split, &layout, &sampler, &tc);
         assert_eq!(report.epoch_losses.len(), 30);
         assert!(
@@ -128,7 +129,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let cfg = SeqFmConfig { d: 8, max_seq: 8, dropout: 0.1, ..Default::default() };
         let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
-        let tc = TrainConfig { epochs: 20, batch_size: 96, lr: 1e-2, max_seq: 8, ctr_negatives: 3, ..Default::default() };
+        let tc = TrainConfig {
+            epochs: 20,
+            batch_size: 96,
+            lr: 1e-2,
+            max_seq: 8,
+            ctr_negatives: 3,
+            ..Default::default()
+        };
         let report = train_ctr(&model, &mut ps, &split, &layout, &sampler, &tc);
         assert!(report.final_loss() < report.epoch_losses[0]);
         let eval = evaluate_ctr(&model, &ps, &split, &layout, &sampler, 8, 1);
@@ -138,19 +146,22 @@ mod tests {
 
     #[test]
     fn rating_training_beats_mean_predictor() {
+        // Small but not starved: at ~30 users the per-item rating signal is
+        // too thin for *any* model to beat the constant predictor on the
+        // held-out last events, so the quality bar below would test luck,
+        // not learning.
         let mut cfg = seqfm_data::rating::RatingConfig::beauty(Scale::Small);
-        cfg.n_users = 30;
-        cfg.n_items = 60;
-        cfg.min_len = 6;
-        cfg.max_len = 10;
+        cfg.n_users = 64;
+        cfg.n_items = 120;
         let ds = seqfm_data::rating::generate(&cfg).unwrap();
         let split = LeaveOneOut::split(&ds);
         let layout = FeatureLayout::of(&ds);
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(7);
-        let mcfg = SeqFmConfig { d: 8, max_seq: 8, dropout: 0.1, ..Default::default() };
+        let mcfg = SeqFmConfig { d: 8, max_seq: 8, dropout: 0.3, ..Default::default() };
         let model = SeqFm::new(&mut ps, &mut rng, &layout, mcfg);
-        let tc = TrainConfig { epochs: 30, batch_size: 64, lr: 1e-2, max_seq: 8, ..Default::default() };
+        let tc =
+            TrainConfig { epochs: 30, batch_size: 64, lr: 5e-3, max_seq: 8, ..Default::default() };
         let report = train_rating(&model, &mut ps, &split, &layout, &tc);
         assert!(report.final_loss() < report.epoch_losses[0]);
         assert!(report.target_offset > 2.0 && report.target_offset < 5.0);

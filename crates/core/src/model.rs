@@ -106,8 +106,7 @@ impl SeqFm {
                 // block) are always real.
                 let mut ind = Tensor::ones(Shape::d3(b, n, d));
                 let mut inv = Tensor::zeros(Shape::d2(b, d));
-                for bi in 0..b {
-                    let pad = pads[bi];
+                for (bi, &pad) in pads.iter().enumerate().take(b) {
                     for r in n_fixed..n_fixed + pad {
                         ind.data_mut()[(bi * n + r) * d..(bi * n + r + 1) * d].fill(0.0);
                     }
@@ -342,9 +341,9 @@ mod tests {
         // Same inputs, two pooling modes: outputs differ for padded samples.
         let l = layout();
         let mk = |masked: bool| {
-            let mut ab = Ablation::default();
-            ab.masked_pooling = masked;
-            let cfg = SeqFmConfig { d: 8, max_seq: 6, dropout: 0.0, ablation: ab, ..Default::default() };
+            let ab = Ablation { masked_pooling: masked, ..Default::default() };
+            let cfg =
+                SeqFmConfig { d: 8, max_seq: 6, dropout: 0.0, ablation: ab, ..Default::default() };
             let mut ps = ParamStore::new();
             let mut rng = StdRng::seed_from_u64(1);
             let m = SeqFm::new(&mut ps, &mut rng, &l, cfg);

@@ -41,7 +41,14 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 10, batch_size: 128, lr: 3e-3, max_seq: 20, ctr_negatives: 5, seed: 42 }
+        TrainConfig {
+            epochs: 10,
+            batch_size: 128,
+            lr: 3e-3,
+            max_seq: 20,
+            ctr_negatives: 5,
+            seed: 42,
+        }
     }
 }
 
@@ -259,9 +266,11 @@ pub fn train_rating_with_hook(
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut steps = 0usize;
     let offset = {
-        let (sum, count) = split.train.iter().flatten().fold((0.0f64, 0usize), |(s, c), e| {
-            (s + e.rating as f64, c + 1)
-        });
+        let (sum, count) = split
+            .train
+            .iter()
+            .flatten()
+            .fold((0.0f64, 0usize), |(s, c), e| (s + e.rating as f64, c + 1));
         (sum / count.max(1) as f64) as f32
     };
 
@@ -297,5 +306,10 @@ pub fn train_rating_with_hook(
             break;
         }
     }
-    TrainReport { epoch_losses, seconds: start.elapsed().as_secs_f64(), steps, target_offset: offset }
+    TrainReport {
+        epoch_losses,
+        seconds: start.elapsed().as_secs_f64(),
+        steps,
+        target_offset: offset,
+    }
 }

@@ -332,10 +332,8 @@ mod tests {
     #[test]
     fn batch_flattening_roundtrip() {
         let l = FeatureLayout { n_users: 2, n_items: 4 };
-        let insts = vec![
-            build_instance(&l, 0, 1, &[2], 2, 1.0),
-            build_instance(&l, 1, 3, &[0, 1], 2, 0.0),
-        ];
+        let insts =
+            vec![build_instance(&l, 0, 1, &[2], 2, 1.0), build_instance(&l, 1, 3, &[0, 1], 2, 0.0)];
         let b = Batch::from_instances(&insts);
         assert_eq!(b.len, 2);
         assert_eq!(b.static_idx, vec![0, 3, 1, 5]);

@@ -68,7 +68,7 @@ impl CtrConfig {
             memory_window: 5,
             zipf_s: 1.05,
             pref_sharpness: 1.1,
-            seed: 0x7121_A60,
+            seed: 0x0712_1A60,
         }
     }
 

@@ -81,7 +81,11 @@ pub fn validate_prob(field: &'static str, value: f64) -> Result<(), ConfigError>
 /// Assigns each of `n_items` to one of `n_clusters` clusters, guaranteeing
 /// every cluster is non-empty (first `n_clusters` items seed the clusters,
 /// the rest are assigned uniformly at random).
-pub fn assign_clusters<R: Rng + ?Sized>(rng: &mut R, n_items: usize, n_clusters: usize) -> Vec<u16> {
+pub fn assign_clusters<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_items: usize,
+    n_clusters: usize,
+) -> Vec<u16> {
     let mut cluster = Vec::with_capacity(n_items);
     for i in 0..n_items {
         if i < n_clusters {

@@ -124,10 +124,8 @@ pub fn read_tsv<R: BufRead>(reader: R, opts: &ImportOptions) -> Result<Dataset, 
     for (_, item, _, _) in &raw {
         *item_counts.entry(item).or_default() += 1;
     }
-    let keep_item: HashMap<String, bool> = item_counts
-        .iter()
-        .map(|(k, &v)| (k.to_string(), v >= opts.min_item_events))
-        .collect();
+    let keep_item: HashMap<String, bool> =
+        item_counts.iter().map(|(k, &v)| (k.to_string(), v >= opts.min_item_events)).collect();
     let mut user_counts: HashMap<&str, usize> = HashMap::new();
     for (user, item, _, _) in &raw {
         if keep_item[item.as_str()] {
@@ -139,7 +137,8 @@ pub fn read_tsv<R: BufRead>(reader: R, opts: &ImportOptions) -> Result<Dataset, 
     let mut item_ids: HashMap<String, u32> = HashMap::new();
     let mut per_user_raw: Vec<Vec<(i64, usize, u32, f32)>> = Vec::new(); // (time, input order, item, rating)
     for (order, (user, item, time, rating)) in raw.iter().enumerate() {
-        if !keep_item[item.as_str()] || user_counts.get(user.as_str()).copied().unwrap_or(0) < opts.min_user_events
+        if !keep_item[item.as_str()]
+            || user_counts.get(user.as_str()).copied().unwrap_or(0) < opts.min_user_events
         {
             continue;
         }

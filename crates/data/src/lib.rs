@@ -19,14 +19,16 @@
 
 pub mod common;
 pub mod ctr;
-pub mod io;
 pub mod genutil;
+pub mod io;
 pub mod ranking;
 pub mod rating;
 pub mod sampler;
 pub mod split;
 
-pub use common::{build_instance, Batch, Dataset, DatasetStats, Event, FeatureLayout, Instance, PAD};
+pub use common::{
+    build_instance, Batch, Dataset, DatasetStats, Event, FeatureLayout, Instance, PAD,
+};
 pub use genutil::ConfigError;
 pub use sampler::NegativeSampler;
 pub use split::LeaveOneOut;

@@ -230,10 +230,8 @@ mod tests {
         for seq in &ds.per_user {
             for i in 3..seq.len() {
                 let next = ds.item_cluster[seq[i].item as usize];
-                let window: Vec<u16> = seq[i - 3..i]
-                    .iter()
-                    .map(|e| ds.item_cluster[e.item as usize])
-                    .collect();
+                let window: Vec<u16> =
+                    seq[i - 3..i].iter().map(|e| ds.item_cluster[e.item as usize]).collect();
                 if window.contains(&next) {
                     hits += 1;
                 }

@@ -119,10 +119,7 @@ fn affinity(history: &[Event], clusters: &[u16], candidate_cluster: u16, window:
     }
     let take = history.len().min(window);
     let recent = &history[history.len() - take..];
-    let same = recent
-        .iter()
-        .filter(|e| clusters[e.item as usize] == candidate_cluster)
-        .count();
+    let same = recent.iter().filter(|e| clusters[e.item as usize] == candidate_cluster).count();
     same as f64 / take as f64 - 0.5
 }
 
@@ -167,11 +164,8 @@ pub fn generate(cfg: &RatingConfig) -> Result<Dataset, ConfigError> {
             }
             streak_left -= 1;
             let item = members[streak_cluster][sample_cdf(&mut rng, &zipfs[streak_cluster])];
-            let dot: f64 = user_lat[u]
-                .iter()
-                .zip(&item_lat[item as usize])
-                .map(|(&a, &b)| a * b)
-                .sum();
+            let dot: f64 =
+                user_lat[u].iter().zip(&item_lat[item as usize]).map(|(&a, &b)| a * b).sum();
             let drift = cfg.drift_weight
                 * affinity(&seq, &item_cluster, item_cluster[item as usize], cfg.affinity_window);
             let noisy = GLOBAL_MEAN

@@ -29,7 +29,12 @@ impl RankingAccumulator {
     pub fn new(ks: &[usize]) -> Self {
         assert!(!ks.is_empty(), "need at least one cutoff");
         assert!(ks.iter().all(|&k| k > 0), "cutoffs must be positive");
-        RankingAccumulator { ks: ks.to_vec(), hits: vec![0; ks.len()], ndcg: vec![0.0; ks.len()], cases: 0 }
+        RankingAccumulator {
+            ks: ks.to_vec(),
+            hits: vec![0; ks.len()],
+            ndcg: vec![0.0; ks.len()],
+            cases: 0,
+        }
     }
 
     /// Records one test case given the positive's 0-based rank.

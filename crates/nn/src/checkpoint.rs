@@ -109,9 +109,7 @@ pub fn load(ps: &mut ParamStore, blob: &[u8]) -> Result<(), CheckpointError> {
         if buf.remaining() < numel * 4 {
             return Err(CheckpointError::Truncated);
         }
-        let id = ps
-            .id_of(&name)
-            .ok_or_else(|| CheckpointError::UnknownParam(name.clone()))?;
+        let id = ps.id_of(&name).ok_or_else(|| CheckpointError::UnknownParam(name.clone()))?;
         let expected = ps.value(id).numel();
         if expected != numel {
             return Err(CheckpointError::ShapeMismatch { name, stored: numel, expected });

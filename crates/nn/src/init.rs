@@ -68,8 +68,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = normal(&mut rng, Shape::d2(100, 100), 2.0);
         let mean = t.mean();
-        let var =
-            t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
+        let var = t.data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / t.numel() as f32;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
     }

@@ -248,9 +248,8 @@ impl ResidualFfn {
         d: usize,
         l: usize,
     ) -> Self {
-        let layers = (0..l)
-            .map(|i| ResidualFfnLayer::new(ps, rng, &format!("{name}.{i}"), d))
-            .collect();
+        let layers =
+            (0..l).map(|i| ResidualFfnLayer::new(ps, rng, &format!("{name}.{i}"), d)).collect();
         ResidualFfn { layers }
     }
 

@@ -279,12 +279,7 @@ mod tests {
             ps.accumulate_dense(theta, &Tensor::vector(g));
             opt.step(&mut ps).expect("finite gradients");
         }
-        ps.value(theta)
-            .data()
-            .iter()
-            .zip(&target)
-            .map(|(&t, &tgt)| (t - tgt) * (t - tgt))
-            .sum()
+        ps.value(theta).data().iter().zip(&target).map(|(&t, &tgt)| (t - tgt) * (t - tgt)).sum()
     }
 
     #[test]

@@ -52,12 +52,7 @@ pub fn add_assign(acc: &mut Tensor, x: &Tensor) {
 /// # Panics
 /// Panics on shape mismatch.
 pub fn axpy(acc: &mut Tensor, s: f32, x: &Tensor) {
-    assert!(
-        acc.shape().same(&x.shape()),
-        "axpy shape mismatch: {} vs {}",
-        acc.shape(),
-        x.shape()
-    );
+    assert!(acc.shape().same(&x.shape()), "axpy shape mismatch: {} vs {}", acc.shape(), x.shape());
     for (a, &b) in acc.data_mut().iter_mut().zip(x.data()) {
         *a += s * b;
     }
@@ -71,12 +66,7 @@ pub fn axpy(acc: &mut Tensor, s: f32, x: &Tensor) {
 pub fn add_bias(x: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(b.shape().rank(), 1, "bias must be rank 1, got {}", b.shape());
     let d = b.numel();
-    assert_eq!(
-        x.shape().last_dim(),
-        d,
-        "bias dim {d} does not match last dim of {}",
-        x.shape()
-    );
+    assert_eq!(x.shape().last_dim(), d, "bias dim {d} does not match last dim of {}", x.shape());
     let mut out = x.clone();
     for row in out.data_mut().chunks_exact_mut(d) {
         for (o, &bv) in row.iter_mut().zip(b.data()) {

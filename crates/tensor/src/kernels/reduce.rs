@@ -113,10 +113,7 @@ mod tests {
 
     #[test]
     fn mean_and_sum_axis1() {
-        let x = Tensor::from_vec(
-            Shape::d3(1, 3, 2),
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
-        );
+        let x = Tensor::from_vec(Shape::d3(1, 3, 2), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_close(sum_axis1(&x).data(), &[9.0, 12.0], 1e-6);
         assert_close(mean_axis1(&x).data(), &[3.0, 4.0], 1e-6);
     }
@@ -126,12 +123,8 @@ mod tests {
         // <broadcast(dy), x> must equal <dy, sum(x)> (adjoint property).
         let x = Tensor::from_vec(Shape::d3(2, 2, 2), (0..8).map(|v| v as f32).collect());
         let dy = Tensor::from_vec(Shape::d2(2, 2), vec![0.5, -1.0, 2.0, 0.25]);
-        let lhs: f32 = broadcast_axis1(&dy, 2, 1.0)
-            .data()
-            .iter()
-            .zip(x.data())
-            .map(|(&a, &b)| a * b)
-            .sum();
+        let lhs: f32 =
+            broadcast_axis1(&dy, 2, 1.0).data().iter().zip(x.data()).map(|(&a, &b)| a * b).sum();
         let rhs: f32 = dy.data().iter().zip(sum_axis1(&x).data()).map(|(&a, &b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-5);
     }
@@ -151,12 +144,8 @@ mod tests {
         let shape = Shape::d2(2, 3);
         let x = Tensor::from_vec(shape, (0..6).map(|v| v as f32 - 2.0).collect());
         let dy = Tensor::vector(vec![1.5, -0.5]);
-        let lhs: f32 = expand_lastdim(&dy, shape)
-            .data()
-            .iter()
-            .zip(x.data())
-            .map(|(&a, &b)| a * b)
-            .sum();
+        let lhs: f32 =
+            expand_lastdim(&dy, shape).data().iter().zip(x.data()).map(|(&a, &b)| a * b).sum();
         let rhs: f32 = dy.data().iter().zip(sum_lastdim(&x).data()).map(|(&a, &b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-5);
     }

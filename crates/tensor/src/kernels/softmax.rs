@@ -141,11 +141,8 @@ fn softmax_impl(x: &Tensor, mask: Option<&AttnMask>) -> Tensor {
         r => panic!("softmax expects rank 2 or 3, got rank {r}"),
     };
     let mut out = Tensor::zeros(x.shape());
-    for (ri, (row_in, row_out)) in x
-        .data()
-        .chunks_exact(m)
-        .zip(out.data_mut().chunks_exact_mut(m))
-        .enumerate()
+    for (ri, (row_in, row_out)) in
+        x.data().chunks_exact(m).zip(out.data_mut().chunks_exact_mut(m)).enumerate()
     {
         let mask_row = mask.map(|mk| {
             let r = ri % rows_per_slice;

@@ -111,12 +111,7 @@ impl Tensor {
     /// # Panics
     /// Panics if `numel` differs.
     pub fn reshaped(&self, shape: Shape) -> Tensor {
-        assert_eq!(
-            self.numel(),
-            shape.numel(),
-            "cannot reshape {} into {shape}",
-            self.shape
-        );
+        assert_eq!(self.numel(), shape.numel(), "cannot reshape {} into {shape}", self.shape);
         Tensor { data: self.data.clone(), shape }
     }
 
@@ -125,21 +120,13 @@ impl Tensor {
     /// # Panics
     /// Panics if `numel` differs.
     pub fn reshape_in_place(&mut self, shape: Shape) {
-        assert_eq!(
-            self.numel(),
-            shape.numel(),
-            "cannot reshape {} into {shape}",
-            self.shape
-        );
+        assert_eq!(self.numel(), shape.numel(), "cannot reshape {} into {shape}", self.shape);
         self.shape = shape;
     }
 
     /// Applies `f` elementwise, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape,
-        }
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape }
     }
 
     /// Combines two same-shaped tensors elementwise.
@@ -154,12 +141,7 @@ impl Tensor {
             other.shape
         );
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
             shape: self.shape,
         }
     }

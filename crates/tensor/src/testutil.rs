@@ -16,10 +16,7 @@ pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) {
         expected.len()
     );
     for (i, (&a, &e)) in actual.iter().zip(expected).enumerate() {
-        assert!(
-            (a - e).abs() <= tol,
-            "element {i}: actual {a} vs expected {e} (tol {tol})"
-        );
+        assert!((a - e).abs() <= tol, "element {i}: actual {a} vs expected {e} (tol {tol})");
     }
 }
 

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use seqfm_tensor::{
-    bmm_nn, ew, matmul_nn, matmul_nt, matmul_tn, reduce, softmax_lastdim,
-    softmax_lastdim_masked, AttnMask, Shape, Tensor,
+    bmm_nn, ew, matmul_nn, matmul_nt, matmul_tn, reduce, softmax_lastdim, softmax_lastdim_masked,
+    AttnMask, Shape, Tensor,
 };
 
 fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {

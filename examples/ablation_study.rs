@@ -31,7 +31,8 @@ fn main() {
         ("Remove CV", Ablation { cross_view: false, ..base }),
     ];
 
-    let train_cfg = TrainConfig { epochs: 30, batch_size: 128, lr: 5e-3, max_seq: 12, ..Default::default() };
+    let train_cfg =
+        TrainConfig { epochs: 30, batch_size: 128, lr: 5e-3, max_seq: 12, ..Default::default() };
     let eval_cfg = RankingEvalConfig { negatives: 100, max_seq: 12, ..Default::default() };
 
     println!("{:<12} {:>8} {:>8} {:>10}", "variant", "HR@10", "NDCG@10", "params");

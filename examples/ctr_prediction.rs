@@ -34,13 +34,17 @@ fn main() {
     };
 
     // Three contenders sharing the training protocol.
-    let contenders: Vec<(&str, Box<dyn Fn(&mut ParamStore, &mut StdRng) -> Box<dyn SeqModel>>)> = vec![
+    type ModelBuilder<'a> = Box<dyn Fn(&mut ParamStore, &mut StdRng) -> Box<dyn SeqModel> + 'a>;
+    let contenders: Vec<(&str, ModelBuilder<'_>)> = vec![
         ("FM", Box::new(|ps, rng| Box::new(Fm::new(ps, rng, &layout, 16)))),
         ("DIN", Box::new(|ps, rng| Box::new(Din::new(ps, rng, &layout, 16, 0.1)))),
-        ("SeqFM", Box::new(|ps, rng| {
-            let cfg = SeqFmConfig { d: 16, max_seq: 15, ..Default::default() };
-            Box::new(SeqFm::new(ps, rng, &layout, cfg))
-        })),
+        (
+            "SeqFM",
+            Box::new(|ps, rng| {
+                let cfg = SeqFmConfig { d: 16, max_seq: 15, ..Default::default() };
+                Box::new(SeqFm::new(ps, rng, &layout, cfg))
+            }),
+        ),
     ];
 
     println!("{:<8} {:>8} {:>8}", "model", "AUC", "RMSE");

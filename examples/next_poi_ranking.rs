@@ -29,7 +29,8 @@ fn main() {
     let seen: Vec<Vec<u32>> = (0..dataset.n_users).map(|u| split.seen_items(u)).collect();
     let sampler = NegativeSampler::new(dataset.n_items, seen.clone());
 
-    let train_cfg = TrainConfig { epochs: 30, batch_size: 128, lr: 5e-3, max_seq: 12, ..Default::default() };
+    let train_cfg =
+        TrainConfig { epochs: 30, batch_size: 128, lr: 5e-3, max_seq: 12, ..Default::default() };
     let eval_cfg = RankingEvalConfig { negatives: 100, max_seq: 12, ..Default::default() };
 
     // SeqFM
@@ -55,21 +56,15 @@ fn main() {
     // given their full history and print the top 5.
     let user = 0u32;
     let history = split.history_for_test(user as usize);
-    let unseen: Vec<u32> = (0..dataset.n_items as u32)
-        .filter(|i| !seen[user as usize].contains(i))
-        .collect();
-    let instances: Vec<_> = unseen
-        .iter()
-        .map(|&poi| build_instance(&layout, user, poi, &history, 12, 0.0))
-        .collect();
+    let unseen: Vec<u32> =
+        (0..dataset.n_items as u32).filter(|i| !seen[user as usize].contains(i)).collect();
+    let instances: Vec<_> =
+        unseen.iter().map(|&poi| build_instance(&layout, user, poi, &history, 12, 0.0)).collect();
     let batch = Batch::from_instances(&instances);
     let mut g = Graph::new();
     let scores = seqfm.forward(&mut g, &seqfm_ps, &batch, false, &mut rng);
-    let mut ranked: Vec<(u32, f32)> = unseen
-        .iter()
-        .copied()
-        .zip(g.value(scores).data().iter().copied())
-        .collect();
+    let mut ranked: Vec<(u32, f32)> =
+        unseen.iter().copied().zip(g.value(scores).data().iter().copied()).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
     println!(
         "user {user}: last visits {:?} -> top-5 recommended POIs: {:?}",

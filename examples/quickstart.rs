@@ -40,7 +40,8 @@ fn main() {
     );
 
     // 4. Train with the BPR pairwise loss (paper Eq. 21) on Adam.
-    let train_cfg = TrainConfig { epochs: 30, batch_size: 128, lr: 5e-3, max_seq: 12, ..Default::default() };
+    let train_cfg =
+        TrainConfig { epochs: 30, batch_size: 128, lr: 5e-3, max_seq: 12, ..Default::default() };
     let report = train_ranking(&model, &mut params, &split, &layout, &sampler, &train_cfg);
     println!(
         "trained {} steps in {:.1}s; loss {:.4} -> {:.4}",

@@ -29,7 +29,8 @@ fn main() {
     let model_cfg = SeqFmConfig { d: 16, max_seq: 10, dropout: 0.3, ..Default::default() };
     let model = SeqFm::new(&mut params, &mut rng, &layout, model_cfg);
 
-    let train_cfg = TrainConfig { epochs: 35, batch_size: 128, lr: 5e-3, max_seq: 10, ..Default::default() };
+    let train_cfg =
+        TrainConfig { epochs: 35, batch_size: 128, lr: 5e-3, max_seq: 10, ..Default::default() };
     let report = train_rating(&model, &mut params, &split, &layout, &train_cfg);
     let eval = evaluate_rating(&model, &params, &split, &layout, 10, report.target_offset);
     println!(
@@ -50,9 +51,6 @@ fn main() {
     }
     checkpoint::load(&mut params, &blob).expect("restore");
     let restored = evaluate_rating(&model, &params, &split, &layout, 10, report.target_offset);
-    assert!(
-        (restored.mae - eval.mae).abs() < 1e-9,
-        "restored model must predict identically"
-    );
+    assert!((restored.mae - eval.mae).abs() < 1e-9, "restored model must predict identically");
     println!("ok: checkpoint round-trip reproduces MAE {:.3} exactly", restored.mae);
 }

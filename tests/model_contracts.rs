@@ -119,7 +119,8 @@ fn every_model_trains_one_step_without_panic() {
         let mut ps = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(4);
         let model = build(kind, &mut ps, &mut rng, &l, 4, 6);
-        let tc = TrainConfig { epochs: 1, batch_size: 32, lr: 1e-3, max_seq: 6, ..Default::default() };
+        let tc =
+            TrainConfig { epochs: 1, batch_size: 32, lr: 1e-3, max_seq: 6, ..Default::default() };
         let report = train_ranking(model.as_ref(), &mut ps, &split, &l, &sampler, &tc);
         assert_eq!(report.epoch_losses.len(), 1, "{kind:?}");
         assert!(report.final_loss().is_finite(), "{kind:?} diverged in one epoch");

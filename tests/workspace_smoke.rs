@@ -1,0 +1,94 @@
+//! Workspace smoke test: every `seqfm_repro` re-export is usable, and the
+//! `seqfm_core` quickstart path (the crate's front-page doctest) runs end to
+//! end — data generation → instance/batch construction → forward pass →
+//! a short training run → evaluation — entirely through the umbrella crate.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_repro::autograd::{Graph, ParamStore};
+use seqfm_repro::core::{
+    evaluate_ranking, train_ranking, RankingEvalConfig, SeqFm, SeqFmConfig, SeqModel, TrainConfig,
+};
+use seqfm_repro::data::{
+    build_instance, Batch, FeatureLayout, LeaveOneOut, NegativeSampler, Scale,
+};
+use seqfm_repro::tensor::{Shape, Tensor};
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // tensor
+    let t = Tensor::from_vec(Shape::d2(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+    assert_eq!(t.numel(), 4);
+
+    // autograd
+    let mut ps = ParamStore::new();
+    let w = ps.add_dense("w", Tensor::from_vec(Shape::d2(2, 1), vec![0.5, -0.5]));
+    let mut g = Graph::new();
+    let x = g.input(t);
+    let wv = g.param(&ps, w);
+    let y = g.matmul(x, wv);
+    let loss = g.mean_all(y);
+    g.backward(loss, &mut ps);
+    assert_eq!(ps.grad(w).shape(), Shape::d2(2, 1));
+
+    // nn: checkpoint round-trip through the re-export
+    let blob = seqfm_repro::nn::checkpoint::save(&ps);
+    seqfm_repro::nn::checkpoint::load(&mut ps, &blob).expect("roundtrip");
+
+    // metrics
+    assert!((seqfm_repro::metrics::mae(&[1.0, 2.0], &[1.0, 4.0]) - 1.0).abs() < 1e-6);
+
+    // baselines: the registry exposes each paper table's roster
+    assert!(!seqfm_repro::baselines::registry::ranking_models().is_empty());
+
+    // bench harness: serial job runner
+    let out = seqfm_repro::bench_harness::run_jobs(3, true, |i| i * 2);
+    assert_eq!(out, vec![0, 2, 4]);
+}
+
+#[test]
+fn core_quickstart_path_runs_end_to_end() {
+    // The `seqfm_core` front-page quickstart, via umbrella paths.
+    let layout = FeatureLayout { n_users: 10, n_items: 20 };
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = SeqFmConfig { d: 8, max_seq: 5, ..Default::default() };
+    let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+
+    let inst = build_instance(&layout, 3, 7, &[1, 4, 2], 5, 1.0);
+    let batch = Batch::from_instances(&[inst]);
+    let mut g = Graph::new();
+    let score = model.forward(&mut g, &ps, &batch, false, &mut rng);
+    assert_eq!(g.value(score).numel(), 1);
+
+    // Continue past the doctest: a short real train/eval cycle.
+    let mut gen_cfg = seqfm_repro::data::ranking::RankingConfig::gowalla(Scale::Small);
+    gen_cfg.n_users = 12;
+    gen_cfg.n_items = 30;
+    gen_cfg.min_len = 5;
+    gen_cfg.max_len = 8;
+    let ds = seqfm_repro::data::ranking::generate(&gen_cfg).expect("valid config");
+    let split = LeaveOneOut::split(&ds);
+    let layout = FeatureLayout::of(&ds);
+    let seen = (0..ds.n_users).map(|u| split.seen_items(u)).collect();
+    let sampler = NegativeSampler::new(ds.n_items, seen);
+
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = SeqFm::new(
+        &mut ps,
+        &mut rng,
+        &layout,
+        SeqFmConfig { d: 4, max_seq: 5, ..Default::default() },
+    );
+    let tc = TrainConfig { epochs: 2, batch_size: 32, lr: 3e-3, max_seq: 5, ..Default::default() };
+    let report = train_ranking(&model, &mut ps, &split, &layout, &sampler, &tc);
+    assert_eq!(report.epoch_losses.len(), 2);
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+
+    let ec = RankingEvalConfig { negatives: 10, max_seq: 5, ..Default::default() };
+    let acc = evaluate_ranking(&model, &ps, &split, &layout, &sampler, &ec);
+    assert_eq!(acc.cases(), 12);
+    let hr = acc.hr(10);
+    assert!((0.0..=1.0).contains(&hr), "HR@10 out of range: {hr}");
+}

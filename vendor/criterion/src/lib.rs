@@ -1,0 +1,228 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — with a deliberately simple measurement loop: each sample times a
+//! fixed iteration count with `std::time::Instant` and the harness reports
+//! min / median / max per-iteration latency on stdout. No plots, no saved
+//! baselines, no statistical regression analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures; handed to every benchmark body.
+pub struct Bencher {
+    samples: usize,
+    iters_per_sample: u64,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and calibration of how many iterations fit a sample.
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.recorded.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b =
+            Bencher { samples: self.sample_size, iters_per_sample: 1, recorded: Vec::new() };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark without a distinguished input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b =
+            Bencher { samples: self.sample_size, iters_per_sample: 1, recorded: Vec::new() };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    fn report(&mut self, id: &str, b: &Bencher) {
+        if b.recorded.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id);
+            return;
+        }
+        let mut sorted = b.recorded.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{}/{}: median {:?} (min {:?}, max {:?}; {} samples x {} iters)",
+            self.name,
+            id,
+            median,
+            sorted[0],
+            sorted[sorted.len() - 1],
+            sorted.len(),
+            b.iters_per_sample,
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup { criterion: self, name, sample_size: 20 }
+    }
+
+    /// Number of benchmarks executed so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+
+    /// Prints a closing summary.
+    pub fn final_summary(&self) {
+        println!("ran {} benchmark(s)", self.benchmarks_run);
+    }
+}
+
+/// Prevents the optimizer from deleting a value. Re-exported for parity with
+/// criterion's API; prefer `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a single runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (`harness = false`), mirroring
+/// criterion's macro of the same name. Harness CLI flags passed by `cargo
+/// bench`/`cargo test` are accepted and ignored, except `--list` (printed
+/// for tooling) and test-mode runs, which execute nothing.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--list") {
+                $( println!("{}: bench", stringify!($group)); )+
+                return;
+            }
+            // `cargo test` runs bench targets with `--test`; compiling and
+            // loading is the smoke test, skip the timed loops.
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(calls > 0);
+        assert_eq!(c.benchmarks_run(), 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+}
