@@ -19,6 +19,9 @@
 //!   trained in practice (sparse "lazy" updates, see `seqfm-nn::optim`).
 //! * **Every op is gradient-checked** against central finite differences (see
 //!   [`gradcheck`] and this crate's test-suite).
+//! * **Inference freezes the store**: [`ParamStore::freeze`] snapshots all
+//!   values into an immutable, `Arc`-shareable [`FrozenParams`] that serving
+//!   threads read without graphs, gradients, or locks.
 //!
 //! ## Example
 //!
@@ -39,12 +42,14 @@
 //! ```
 
 mod backward;
+mod frozen;
 mod graph;
 mod op;
 mod store;
 
 pub mod gradcheck;
 
+pub use frozen::{FrozenId, FrozenParams};
 pub use gradcheck::{assert_grad_check, grad_check, GradCheckReport};
 pub use graph::{Graph, Var};
 pub use store::{Param, ParamId, ParamKind, ParamStore};

@@ -99,6 +99,21 @@ pub mod registry {
         d: usize,
         max_seq: usize,
     ) -> Box<dyn SeqModel> {
+        build_shared(kind, ps, rng, layout, d, max_seq)
+    }
+
+    /// Like [`build`], but returns a thread-shareable trait object — the
+    /// form the serving layer needs (`seqfm_core::GraphScorer` over a
+    /// `Send + Sync` model can be put behind an `Arc` and scored from many
+    /// worker threads).
+    pub fn build_shared(
+        kind: ModelKind,
+        ps: &mut ParamStore,
+        rng: &mut StdRng,
+        layout: &FeatureLayout,
+        d: usize,
+        max_seq: usize,
+    ) -> Box<dyn SeqModel + Send + Sync> {
         match kind {
             ModelKind::Fm => Box::new(Fm::new(ps, rng, layout, d)),
             ModelKind::WideDeep => Box::new(WideDeep::new(ps, rng, layout, d, 0.1)),
@@ -116,6 +131,21 @@ pub mod registry {
                 Box::new(SeqFm::new(ps, rng, layout, cfg))
             }
         }
+    }
+
+    /// Builds a model and wraps it — with its freshly initialised parameters
+    /// — into a ready-to-serve [`seqfm_core::GraphScorer`]. Every entry of
+    /// the paper's model roster becomes servable through one call.
+    pub fn build_scorer(
+        kind: ModelKind,
+        rng: &mut StdRng,
+        layout: &FeatureLayout,
+        d: usize,
+        max_seq: usize,
+    ) -> seqfm_core::GraphScorer<Box<dyn SeqModel + Send + Sync>> {
+        let mut ps = ParamStore::new();
+        let model = build_shared(kind, &mut ps, rng, layout, d, max_seq);
+        seqfm_core::GraphScorer::new(model, ps)
     }
 
     /// Table II roster (ranking), paper order.
@@ -199,6 +229,45 @@ mod tests {
             let y = model.forward(&mut g, &ps, &b, false, &mut rng);
             assert_eq!(g.value(y).numel(), 2, "{:?} logit count", kind);
             assert!(!g.value(y).has_non_finite(), "{:?} emitted non-finite", kind);
+        }
+    }
+
+    #[test]
+    fn every_model_serves_through_the_scorer_adapter() {
+        use seqfm_core::{Scorer, Scratch};
+        let layout = FeatureLayout { n_users: 6, n_items: 15 };
+        let max_seq = 5;
+        let b = Batch::from_instances(&[
+            build_instance(&layout, 0, 3, &[1, 2], max_seq, 1.0),
+            build_instance(&layout, 5, 14, &[4, 9, 2, 7, 1, 3], max_seq, 0.0),
+        ]);
+        let all = [
+            ModelKind::Fm,
+            ModelKind::WideDeep,
+            ModelKind::DeepCross,
+            ModelKind::Nfm,
+            ModelKind::Afm,
+            ModelKind::SasRec,
+            ModelKind::Tfm,
+            ModelKind::Din,
+            ModelKind::XDeepFm,
+            ModelKind::Rrn,
+            ModelKind::Hofm,
+            ModelKind::SeqFm,
+        ];
+        let mut scratch = Scratch::new();
+        for kind in all {
+            let mut rng = StdRng::seed_from_u64(1);
+            let scorer = build_scorer(kind, &mut rng, &layout, 8, max_seq);
+            // Adapter output must equal a direct graph forward.
+            let mut g = Graph::new();
+            let mut rng2 = StdRng::seed_from_u64(9);
+            let y = scorer.model().forward(&mut g, scorer.params(), &b, false, &mut rng2);
+            let served = scorer.score(&b, &mut scratch);
+            assert_eq!(served, g.value(y).data(), "{kind:?} serves different scores");
+            // And the adapter must be shareable across threads.
+            fn assert_send_sync<T: Send + Sync>(_: &T) {}
+            assert_send_sync(&scorer);
         }
     }
 

@@ -1,0 +1,184 @@
+//! Serving-path benchmarks: graph-free `FrozenSeqFm::score` vs. building an
+//! autograd `Graph` per request, plus engine throughput at 1 and 4 worker
+//! threads.
+//!
+//! Besides the criterion groups, this bench writes `BENCH_serving.json` at
+//! the repository root (requests/sec single- and 4-thread, p50 latencies,
+//! frozen-vs-graph speedup) so the serving-performance trajectory is
+//! recorded PR over PR:
+//!
+//! ```text
+//! cargo bench -p seqfm-bench --bench serving
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::ParamStore;
+use seqfm_core::{FrozenSeqFm, GraphScorer, Scorer, Scratch, SeqFm, SeqFmConfig};
+use seqfm_data::{Batch, FeatureLayout};
+use seqfm_serve::{expand_request, Engine, EngineConfig, ScoreRequest};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const D: usize = 32;
+const MAX_SEQ: usize = 20;
+const CANDIDATES: usize = 100;
+
+fn layout() -> FeatureLayout {
+    FeatureLayout { n_users: 200, n_items: 500 }
+}
+
+fn build_model() -> (SeqFm, ParamStore) {
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = SeqFmConfig { d: D, max_seq: MAX_SEQ, ..Default::default() };
+    let model = SeqFm::new(&mut ps, &mut rng, &layout(), cfg);
+    (model, ps)
+}
+
+fn request(i: usize, l: &FeatureLayout) -> ScoreRequest {
+    ScoreRequest {
+        user: (i % l.n_users) as u32,
+        history: (0..MAX_SEQ).map(|j| ((i * 7 + j) % l.n_items) as u32).collect(),
+        candidates: (0..CANDIDATES).map(|c| ((c * 3 + i) % l.n_items) as u32).collect(),
+    }
+}
+
+fn request_batch(l: &FeatureLayout) -> Batch {
+    expand_request(&request(0, l), l, MAX_SEQ).expect("valid request")
+}
+
+/// Criterion: single-request scoring latency, frozen vs. graph-per-request.
+fn bench_single_request(c: &mut Criterion) {
+    let l = layout();
+    let batch = request_batch(&l);
+    let (model, ps) = build_model();
+    let frozen = FrozenSeqFm::freeze(&model, &ps);
+    let graph = GraphScorer::new(model, ps);
+
+    let mut group = c.benchmark_group(format!("serve_1req_{CANDIDATES}cand_d{D}"));
+    group.sample_size(20);
+    let mut scratch = Scratch::new();
+    group.bench_function("frozen", |b| {
+        b.iter(|| std::hint::black_box(frozen.score(&batch, &mut scratch)[0]));
+    });
+    group.bench_function("graph_per_request", |b| {
+        b.iter(|| std::hint::black_box(graph.score(&batch, &mut scratch)[0]));
+    });
+    group.finish();
+}
+
+/// Criterion: engine round-trip throughput at 1 and 4 worker threads.
+fn bench_engine_throughput(c: &mut Criterion) {
+    let l = layout();
+    let (model, ps) = build_model();
+    let frozen = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let requests: Vec<ScoreRequest> = (0..64).map(|i| request(i, &l)).collect();
+
+    let mut group = c.benchmark_group("serve_engine_64req");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let engine = Engine::new(
+            Arc::clone(&frozen),
+            l,
+            EngineConfig { threads, max_seq: MAX_SEQ, top_k: 10 },
+        );
+        group.bench_function(format!("{threads}thread"), |b| {
+            b.iter(|| {
+                let pending: Vec<_> = requests.iter().map(|r| engine.submit(r.clone())).collect();
+                for p in pending {
+                    p.wait().expect("valid request");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn median(durations: &mut [Duration]) -> Duration {
+    durations.sort_unstable();
+    durations[durations.len() / 2]
+}
+
+/// Hand-timed measurements persisted to `BENCH_serving.json`.
+///
+/// Skipped when a benchmark filter is passed (`cargo bench --bench serving
+/// -- frozen`): iterating on one criterion group should neither pay for the
+/// full measurement sweep nor overwrite the recorded numbers with a partial
+/// run.
+fn emit_serving_json(_c: &mut Criterion) {
+    if std::env::args().skip(1).any(|a| !a.starts_with('-')) {
+        println!("benchmark filter given — skipping BENCH_serving.json emission");
+        return;
+    }
+    let l = layout();
+    let batch = request_batch(&l);
+    let (model, ps) = build_model();
+    let frozen_shared = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let frozen = Arc::clone(&frozen_shared);
+    let graph = GraphScorer::new(model, ps);
+    let mut scratch = Scratch::new();
+
+    let p50_of = |f: &mut dyn FnMut(), iters: usize| -> Duration {
+        for _ in 0..10 {
+            f(); // warm-up
+        }
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            f();
+            samples.push(t.elapsed());
+        }
+        median(&mut samples)
+    };
+    let frozen_p50 = p50_of(
+        &mut || {
+            std::hint::black_box(frozen.score(&batch, &mut scratch)[0]);
+        },
+        200,
+    );
+    let graph_p50 = p50_of(
+        &mut || {
+            std::hint::black_box(graph.score(&batch, &mut scratch)[0]);
+        },
+        60,
+    );
+    let speedup = graph_p50.as_secs_f64() / frozen_p50.as_secs_f64();
+
+    let rps_at = |threads: usize| -> f64 {
+        let engine = Engine::new(
+            Arc::clone(&frozen_shared),
+            l,
+            EngineConfig { threads, max_seq: MAX_SEQ, top_k: 10 },
+        );
+        let n = 256usize;
+        // Warm the workers' scratches first.
+        for i in 0..threads * 2 {
+            engine.score(request(i, &l)).expect("valid request");
+        }
+        let t = Instant::now();
+        let pending: Vec<_> = (0..n).map(|i| engine.submit(request(i, &l))).collect();
+        for p in pending {
+            p.wait().expect("valid request");
+        }
+        n as f64 / t.elapsed().as_secs_f64()
+    };
+    let rps1 = rps_at(1);
+    let rps4 = rps_at(4);
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256 }},\n  \"frozen_p50_latency_us\": {:.1},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0}\n}}\n",
+        frozen_p50.as_secs_f64() * 1e6,
+        graph_p50.as_secs_f64() * 1e6,
+        speedup,
+        rps1,
+        rps4,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, &json).expect("write BENCH_serving.json");
+    println!("== BENCH_serving.json ==\n{json}");
+}
+
+criterion_group!(benches, bench_single_request, bench_engine_throughput, emit_serving_json);
+criterion_main!(benches);

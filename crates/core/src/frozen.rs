@@ -1,0 +1,729 @@
+//! Graph-free SeqFM inference: [`FrozenSeqFm`].
+//!
+//! A `FrozenSeqFm` is built from a trained `(SeqFm, ParamStore)` pair — or
+//! directly from a checkpoint blob — by snapshotting every parameter into an
+//! immutable, `Arc`-shareable [`FrozenParams`]. Its forward pass replays the
+//! exact floating-point operations of the graph forward pass
+//! ([`SeqModel::forward`](crate::SeqModel::forward) on [`SeqFm`] — same kernels, same
+//! order) as straight-line code: no tape nodes, no parameter clones, no RNG,
+//! and no per-call allocations once the caller's [`Scratch`] is warm. Logits
+//! therefore match the graph path **bit for bit**, which the tests assert.
+
+use crate::config::SeqFmConfig;
+use crate::scorer::{Scorer, Scratch};
+use crate::SeqFm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::{FrozenId, FrozenParams, ParamStore};
+use seqfm_data::{Batch, FeatureLayout, PAD};
+use seqfm_nn::checkpoint::{self, CheckpointError};
+use seqfm_tensor::{attention_into, matmul_nn_into, AttnMask, Tensor};
+use std::sync::Arc;
+
+/// Must match `seqfm_nn::layers::LayerNorm::new` — the paper's "small bias
+/// term added in case σ = 0" (Eq. 16).
+const LN_EPS: f32 = 1e-5;
+
+struct AttnIds {
+    wq: FrozenId,
+    wk: FrozenId,
+    wv: FrozenId,
+}
+
+struct FfnLayerIds {
+    ln_scale: FrozenId,
+    ln_bias: FrozenId,
+    w: FrozenId,
+    b: FrozenId,
+}
+
+/// An immutable, thread-shareable SeqFM ready for serving.
+///
+/// `FrozenSeqFm` is `Send + Sync`: clone the [`Arc`] behind it (or the whole
+/// struct — parameter ids are `Copy` and the snapshot is shared) and hand
+/// one [`Scratch`] to each serving thread.
+pub struct FrozenSeqFm {
+    cfg: SeqFmConfig,
+    params: Arc<FrozenParams>,
+    emb_static: FrozenId,
+    emb_dynamic: FrozenId,
+    w_static: FrozenId,
+    w_dynamic: FrozenId,
+    w0: FrozenId,
+    attn: [AttnIds; 3],
+    ffns: Vec<Vec<FfnLayerIds>>,
+    p: FrozenId,
+}
+
+impl FrozenSeqFm {
+    /// Freezes a live `(model, params)` pair into an inference-only model.
+    pub fn freeze(model: &SeqFm, ps: &ParamStore) -> Self {
+        Self::from_params(FrozenParams::shared(ps), *model.config())
+    }
+
+    /// Builds a frozen model over an existing parameter snapshot.
+    ///
+    /// # Panics
+    /// Panics if the snapshot is missing any `seqfm.*` parameter the config
+    /// implies (wrong depth, wrong FFN sharing, or a non-SeqFM snapshot).
+    pub fn from_params(params: Arc<FrozenParams>, cfg: SeqFmConfig) -> Self {
+        cfg.validate();
+        let r = |name: &str| {
+            params
+                .index_of(name)
+                .unwrap_or_else(|| panic!("frozen SeqFM: parameter `{name}` missing from snapshot"))
+        };
+        let attn_ids = |prefix: &str| AttnIds {
+            wq: r(&format!("{prefix}.wq.w")),
+            wk: r(&format!("{prefix}.wk.w")),
+            wv: r(&format!("{prefix}.wv.w")),
+        };
+        let n_ffns = if cfg.ablation.shared_ffn { 1 } else { cfg.ablation.active_views() };
+        let ffns = (0..n_ffns)
+            .map(|i| {
+                (0..cfg.layers)
+                    .map(|j| FfnLayerIds {
+                        ln_scale: r(&format!("seqfm.ffn{i}.{j}.ln.scale")),
+                        ln_bias: r(&format!("seqfm.ffn{i}.{j}.ln.bias")),
+                        w: r(&format!("seqfm.ffn{i}.{j}.lin.w")),
+                        b: r(&format!("seqfm.ffn{i}.{j}.lin.b")),
+                    })
+                    .collect()
+            })
+            .collect();
+        FrozenSeqFm {
+            emb_static: r("seqfm.emb_static.table"),
+            emb_dynamic: r("seqfm.emb_dynamic.table"),
+            w_static: r("seqfm.w_static.table"),
+            w_dynamic: r("seqfm.w_dynamic.table"),
+            w0: r("seqfm.w0"),
+            attn: [
+                attn_ids("seqfm.attn_static"),
+                attn_ids("seqfm.attn_dynamic"),
+                attn_ids("seqfm.attn_cross"),
+            ],
+            ffns,
+            p: r("seqfm.p"),
+            cfg,
+            params,
+        }
+    }
+
+    /// Restores a frozen model straight from a checkpoint blob (see
+    /// [`seqfm_nn::checkpoint`]). `layout` and `cfg` must describe the model
+    /// that wrote the checkpoint.
+    ///
+    /// # Errors
+    /// Any [`CheckpointError`] of the decode (bad magic/version, truncation,
+    /// unknown/missing parameters, shape mismatch).
+    pub fn from_checkpoint(
+        blob: &[u8],
+        layout: &FeatureLayout,
+        cfg: SeqFmConfig,
+    ) -> Result<Self, CheckpointError> {
+        let mut ps = ParamStore::new();
+        // Seed is irrelevant: every initialised value is overwritten by the
+        // checkpoint (load fails on any missing parameter).
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = SeqFm::new(&mut ps, &mut rng, layout, cfg);
+        checkpoint::load(&mut ps, blob)?;
+        Ok(Self::freeze(&model, &ps))
+    }
+
+    /// Restores a frozen model from a checkpoint file (see
+    /// [`checkpoint::load_file`]).
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] on read failure, plus any decode error.
+    pub fn from_checkpoint_file(
+        path: impl AsRef<std::path::Path>,
+        layout: &FeatureLayout,
+        cfg: SeqFmConfig,
+    ) -> Result<Self, CheckpointError> {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = SeqFm::new(&mut ps, &mut rng, layout, cfg);
+        checkpoint::load_file(&mut ps, path)?;
+        Ok(Self::freeze(&model, &ps))
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &SeqFmConfig {
+        &self.cfg
+    }
+
+    /// The shared parameter snapshot.
+    pub fn params(&self) -> &Arc<FrozenParams> {
+        &self.params
+    }
+
+    fn t(&self, id: FrozenId) -> &Tensor {
+        self.params.value(id)
+    }
+
+    /// One view of the forward pass: project Q/K/V, attend, pool, run the
+    /// (shared or per-view) FFN, and write the result into this view's
+    /// column block of `hagg`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_view(
+        &self,
+        view: usize,
+        ffn_idx: usize,
+        e: &[f32],
+        b: usize,
+        n: usize,
+        d: usize,
+        scale: f32,
+        mask: Option<&AttnMask>,
+        pads: Option<(&[usize], usize)>,
+        view_col: usize,
+        views: usize,
+        bufs: &mut ViewBufs<'_>,
+    ) {
+        let ids = &self.attn[view];
+        project(e, self.t(ids.wq), b * n, d, bufs.q);
+        project(e, self.t(ids.wk), b * n, d, bufs.k);
+        project(e, self.t(ids.wv), b * n, d, bufs.v);
+        self.finish_view(ffn_idx, b, n, d, scale, mask, pads, view_col, views, bufs);
+    }
+
+    /// Attention → pooling → FFN → `hagg` column write, on already-projected
+    /// Q/K/V in `bufs`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_view(
+        &self,
+        ffn_idx: usize,
+        b: usize,
+        n: usize,
+        d: usize,
+        scale: f32,
+        mask: Option<&AttnMask>,
+        pads: Option<(&[usize], usize)>,
+        view_col: usize,
+        views: usize,
+        bufs: &mut ViewBufs<'_>,
+    ) {
+        let ab = self.cfg.ablation;
+        attention_into(bufs.q, bufs.k, bufs.v, mask, scale, b, n, d, bufs.scores, bufs.ctx);
+        pool_into(bufs.ctx, b, n, d, ab.masked_pooling, pads, bufs.pool);
+        let ffn = if ab.shared_ffn { &self.ffns[0] } else { &self.ffns[ffn_idx] };
+        for layer in ffn {
+            ffn_layer(
+                bufs.pool,
+                bufs.normed,
+                bufs.lin,
+                self.t(layer.ln_scale).data(),
+                self.t(layer.ln_bias).data(),
+                self.t(layer.w),
+                self.t(layer.b).data(),
+                b,
+                d,
+                ab.residual,
+                ab.layer_norm,
+            );
+        }
+        let stride = views * d;
+        for bi in 0..b {
+            bufs.hagg[bi * stride + view_col..bi * stride + view_col + d]
+                .copy_from_slice(&bufs.pool[bi * d..(bi + 1) * d]);
+        }
+    }
+}
+
+/// Mutable workspace slices threaded through [`FrozenSeqFm::run_view`].
+struct ViewBufs<'a> {
+    q: &'a mut [f32],
+    k: &'a mut [f32],
+    v: &'a mut [f32],
+    scores: &'a mut [f32],
+    ctx: &'a mut [f32],
+    pool: &'a mut [f32],
+    normed: &'a mut [f32],
+    lin: &'a mut [f32],
+    hagg: &'a mut [f32],
+}
+
+impl Scorer for FrozenSeqFm {
+    fn name(&self) -> &str {
+        "SeqFM[frozen]"
+    }
+
+    fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
+        let (b, ns, nd) = (batch.len, batch.n_static, batch.n_dynamic);
+        let d = self.cfg.d;
+        let ab = self.cfg.ablation;
+        let views = ab.active_views();
+        let scale = 1.0 / (d as f32).sqrt();
+
+        scratch.reserve_for(b, ns, nd, d, views);
+        if ab.dynamic_view || ab.cross_view {
+            scratch.masks_for(ns, nd);
+        }
+        let Scratch {
+            out,
+            e_s,
+            e_d,
+            e_x,
+            q,
+            k,
+            v,
+            qd,
+            scores,
+            ctx,
+            pool,
+            normed,
+            lin,
+            hagg,
+            pad_counts,
+            masks,
+            ..
+        } = scratch;
+
+        // Serving fast path: a candidate-expansion batch repeats one user
+        // history across every row, so everything derived from the dynamic
+        // block alone — its embeddings, the whole dynamic view, the cross
+        // view's history-row projections, the lin˙ term — is computed once
+        // and reused. Per-row arithmetic is untouched, so logits stay
+        // bit-identical to the per-row path (and to the graph).
+        let shared_hist = b > 1
+            && nd > 0
+            && batch.dyn_idx.chunks_exact(nd).skip(1).all(|row| row == &batch.dyn_idx[..nd]);
+        // Rows of the dynamic block actually materialised.
+        let db = if shared_hist { 1 } else { b };
+
+        // Embedding layer (Eq. 5): PAD rows embed to exact zeros.
+        gather_rows(self.t(self.emb_static), &batch.static_idx, d, e_s);
+        gather_rows(self.t(self.emb_dynamic), &batch.dyn_idx[..db * nd], d, e_d);
+
+        // Per-sample padding lengths (masked-pooling extension).
+        for (bi, slot) in pad_counts.iter_mut().enumerate().take(db) {
+            *slot = batch.dyn_idx[bi * nd..(bi + 1) * nd].iter().take_while(|&&i| i == PAD).count();
+        }
+        if shared_hist {
+            let pad0 = pad_counts[0];
+            pad_counts[1..b].fill(pad0);
+        }
+
+        // Multi-view attention → pooling → shared FFN, each view writing its
+        // block of the aggregated representation (Eq. 17) directly.
+        let mut bufs = ViewBufs {
+            q: q.as_mut_slice(),
+            k: k.as_mut_slice(),
+            v: v.as_mut_slice(),
+            scores: scores.as_mut_slice(),
+            ctx: ctx.as_mut_slice(),
+            pool: pool.as_mut_slice(),
+            normed: normed.as_mut_slice(),
+            lin: lin.as_mut_slice(),
+            hagg: hagg.as_mut_slice(),
+        };
+        let mut ffn_idx = 0usize;
+        let mut view_col = 0usize;
+        if ab.static_view {
+            self.run_view(
+                0,
+                ffn_idx,
+                &e_s[..b * ns * d],
+                b,
+                ns,
+                d,
+                scale,
+                None,
+                None,
+                view_col,
+                views,
+                &mut bufs,
+            );
+            ffn_idx += 1;
+            view_col += d;
+        }
+        if ab.dynamic_view {
+            let causal = &masks.as_ref().expect("mask cache installed").causal;
+            // With a shared history the dynamic view is identical for every
+            // row: run it once (db == 1) and broadcast the pooled result.
+            self.run_view(
+                1,
+                ffn_idx,
+                &e_d[..db * nd * d],
+                db,
+                nd,
+                d,
+                scale,
+                Some(causal),
+                Some((&pad_counts[..db], 0)),
+                view_col,
+                views,
+                &mut bufs,
+            );
+            if shared_hist {
+                broadcast_hagg_block(bufs.hagg, b, views * d, view_col, d);
+            }
+            ffn_idx += 1;
+            view_col += d;
+        }
+        if ab.cross_view {
+            let nx = ns + nd;
+            let cross = &masks.as_ref().expect("mask cache installed").cross;
+            if shared_hist {
+                // The history rows' Q/K/V projections are row-local, so
+                // project the shared history once per weight matrix and
+                // splice it under each row's per-candidate static
+                // projections; attention itself still runs per row (the
+                // cross mask mixes static and dynamic positions).
+                let w_ids = [self.attn[2].wq, self.attn[2].wk, self.attn[2].wv];
+                let dsts = [&mut *bufs.q, &mut *bufs.k, &mut *bufs.v];
+                for (wid, dst) in w_ids.into_iter().zip(dsts) {
+                    let w = self.t(wid);
+                    project(&e_d[..nd * d], w, nd, d, qd);
+                    for bi in 0..b {
+                        let base = bi * nx * d;
+                        let stat = &mut dst[base..base + ns * d];
+                        stat.fill(0.0);
+                        matmul_nn_into(
+                            &e_s[bi * ns * d..(bi + 1) * ns * d],
+                            w.data(),
+                            stat,
+                            ns,
+                            d,
+                            d,
+                        );
+                        dst[base + ns * d..base + nx * d].copy_from_slice(&qd[..nd * d]);
+                    }
+                }
+                self.finish_view(
+                    ffn_idx,
+                    b,
+                    nx,
+                    d,
+                    scale,
+                    Some(cross),
+                    Some((pad_counts.as_slice(), ns)),
+                    view_col,
+                    views,
+                    &mut bufs,
+                );
+            } else {
+                // Cross-view stack [E°; E˙] per sample (Eq. 12).
+                for bi in 0..b {
+                    e_x[bi * nx * d..bi * nx * d + ns * d]
+                        .copy_from_slice(&e_s[bi * ns * d..(bi + 1) * ns * d]);
+                    e_x[bi * nx * d + ns * d..(bi + 1) * nx * d]
+                        .copy_from_slice(&e_d[bi * nd * d..(bi + 1) * nd * d]);
+                }
+                self.run_view(
+                    2,
+                    ffn_idx,
+                    &e_x[..b * nx * d],
+                    b,
+                    nx,
+                    d,
+                    scale,
+                    Some(cross),
+                    Some((pad_counts.as_slice(), ns)),
+                    view_col,
+                    views,
+                    &mut bufs,
+                );
+            }
+        }
+        let hagg = bufs.hagg;
+
+        // Output projection f = hagg·p (Eq. 18).
+        let fout = &mut out[..b];
+        fout.fill(0.0);
+        matmul_nn_into(&hagg[..b * views * d], self.t(self.p).data(), fout, b, views * d, 1);
+
+        // Linear terms (Eq. 4) and global bias, in the tape's association
+        // order: (f + (lin° + lin˙)) + w₀.
+        let ws = self.t(self.w_static).data();
+        let wd = self.t(self.w_dynamic).data();
+        let w0 = self.t(self.w0).data()[0];
+        let sum_dyn = |bi: usize| {
+            let mut lin_d = 0.0f32;
+            for &i in &batch.dyn_idx[bi * nd..(bi + 1) * nd] {
+                if i >= 0 {
+                    lin_d += wd[i as usize];
+                }
+            }
+            lin_d
+        };
+        let shared_lin_d = shared_hist.then(|| sum_dyn(0));
+        for (bi, f) in fout.iter_mut().enumerate() {
+            let mut lin_s = 0.0f32;
+            for &i in &batch.static_idx[bi * ns..(bi + 1) * ns] {
+                if i >= 0 {
+                    lin_s += ws[i as usize];
+                }
+            }
+            let lin_d = shared_lin_d.unwrap_or_else(|| sum_dyn(bi));
+            *f = (*f + (lin_s + lin_d)) + w0;
+        }
+        &out[..b]
+    }
+}
+
+/// Copies row 0's `[col, col + w)` block of the `[b, stride]` matrix `hagg`
+/// into every other row (shared-history broadcast of a view's output).
+fn broadcast_hagg_block(hagg: &mut [f32], b: usize, stride: usize, col: usize, w: usize) {
+    let (first, rest) = hagg[..b * stride].split_at_mut(stride);
+    let src = &first[col..col + w];
+    for row in rest.chunks_exact_mut(stride) {
+        row[col..col + w].copy_from_slice(src);
+    }
+}
+
+/// Embedding gather mirroring `Graph::gather`: zero rows for [`PAD`].
+///
+/// # Panics
+/// Panics if an index is out of table range.
+fn gather_rows(table: &Tensor, idx: &[i64], d: usize, out: &mut [f32]) {
+    let rows = table.shape().dim(0);
+    debug_assert_eq!(table.shape().dim(1), d);
+    let out = &mut out[..idx.len() * d];
+    out.fill(0.0);
+    for (slot, &i) in idx.iter().enumerate() {
+        if i < 0 {
+            continue;
+        }
+        let i = i as usize;
+        assert!(i < rows, "gather index {i} out of range ({rows} rows)");
+        out[slot * d..(slot + 1) * d].copy_from_slice(&table.data()[i * d..(i + 1) * d]);
+    }
+}
+
+/// `out[m,d] = e[m,d] · w[d,d]` — the flatten–matmul of `Linear::forward_3d`
+/// (attention projections carry no bias).
+fn project(e: &[f32], w: &Tensor, m: usize, d: usize, out: &mut [f32]) {
+    let out = &mut out[..m * d];
+    out.fill(0.0);
+    matmul_nn_into(e, w.data(), out, m, d, d);
+}
+
+/// Intra-view pooling (Eq. 14), mirroring `SeqFm::pool` exactly: plain mean
+/// over rows, or — with the masked-pooling extension — an indicator-weighted
+/// sum rescaled by the true sequence length.
+fn pool_into(
+    h: &[f32],
+    b: usize,
+    n: usize,
+    d: usize,
+    masked: bool,
+    pads: Option<(&[usize], usize)>,
+    out: &mut [f32],
+) {
+    let h = &h[..b * n * d];
+    let out = &mut out[..b * d];
+    match (masked, pads) {
+        (true, Some((pads, n_fixed))) => {
+            for bi in 0..b {
+                let pad = pads[bi];
+                let inv = 1.0 / ((n - pad) as f32).max(1.0);
+                let o = &mut out[bi * d..(bi + 1) * d];
+                o.fill(0.0);
+                for r in 0..n {
+                    let ind = if r >= n_fixed && r < n_fixed + pad { 0.0 } else { 1.0 };
+                    let row = &h[(bi * n + r) * d..(bi * n + r + 1) * d];
+                    for (ov, &hv) in o.iter_mut().zip(row) {
+                        *ov += hv * ind;
+                    }
+                }
+                for ov in o.iter_mut() {
+                    *ov *= inv;
+                }
+            }
+        }
+        _ => {
+            let nf = n as f32;
+            for bi in 0..b {
+                let o = &mut out[bi * d..(bi + 1) * d];
+                o.fill(0.0);
+                for r in 0..n {
+                    let row = &h[(bi * n + r) * d..(bi * n + r + 1) * d];
+                    for (ov, &hv) in o.iter_mut().zip(row) {
+                        *ov += hv;
+                    }
+                }
+                for ov in o.iter_mut() {
+                    *ov /= nf;
+                }
+            }
+        }
+    }
+}
+
+/// One residual FFN layer (Eq. 15/16) on `h [b, d]` in place, mirroring
+/// `ResidualFfnLayer::forward` with dropout off (inference).
+#[allow(clippy::too_many_arguments)]
+fn ffn_layer(
+    h: &mut [f32],
+    normed: &mut [f32],
+    lin: &mut [f32],
+    ln_scale: &[f32],
+    ln_bias: &[f32],
+    w: &Tensor,
+    bias: &[f32],
+    b: usize,
+    d: usize,
+    residual: bool,
+    layer_norm: bool,
+) {
+    let h = &mut h[..b * d];
+    let normed = &mut normed[..b * d];
+    let lin = &mut lin[..b * d];
+    // LayerNorm (ablatable), mirroring `Graph::layer_norm`.
+    let src: &[f32] = if layer_norm {
+        for (row, orow) in h.chunks_exact(d).zip(normed.chunks_exact_mut(d)) {
+            let mu = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
+            let rs = 1.0 / (var + LN_EPS).sqrt();
+            for ((&xi, o), (&sc, &bi)) in
+                row.iter().zip(orow.iter_mut()).zip(ln_scale.iter().zip(ln_bias))
+            {
+                *o = (xi - mu) * rs * sc + bi;
+            }
+        }
+        normed
+    } else {
+        h
+    };
+    // Linear + bias + ReLU.
+    lin.fill(0.0);
+    matmul_nn_into(src, w.data(), lin, b, d, d);
+    for row in lin.chunks_exact_mut(d) {
+        for (o, &bv) in row.iter_mut().zip(bias) {
+            *o += bv;
+        }
+    }
+    for o in lin.iter_mut() {
+        *o = o.max(0.0);
+    }
+    // Residual connection (ablatable).
+    if residual {
+        for (hv, &lv) in h.iter_mut().zip(lin.iter()) {
+            *hv += lv;
+        }
+    } else {
+        h.copy_from_slice(lin);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ablation;
+    use crate::SeqModel;
+    use seqfm_autograd::Graph;
+    use seqfm_data::build_instance;
+
+    fn layout() -> FeatureLayout {
+        FeatureLayout { n_users: 6, n_items: 10 }
+    }
+
+    fn batch(max_seq: usize) -> Batch {
+        let l = layout();
+        Batch::from_instances(&[
+            build_instance(&l, 0, 3, &[1, 2, 5], max_seq, 1.0),
+            build_instance(&l, 2, 7, &[4], max_seq, 0.0),
+            build_instance(&l, 5, 9, &[0, 1, 2, 3, 4, 5, 6, 7], max_seq, 1.0),
+        ])
+    }
+
+    fn graph_logits(model: &SeqFm, ps: &ParamStore, b: &Batch) -> Vec<f32> {
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let y = model.forward(&mut g, ps, b, false, &mut rng);
+        g.value(y).data().to_vec()
+    }
+
+    fn all_variants() -> Vec<(&'static str, Ablation)> {
+        let mut v = Ablation::table5_variants();
+        v.extend(Ablation::extension_variants());
+        v
+    }
+
+    #[test]
+    fn frozen_matches_graph_bit_for_bit_across_all_variants() {
+        for (name, ab) in all_variants() {
+            let cfg =
+                SeqFmConfig { d: 8, max_seq: 6, dropout: 0.0, ablation: ab, ..Default::default() };
+            let mut ps = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(3);
+            let model = SeqFm::new(&mut ps, &mut rng, &layout(), cfg);
+            let b = batch(6);
+            let expect = graph_logits(&model, &ps, &b);
+            let frozen = FrozenSeqFm::freeze(&model, &ps);
+            let mut scratch = Scratch::new();
+            let got = frozen.score(&b, &mut scratch);
+            assert_eq!(got.len(), b.len);
+            for (i, (g, f)) in expect.iter().zip(got).enumerate() {
+                assert_eq!(g.to_bits(), f.to_bits(), "{name}: logit {i} diverges ({g} vs {f})");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_history_fast_path_is_bit_identical_too() {
+        // Candidate-expansion shape: every row repeats one user history and
+        // only the candidate differs — the branch that reuses the dynamic
+        // view must still match the graph exactly, for every variant.
+        let l = layout();
+        let hist = [1u32, 2, 5, 8];
+        let insts: Vec<_> =
+            (0..7).map(|c| build_instance(&l, 3, c as u32, &hist, 6, 0.0)).collect();
+        let shared = Batch::from_instances(&insts);
+        for (name, ab) in all_variants() {
+            let cfg =
+                SeqFmConfig { d: 8, max_seq: 6, dropout: 0.0, ablation: ab, ..Default::default() };
+            let mut ps = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(17);
+            let model = SeqFm::new(&mut ps, &mut rng, &layout(), cfg);
+            let expect = graph_logits(&model, &ps, &shared);
+            let frozen = FrozenSeqFm::freeze(&model, &ps);
+            let mut scratch = Scratch::new();
+            let got = frozen.score(&shared, &mut scratch);
+            for (i, (g, f)) in expect.iter().zip(got).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    f.to_bits(),
+                    "{name}: shared-history logit {i} diverges ({g} vs {f})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_geometry_changes() {
+        let cfg = SeqFmConfig { d: 8, max_seq: 6, ..Default::default() };
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SeqFm::new(&mut ps, &mut rng, &layout(), cfg);
+        let frozen = FrozenSeqFm::freeze(&model, &ps);
+        let mut scratch = Scratch::new();
+        // Big batch first, then a single-row batch, then big again: buffer
+        // reuse must not leak stale values between calls.
+        let big = batch(6);
+        let first = frozen.score(&big, &mut scratch).to_vec();
+        let l = layout();
+        let one = Batch::from_instances(&[build_instance(&l, 1, 4, &[2, 8], 6, 1.0)]);
+        let single = frozen.score(&one, &mut scratch).to_vec();
+        assert_eq!(single.len(), 1);
+        let again = frozen.score(&big, &mut scratch).to_vec();
+        assert_eq!(first, again, "stale scratch state corrupted a batch");
+        let expect = graph_logits(&model, &ps, &one);
+        assert_eq!(expect[0].to_bits(), single[0].to_bits());
+    }
+
+    #[test]
+    fn frozen_model_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenSeqFm>();
+        assert_send_sync::<Arc<FrozenSeqFm>>();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from snapshot")]
+    fn from_params_rejects_foreign_snapshot() {
+        let ps = ParamStore::new();
+        let _ = FrozenSeqFm::from_params(Arc::new(ps.freeze()), SeqFmConfig::default());
+    }
+}

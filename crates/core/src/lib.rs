@@ -8,8 +8,14 @@
 //!
 //! * [`SeqFm`] / [`SeqFmConfig`] / [`Ablation`] — the model (§III) with
 //!   Table-V ablation switches;
-//! * [`SeqModel`] — the scoring interface shared with every baseline in
-//!   `seqfm-baselines`;
+//! * [`SeqModel`] — the *training* interface shared with every baseline in
+//!   `seqfm-baselines` (graph-based forward);
+//! * [`Scorer`] / [`Scratch`] — the *inference* interface: graph-free,
+//!   allocation-free after warm-up, `&self`-only so models share across
+//!   threads;
+//! * [`FrozenSeqFm`] — SeqFM frozen into an immutable parameter snapshot,
+//!   scoring bit-identically to the graph path; [`GraphScorer`] adapts any
+//!   `SeqModel` (every baseline) to `Scorer`;
 //! * [`train`] — BPR ranking (Eq. 21), CTR log loss (Eq. 24), and
 //!   squared-error regression (Eq. 26) training loops on Adam;
 //! * [`eval`] — leave-one-out HR/NDCG, AUC/RMSE, MAE/RRSE protocols (§V-C).
@@ -39,7 +45,9 @@
 
 pub mod config;
 pub mod eval;
+pub mod frozen;
 pub mod model;
+pub mod scorer;
 pub mod train;
 
 pub use config::{Ablation, SeqFmConfig};
@@ -47,7 +55,9 @@ pub use eval::{
     evaluate_ctr, evaluate_ctr_on, evaluate_ranking, evaluate_ranking_on, evaluate_rating,
     evaluate_rating_on, CtrEval, EvalSplit, RankingEvalConfig, RatingEval,
 };
+pub use frozen::FrozenSeqFm;
 pub use model::SeqFm;
+pub use scorer::{GraphScorer, Scorer, Scratch};
 pub use train::{
     train_ctr, train_ctr_with_hook, train_ranking, train_ranking_with_hook, train_rating,
     train_rating_with_hook, TrainConfig, TrainReport,
@@ -76,6 +86,26 @@ pub trait SeqModel {
         training: bool,
         rng: &mut StdRng,
     ) -> Var;
+}
+
+// Boxed models forward the trait, so `Box<dyn SeqModel + Send + Sync>` (the
+// registry's shareable output) plugs into generic consumers like
+// [`GraphScorer`].
+impl<M: SeqModel + ?Sized> SeqModel for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &ParamStore,
+        batch: &Batch,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Var {
+        (**self).forward(g, ps, batch, training, rng)
+    }
 }
 
 #[cfg(test)]

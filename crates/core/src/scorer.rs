@@ -1,0 +1,256 @@
+//! The inference half of the train/serve API split.
+//!
+//! Training builds autograd tapes through [`SeqModel::forward`]; serving
+//! goes through [`Scorer`], which is graph-free by contract: `score` takes
+//! `&self` (so one model can be shared across threads), is deterministic
+//! (dropout and every other stochastic regulariser off), and writes into a
+//! caller-owned [`Scratch`] so the hot path performs no per-request
+//! allocations once the workspace is warm.
+//!
+//! Two implementations ship here and in [`crate::frozen`]:
+//!
+//! * [`crate::FrozenSeqFm`] — SeqFM's forward pass rewritten as straight-line
+//!   tensor kernel calls over an immutable parameter snapshot (the fast
+//!   path);
+//! * [`GraphScorer`] — an adapter that serves **any** [`SeqModel`] by
+//!   building a throwaway graph per call (the compatibility path; every
+//!   baseline in `seqfm-baselines` serves through it).
+
+use crate::SeqModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::{Graph, ParamStore};
+use seqfm_data::Batch;
+use seqfm_tensor::AttnMask;
+
+/// Maps a batch of (static features, dynamic sequence) instances to one
+/// score per instance without touching an autograd graph.
+///
+/// Implementations must be deterministic and must not mutate shared state —
+/// all per-call workspace lives in the [`Scratch`]. The returned slice
+/// borrows from `scratch` and holds `batch.len` scores.
+pub trait Scorer {
+    /// Model display name (used in serving logs and benches).
+    fn name(&self) -> &str;
+
+    /// Scores every instance of `batch`, returning `batch.len` scores that
+    /// live inside `scratch`.
+    fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32];
+}
+
+/// Cached attention masks for the dynamic and cross views, keyed by the
+/// batch geometry they were built for.
+pub(crate) struct MaskCache {
+    pub(crate) ns: usize,
+    pub(crate) nd: usize,
+    pub(crate) causal: AttnMask,
+    pub(crate) cross: AttnMask,
+}
+
+/// Reusable per-thread scoring workspace.
+///
+/// One `Scratch` belongs to exactly one serving thread; creating it is cheap
+/// and every buffer grows to the high-water mark of the batches it has seen,
+/// after which [`Scorer::score`] calls allocate nothing.
+pub struct Scratch {
+    /// RNG handed to `SeqModel::forward` by [`GraphScorer`]. Inference
+    /// forwards are deterministic by contract, so its state never influences
+    /// scores.
+    pub(crate) rng: StdRng,
+    /// Final scores, `[batch.len]`.
+    pub(crate) out: Vec<f32>,
+    // Frozen-forward workspaces (see `crate::frozen`).
+    pub(crate) e_s: Vec<f32>,
+    pub(crate) e_d: Vec<f32>,
+    pub(crate) e_x: Vec<f32>,
+    pub(crate) q: Vec<f32>,
+    pub(crate) k: Vec<f32>,
+    pub(crate) v: Vec<f32>,
+    /// Shared-history projection staging (one weight matrix at a time).
+    pub(crate) qd: Vec<f32>,
+    pub(crate) scores: Vec<f32>,
+    pub(crate) ctx: Vec<f32>,
+    pub(crate) pool: Vec<f32>,
+    pub(crate) normed: Vec<f32>,
+    pub(crate) lin: Vec<f32>,
+    pub(crate) hagg: Vec<f32>,
+    pub(crate) pad_counts: Vec<usize>,
+    pub(crate) masks: Option<MaskCache>,
+}
+
+impl Scratch {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Scratch {
+            rng: StdRng::seed_from_u64(0),
+            out: Vec::new(),
+            e_s: Vec::new(),
+            e_d: Vec::new(),
+            e_x: Vec::new(),
+            q: Vec::new(),
+            k: Vec::new(),
+            v: Vec::new(),
+            qd: Vec::new(),
+            scores: Vec::new(),
+            ctx: Vec::new(),
+            pool: Vec::new(),
+            normed: Vec::new(),
+            lin: Vec::new(),
+            hagg: Vec::new(),
+            pad_counts: Vec::new(),
+            masks: None,
+        }
+    }
+
+    /// Grows every buffer to the sizes needed for a `[b, ns, nd]` batch at
+    /// width `d` with `views` active views. Never shrinks, so capacity
+    /// stabilises at the high-water mark.
+    pub(crate) fn reserve_for(&mut self, b: usize, ns: usize, nd: usize, d: usize, views: usize) {
+        let nmax = ns + nd;
+        grow(&mut self.out, b);
+        grow(&mut self.e_s, b * ns * d);
+        grow(&mut self.e_d, b * nd * d);
+        grow(&mut self.e_x, b * nmax * d);
+        grow(&mut self.q, b * nmax * d);
+        grow(&mut self.k, b * nmax * d);
+        grow(&mut self.v, b * nmax * d);
+        grow(&mut self.qd, nd * d);
+        grow(&mut self.scores, b * nmax * nmax);
+        grow(&mut self.ctx, b * nmax * d);
+        grow(&mut self.pool, b * d);
+        grow(&mut self.normed, b * d);
+        grow(&mut self.lin, b * d);
+        grow(&mut self.hagg, b * views * d);
+        if self.pad_counts.len() < b {
+            self.pad_counts.resize(b, 0);
+        }
+    }
+
+    /// The cached masks for a `(ns, nd)` geometry, rebuilding on change.
+    pub(crate) fn masks_for(&mut self, ns: usize, nd: usize) -> &MaskCache {
+        let stale = !matches!(&self.masks, Some(m) if m.ns == ns && m.nd == nd);
+        if stale {
+            self.masks = Some(MaskCache {
+                ns,
+                nd,
+                causal: AttnMask::causal(nd),
+                cross: AttnMask::cross(ns, nd),
+            });
+        }
+        self.masks.as_ref().expect("just installed")
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn grow(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
+/// Serves any [`SeqModel`] through the [`Scorer`] interface by building a
+/// throwaway graph per call (`training = false`).
+///
+/// This is the compatibility adapter: it keeps every baseline servable while
+/// paying the full tape cost per request, and it is the reference the
+/// graph-free [`crate::FrozenSeqFm`] is benchmarked against.
+pub struct GraphScorer<M: SeqModel> {
+    model: M,
+    ps: ParamStore,
+}
+
+impl<M: SeqModel> GraphScorer<M> {
+    /// Wraps a model and its trained parameters.
+    pub fn new(model: M, ps: ParamStore) -> Self {
+        GraphScorer { model, ps }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The wrapped parameters.
+    pub fn params(&self) -> &ParamStore {
+        &self.ps
+    }
+
+    /// Unwraps into `(model, params)` — e.g. to resume training.
+    pub fn into_parts(self) -> (M, ParamStore) {
+        (self.model, self.ps)
+    }
+}
+
+impl<M: SeqModel> Scorer for GraphScorer<M> {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
+        let mut g = Graph::new();
+        let y = self.model.forward(&mut g, &self.ps, batch, false, &mut scratch.rng);
+        let data = g.value(y).data();
+        scratch.out.clear();
+        scratch.out.extend_from_slice(data);
+        &scratch.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SeqFm, SeqFmConfig};
+    use seqfm_data::{build_instance, FeatureLayout};
+
+    fn setup() -> (GraphScorer<SeqFm>, Batch) {
+        let layout = FeatureLayout { n_users: 5, n_items: 9 };
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SeqFmConfig { d: 8, max_seq: 6, ..Default::default() };
+        let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+        let batch = Batch::from_instances(&[
+            build_instance(&layout, 0, 2, &[1, 3], 6, 1.0),
+            build_instance(&layout, 4, 8, &[0, 5, 7, 2], 6, 0.0),
+        ]);
+        (GraphScorer::new(model, ps), batch)
+    }
+
+    #[test]
+    fn graph_scorer_matches_forward_exactly() {
+        let (scorer, batch) = setup();
+        let mut scratch = Scratch::new();
+        let served = scorer.score(&batch, &mut scratch).to_vec();
+        let mut g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let y = scorer.model().forward(&mut g, scorer.params(), &batch, false, &mut rng);
+        assert_eq!(served, g.value(y).data());
+        assert_eq!(scorer.name(), "SeqFM");
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_batches() {
+        let (scorer, batch) = setup();
+        let mut scratch = Scratch::new();
+        let first = scorer.score(&batch, &mut scratch).to_vec();
+        let again = scorer.score(&batch, &mut scratch).to_vec();
+        assert_eq!(first, again, "scoring must be deterministic");
+    }
+
+    #[test]
+    fn mask_cache_rebuilds_only_on_geometry_change() {
+        let mut scratch = Scratch::new();
+        let m1 = scratch.masks_for(2, 4);
+        assert_eq!((m1.causal.rows(), m1.cross.rows()), (4, 6));
+        // Same geometry: cache hit (no observable rebuild, same dims).
+        let m2 = scratch.masks_for(2, 4);
+        assert_eq!(m2.nd, 4);
+        // New geometry: rebuilt.
+        let m3 = scratch.masks_for(3, 5);
+        assert_eq!((m3.causal.rows(), m3.cross.rows()), (5, 8));
+    }
+}

@@ -201,8 +201,49 @@ pub fn build_instance(
     }
 }
 
+/// Why a slice of [`Instance`]s cannot form a [`Batch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchError {
+    /// No instances were given — a batch must score at least one row.
+    Empty,
+    /// Instance `index` has a static width different from instance 0.
+    RaggedStatic {
+        /// Offending instance index.
+        index: usize,
+        /// Width of instance 0.
+        expected: usize,
+        /// Width of the offending instance.
+        got: usize,
+    },
+    /// Instance `index` has a dynamic width different from instance 0.
+    RaggedDynamic {
+        /// Offending instance index.
+        index: usize,
+        /// Width of instance 0.
+        expected: usize,
+        /// Width of the offending instance.
+        got: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "empty batch"),
+            Self::RaggedStatic { index, expected, got } => {
+                write!(f, "ragged static widths in batch: instance {index} has {got}, expected {expected}")
+            }
+            Self::RaggedDynamic { index, expected, got } => {
+                write!(f, "ragged dynamic widths in batch: instance {index} has {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
 /// A mini-batch of instances flattened for embedding gathers.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Batch {
     /// Batch size.
     pub len: usize,
@@ -221,23 +262,55 @@ pub struct Batch {
 impl Batch {
     /// Assembles a batch from instances.
     ///
+    /// This is the panicking convenience used by training loops, where an
+    /// invalid batch is a programming error; request-driven callers (the
+    /// serving layer) should use [`Batch::try_from_instances`] and surface
+    /// the [`BatchError`] instead.
+    ///
     /// # Panics
     /// Panics if `instances` is empty or static/dynamic widths disagree.
     pub fn from_instances(instances: &[Instance]) -> Batch {
-        assert!(!instances.is_empty(), "empty batch");
+        match Self::try_from_instances(instances) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Assembles a batch from instances, reporting invalid input as a value.
+    ///
+    /// # Errors
+    /// [`BatchError::Empty`] for an empty slice;
+    /// [`BatchError::RaggedStatic`]/[`BatchError::RaggedDynamic`] when an
+    /// instance's widths differ from instance 0.
+    pub fn try_from_instances(instances: &[Instance]) -> Result<Batch, BatchError> {
+        if instances.is_empty() {
+            return Err(BatchError::Empty);
+        }
         let n_static = instances[0].static_idx.len();
         let n_dynamic = instances[0].dyn_idx.len();
         let mut static_idx = Vec::with_capacity(instances.len() * n_static);
         let mut dyn_idx = Vec::with_capacity(instances.len() * n_dynamic);
         let mut targets = Vec::with_capacity(instances.len());
-        for inst in instances {
-            assert_eq!(inst.static_idx.len(), n_static, "ragged static widths in batch");
-            assert_eq!(inst.dyn_idx.len(), n_dynamic, "ragged dynamic widths in batch");
+        for (index, inst) in instances.iter().enumerate() {
+            if inst.static_idx.len() != n_static {
+                return Err(BatchError::RaggedStatic {
+                    index,
+                    expected: n_static,
+                    got: inst.static_idx.len(),
+                });
+            }
+            if inst.dyn_idx.len() != n_dynamic {
+                return Err(BatchError::RaggedDynamic {
+                    index,
+                    expected: n_dynamic,
+                    got: inst.dyn_idx.len(),
+                });
+            }
             static_idx.extend_from_slice(&inst.static_idx);
             dyn_idx.extend_from_slice(&inst.dyn_idx);
             targets.push(inst.target);
         }
-        Batch { len: instances.len(), n_static, n_dynamic, static_idx, dyn_idx, targets }
+        Ok(Batch { len: instances.len(), n_static, n_dynamic, static_idx, dyn_idx, targets })
     }
 
     /// Replaces the candidate-item static feature of every instance with
@@ -341,6 +414,42 @@ mod tests {
         assert_eq!(b.targets, vec![1.0, 0.0]);
         assert_eq!(b.candidate_item(&l, 0), 1);
         assert_eq!(b.candidate_item(&l, 1), 3);
+    }
+
+    #[test]
+    fn empty_batch_is_an_error_not_a_crash() {
+        assert_eq!(Batch::try_from_instances(&[]), Err(BatchError::Empty));
+        let msg = BatchError::Empty.to_string();
+        assert_eq!(msg, "empty batch");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn from_instances_still_panics_on_empty() {
+        let _ = Batch::from_instances(&[]);
+    }
+
+    #[test]
+    fn ragged_widths_are_reported_with_index() {
+        let l = FeatureLayout { n_users: 2, n_items: 4 };
+        let good = build_instance(&l, 0, 1, &[2], 3, 1.0);
+        let mut bad_dyn = build_instance(&l, 1, 2, &[0], 3, 0.0);
+        bad_dyn.dyn_idx.push(PAD);
+        assert_eq!(
+            Batch::try_from_instances(&[good.clone(), bad_dyn]),
+            Err(BatchError::RaggedDynamic { index: 1, expected: 3, got: 4 })
+        );
+        let mut bad_static = build_instance(&l, 1, 2, &[0], 3, 0.0);
+        bad_static.static_idx.push(0);
+        assert_eq!(
+            Batch::try_from_instances(&[good.clone(), bad_static]),
+            Err(BatchError::RaggedStatic { index: 1, expected: 2, got: 3 })
+        );
+        // The Ok path matches the panicking constructor.
+        let ok = Batch::try_from_instances(std::slice::from_ref(&good)).unwrap();
+        let direct = Batch::from_instances(std::slice::from_ref(&good));
+        assert_eq!(ok.static_idx, direct.static_idx);
+        assert_eq!(ok.dyn_idx, direct.dyn_idx);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod sampler;
 pub mod split;
 
 pub use common::{
-    build_instance, Batch, Dataset, DatasetStats, Event, FeatureLayout, Instance, PAD,
+    build_instance, Batch, BatchError, Dataset, DatasetStats, Event, FeatureLayout, Instance, PAD,
 };
 pub use genutil::ConfigError;
 pub use sampler::NegativeSampler;

@@ -35,6 +35,10 @@ pub enum CheckpointError {
     },
     /// Store has parameters the checkpoint lacks.
     MissingParams(usize),
+    /// Reading or writing a checkpoint file failed. Holds
+    /// `"<io error kind>: <message>"` rather than the unclonable
+    /// [`std::io::Error`] itself.
+    Io(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -48,6 +52,7 @@ impl fmt::Display for CheckpointError {
                 write!(f, "parameter `{name}`: {stored} elements stored, {expected} expected")
             }
             Self::MissingParams(n) => write!(f, "checkpoint is missing {n} parameter(s)"),
+            Self::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
         }
     }
 }
@@ -125,6 +130,35 @@ pub fn load(ps: &mut ParamStore, blob: &[u8]) -> Result<(), CheckpointError> {
     Ok(())
 }
 
+/// Saves all parameter values to a file (see [`save`] for the format).
+///
+/// # Errors
+/// [`CheckpointError::Io`] if the file cannot be written.
+pub fn save_file(
+    ps: &ParamStore,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), CheckpointError> {
+    let blob = save(ps);
+    std::fs::write(path, &blob).map_err(io_err)
+}
+
+/// Restores parameter values from a file written by [`save_file`].
+///
+/// # Errors
+/// [`CheckpointError::Io`] if the file cannot be read, or any decoding error
+/// of [`load`].
+pub fn load_file(
+    ps: &mut ParamStore,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), CheckpointError> {
+    let blob = std::fs::read(path).map_err(io_err)?;
+    load(ps, &blob)
+}
+
+fn io_err(e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io(format!("{}: {e}", e.kind()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +218,36 @@ mod tests {
                 assert_eq!(expected, 6);
             }
             other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_and_io_errors() {
+        let ps = sample_store();
+        let dir = std::env::temp_dir().join("seqfm_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.sqfm");
+        save_file(&ps, &path).expect("save_file");
+        let mut fresh = sample_store();
+        for id in fresh.ids() {
+            for v in fresh.value_mut(id).data_mut() {
+                *v = -7.0;
+            }
+        }
+        load_file(&mut fresh, &path).expect("load_file");
+        for ((_, a), (_, b)) in ps.iter().zip(fresh.iter()) {
+            assert_eq!(a.value().data(), b.value().data());
+        }
+        std::fs::remove_file(&path).unwrap();
+        // Missing file → Io variant, not a panic.
+        match load_file(&mut fresh, dir.join("does_not_exist.sqfm")) {
+            Err(CheckpointError::Io(msg)) => assert!(!msg.is_empty()),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        // Unwritable destination (the directory itself) → Io variant.
+        match save_file(&ps, &dir) {
+            Err(CheckpointError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
         }
     }
 

@@ -1,0 +1,230 @@
+//! The multi-threaded scoring engine.
+//!
+//! An [`Engine`] owns a pool of worker threads fed over one crossbeam MPMC
+//! channel. Every worker holds its own [`Scratch`] workspace (warm buffers,
+//! no cross-thread locks on the hot path) and a shared `Arc` of the scorer —
+//! which is why the [`Scorer`] contract requires `&self`-only scoring and
+//! why `FrozenSeqFm: Send + Sync` is load-bearing.
+
+use crate::error::ServeError;
+use crate::request::{score_request, ScoreRequest, ScoreResponse};
+use crossbeam::channel::{self, Receiver, Sender};
+use seqfm_core::{Scorer, Scratch};
+use seqfm_data::FeatureLayout;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Engine sizing and ranking policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Dynamic window n˙ the serving model was trained with.
+    pub max_seq: usize,
+    /// Responses keep only the best `top_k` candidates; `0` keeps all.
+    pub top_k: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        // `max_seq` matches `SeqFmConfig::default`; single-threaded until the
+        // caller opts into more.
+        EngineConfig { threads: 1, max_seq: 20, top_k: 0 }
+    }
+}
+
+type Reply = Sender<Result<ScoreResponse, ServeError>>;
+
+struct Job {
+    req: ScoreRequest,
+    reply: Reply,
+}
+
+/// A handle to a submitted request; resolve it with
+/// [`PendingResponse::wait`].
+pub struct PendingResponse {
+    rx: Receiver<Result<ScoreResponse, ServeError>>,
+}
+
+impl PendingResponse {
+    /// Blocks until the engine has scored the request.
+    ///
+    /// # Errors
+    /// The request's own [`ServeError`], or [`ServeError::ShutDown`] if the
+    /// engine died before answering.
+    pub fn wait(self) -> Result<ScoreResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShutDown))
+    }
+}
+
+/// Multi-threaded scoring engine. See the module docs.
+pub struct Engine {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawns `cfg.threads` workers sharing `scorer`.
+    ///
+    /// The scorer is typically a
+    /// [`FrozenSeqFm`](seqfm_core::FrozenSeqFm) (graph-free fast path) or a
+    /// [`GraphScorer`](seqfm_core::GraphScorer) over any baseline
+    /// (compatibility path) — anything `Scorer + Send + Sync` works.
+    ///
+    /// # Panics
+    /// Panics if `cfg.max_seq == 0` — a misconfigured window would otherwise
+    /// surface as dead worker threads on the first request, like
+    /// [`SeqFmConfig::validate`](seqfm_core::SeqFmConfig::validate) this
+    /// fails fast at construction.
+    pub fn new<S: Scorer + Send + Sync + 'static>(
+        scorer: Arc<S>,
+        layout: FeatureLayout,
+        cfg: EngineConfig,
+    ) -> Self {
+        assert!(cfg.max_seq > 0, "EngineConfig::max_seq must be positive");
+        let (tx, rx) = channel::unbounded::<Job>();
+        let workers = (0..cfg.threads.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let scorer = Arc::clone(&scorer);
+                std::thread::spawn(move || {
+                    let mut scratch = Scratch::new();
+                    while let Ok(job) = rx.recv() {
+                        let res = score_request(
+                            &*scorer,
+                            &layout,
+                            cfg.max_seq,
+                            cfg.top_k,
+                            &job.req,
+                            &mut scratch,
+                        );
+                        // A dropped reply receiver just means the caller gave
+                        // up on this request; keep serving.
+                        let _ = job.reply.send(res);
+                    }
+                })
+            })
+            .collect();
+        Engine { tx: Some(tx), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a request and returns immediately; any worker may pick it
+    /// up. Pair with [`PendingResponse::wait`], or use [`Engine::score`] for
+    /// the blocking round trip.
+    pub fn submit(&self, req: ScoreRequest) -> PendingResponse {
+        let (reply, rx) = channel::unbounded();
+        if let Some(tx) = &self.tx {
+            // A failed send means every worker exited; `wait` then reports
+            // ShutDown via the dropped reply sender.
+            let _ = tx.send(Job { req, reply });
+        }
+        PendingResponse { rx }
+    }
+
+    /// Scores one request, blocking until the response is ready.
+    ///
+    /// # Errors
+    /// See [`PendingResponse::wait`].
+    pub fn score(&self, req: ScoreRequest) -> Result<ScoreResponse, ServeError> {
+        self.submit(req).wait()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the job channel lets every worker drain and exit.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqfm_autograd::ParamStore;
+    use seqfm_core::{FrozenSeqFm, SeqFm, SeqFmConfig};
+
+    fn frozen_model(layout: &FeatureLayout) -> FrozenSeqFm {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = SeqFmConfig { d: 8, max_seq: 6, ..Default::default() };
+        let model = SeqFm::new(&mut ps, &mut rng, layout, cfg);
+        FrozenSeqFm::freeze(&model, &ps)
+    }
+
+    #[test]
+    fn engine_matches_direct_scoring_across_many_requests() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let frozen = Arc::new(frozen_model(&layout));
+        let cfg = EngineConfig { threads: 3, max_seq: 6, top_k: 5 };
+        let engine = Engine::new(Arc::clone(&frozen), layout, cfg);
+        assert_eq!(engine.threads(), 3);
+
+        let requests: Vec<ScoreRequest> = (0..24)
+            .map(|i| ScoreRequest {
+                user: (i % 8) as u32,
+                history: (0..(i % 5)).map(|j| ((i + j) % 20) as u32).collect(),
+                candidates: (0..20).map(|c| ((c + i) % 20) as u32).collect(),
+            })
+            .collect();
+
+        // Fan out everything first, then collect — exercises concurrency.
+        let pending: Vec<PendingResponse> =
+            requests.iter().map(|r| engine.submit(r.clone())).collect();
+        let mut scratch = Scratch::new();
+        for (req, p) in requests.iter().zip(pending) {
+            let got = p.wait().expect("valid request");
+            let want =
+                score_request(&*frozen, &layout, 6, 5, req, &mut scratch).expect("valid request");
+            assert_eq!(got, want, "engine answer diverges for {req:?}");
+        }
+    }
+
+    #[test]
+    fn engine_reports_request_errors_not_panics() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let engine = Engine::new(
+            Arc::new(frozen_model(&layout)),
+            layout,
+            EngineConfig { threads: 1, max_seq: 6, top_k: 0 },
+        );
+        let bad = ScoreRequest { user: 99, history: vec![], candidates: vec![1] };
+        assert_eq!(engine.score(bad), Err(ServeError::UnknownUser { user: 99, n_users: 8 }));
+        // The worker survives a bad request.
+        let ok = ScoreRequest { user: 1, history: vec![2], candidates: vec![1, 2, 3] };
+        assert_eq!(engine.score(ok).expect("valid").ranked.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_seq must be positive")]
+    fn zero_max_seq_fails_fast_at_construction() {
+        let layout = FeatureLayout { n_users: 4, n_items: 10 };
+        let _ = Engine::new(
+            Arc::new(frozen_model(&layout)),
+            layout,
+            EngineConfig { threads: 1, max_seq: 0, top_k: 0 },
+        );
+    }
+
+    #[test]
+    fn dropping_the_engine_joins_workers_cleanly() {
+        let layout = FeatureLayout { n_users: 4, n_items: 10 };
+        let engine = Engine::new(
+            Arc::new(frozen_model(&layout)),
+            layout,
+            EngineConfig { threads: 2, max_seq: 6, top_k: 1 },
+        );
+        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![2, 3] };
+        let _ = engine.score(req).expect("valid");
+        drop(engine); // must not hang or panic
+    }
+}

@@ -1,0 +1,44 @@
+//! Serving-layer errors.
+
+use std::fmt;
+
+/// Why a score request could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A request must carry at least one candidate item to score.
+    NoCandidates,
+    /// The user id is outside the model's feature layout.
+    UnknownUser {
+        /// Requested user id.
+        user: u32,
+        /// Number of users the model was trained for.
+        n_users: usize,
+    },
+    /// A candidate or history item id is outside the model's feature layout.
+    UnknownItem {
+        /// Offending item id.
+        item: u32,
+        /// Number of items the model was trained for.
+        n_items: usize,
+    },
+    /// The engine's workers are gone (the engine was dropped while the
+    /// request was in flight).
+    ShutDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoCandidates => write!(f, "score request carries no candidate items"),
+            Self::UnknownUser { user, n_users } => {
+                write!(f, "unknown user {user} (model has {n_users} users)")
+            }
+            Self::UnknownItem { item, n_items } => {
+                write!(f, "unknown item {item} (model has {n_items} items)")
+            }
+            Self::ShutDown => write!(f, "scoring engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

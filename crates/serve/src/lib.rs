@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # seqfm-serve
+//!
+//! The request-level serving layer on top of `seqfm_core`'s graph-free
+//! [`Scorer`](seqfm_core::Scorer) API — the deployment half of the
+//! train-with-`forward` / serve-with-`score` split.
+//!
+//! Sequence-aware recommenders are overwhelmingly served as *"score K
+//! candidate items for one user history"*, so that request shape is
+//! first-class here:
+//!
+//! * [`ScoreRequest`] — `{ user, history, candidates }`, validated against
+//!   the model's [`FeatureLayout`](seqfm_data::FeatureLayout);
+//! * [`expand_request`] — the candidate-expansion layer: one request becomes
+//!   one scoring [`Batch`](seqfm_data::Batch) in which every row shares the
+//!   user/history features and only the candidate column varies;
+//! * [`score_request`] — expansion + scoring + top-K ranking in one
+//!   synchronous call (what each engine worker runs);
+//! * [`Engine`] — a multi-threaded scoring engine: requests fan out over a
+//!   crossbeam MPMC channel to worker threads, each owning a reusable
+//!   [`Scratch`](seqfm_core::Scratch) workspace and sharing one
+//!   `Arc<impl Scorer>`.
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use seqfm_autograd::ParamStore;
+//! use seqfm_core::{FrozenSeqFm, SeqFm, SeqFmConfig};
+//! use seqfm_data::FeatureLayout;
+//! use seqfm_serve::{Engine, EngineConfig, ScoreRequest};
+//! use std::sync::Arc;
+//!
+//! let layout = FeatureLayout { n_users: 10, n_items: 20 };
+//! let mut ps = ParamStore::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let cfg = SeqFmConfig { d: 8, max_seq: 5, ..Default::default() };
+//! let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+//!
+//! // Freeze for serving, then stand up a 2-thread engine.
+//! let frozen = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+//! let engine = Engine::new(
+//!     frozen,
+//!     layout,
+//!     EngineConfig { threads: 2, max_seq: 5, top_k: 3 },
+//! );
+//! let resp = engine
+//!     .score(ScoreRequest { user: 3, history: vec![1, 4, 2], candidates: vec![7, 9, 11, 0] })
+//!     .expect("valid request");
+//! assert_eq!(resp.ranked.len(), 3); // top-3 of 4 candidates
+//! ```
+
+mod engine;
+mod error;
+mod request;
+
+pub use engine::{Engine, EngineConfig, PendingResponse};
+pub use error::ServeError;
+pub use request::{expand_request, score_request, ScoreRequest, ScoreResponse, ScoredCandidate};

@@ -1,0 +1,214 @@
+//! Typed score requests, candidate expansion, and top-K ranking.
+
+use crate::error::ServeError;
+use seqfm_core::{Scorer, Scratch};
+use seqfm_data::{Batch, FeatureLayout, PAD};
+
+/// "Score these candidate items for this user, given their history" — the
+/// canonical serving request of a sequence-aware recommender.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScoreRequest {
+    /// User id in `0..n_users`.
+    pub user: u32,
+    /// The user's interaction history, chronological, oldest first. May be
+    /// empty (cold start): the dynamic block is then all padding.
+    pub history: Vec<u32>,
+    /// Candidate items to score, each in `0..n_items`.
+    pub candidates: Vec<u32>,
+}
+
+/// One candidate with its model score.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredCandidate {
+    /// Item id.
+    pub item: u32,
+    /// Raw model logit (higher = more likely to interact).
+    pub score: f32,
+}
+
+/// Candidates ranked by descending score, truncated to the engine's top-K.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreResponse {
+    /// Best-first candidates. Ties keep request order (stable sort).
+    pub ranked: Vec<ScoredCandidate>,
+}
+
+impl ScoreResponse {
+    /// The highest-scoring candidate.
+    pub fn best(&self) -> Option<ScoredCandidate> {
+        self.ranked.first().copied()
+    }
+}
+
+/// The candidate-expansion layer: turns one request into a scoring batch of
+/// `candidates.len()` rows that all share the user and history features and
+/// differ only in the candidate column — the layout every caching/batching
+/// optimisation builds on.
+///
+/// # Errors
+/// [`ServeError::NoCandidates`], [`ServeError::UnknownUser`], or
+/// [`ServeError::UnknownItem`] when the request does not fit the layout.
+pub fn expand_request(
+    req: &ScoreRequest,
+    layout: &FeatureLayout,
+    max_seq: usize,
+) -> Result<Batch, ServeError> {
+    if req.candidates.is_empty() {
+        return Err(ServeError::NoCandidates);
+    }
+    if req.user as usize >= layout.n_users {
+        return Err(ServeError::UnknownUser { user: req.user, n_users: layout.n_users });
+    }
+    let check_item = |item: u32| {
+        if (item as usize) < layout.n_items {
+            Ok(())
+        } else {
+            Err(ServeError::UnknownItem { item, n_items: layout.n_items })
+        }
+    };
+    for &it in req.history.iter().chain(&req.candidates) {
+        check_item(it)?;
+    }
+
+    // The shared dynamic block: most recent `max_seq` items, left-padded —
+    // built once, reused for every candidate row.
+    let take = req.history.len().min(max_seq);
+    let recent = &req.history[req.history.len() - take..];
+    let mut dyn_row = vec![PAD; max_seq - take];
+    dyn_row.extend(recent.iter().map(|&it| it as i64));
+
+    let k = req.candidates.len();
+    let user_feat = layout.user_feature(req.user);
+    let mut static_idx = Vec::with_capacity(k * 2);
+    let mut dyn_idx = Vec::with_capacity(k * max_seq);
+    for &cand in &req.candidates {
+        static_idx.push(user_feat);
+        static_idx.push(layout.item_feature(cand));
+        dyn_idx.extend_from_slice(&dyn_row);
+    }
+    Ok(Batch {
+        len: k,
+        n_static: 2,
+        n_dynamic: max_seq,
+        static_idx,
+        dyn_idx,
+        targets: vec![0.0; k],
+    })
+}
+
+/// Serves one request synchronously: expand, score, rank, truncate.
+///
+/// `top_k == 0` returns every candidate ranked. This is exactly what each
+/// [`Engine`](crate::Engine) worker runs per request; calling it directly
+/// (with a caller-owned [`Scratch`]) is the single-threaded serving path.
+///
+/// # Errors
+/// See [`expand_request`].
+pub fn score_request<S: Scorer + ?Sized>(
+    scorer: &S,
+    layout: &FeatureLayout,
+    max_seq: usize,
+    top_k: usize,
+    req: &ScoreRequest,
+    scratch: &mut Scratch,
+) -> Result<ScoreResponse, ServeError> {
+    let batch = expand_request(req, layout, max_seq)?;
+    let scores = scorer.score(&batch, scratch);
+    let mut ranked: Vec<ScoredCandidate> = req
+        .candidates
+        .iter()
+        .zip(scores)
+        .map(|(&item, &score)| ScoredCandidate { item, score })
+        .collect();
+    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    if top_k > 0 {
+        ranked.truncate(top_k);
+    }
+    Ok(ScoreResponse { ranked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqfm_autograd::ParamStore;
+    use seqfm_core::{FrozenSeqFm, SeqFm, SeqFmConfig};
+
+    fn layout() -> FeatureLayout {
+        FeatureLayout { n_users: 4, n_items: 12 }
+    }
+
+    #[test]
+    fn expansion_shares_history_and_varies_candidates() {
+        let req = ScoreRequest { user: 2, history: vec![1, 5, 3], candidates: vec![7, 0, 9] };
+        let b = expand_request(&req, &layout(), 5).expect("valid");
+        assert_eq!((b.len, b.n_static, b.n_dynamic), (3, 2, 5));
+        let l = layout();
+        for i in 0..3 {
+            // Same user and the same left-padded history in every row.
+            assert_eq!(b.static_idx[i * 2], l.user_feature(2));
+            assert_eq!(b.dyn_idx[i * 5..(i + 1) * 5], [PAD, PAD, 1, 5, 3]);
+            assert_eq!(b.candidate_item(&l, i), req.candidates[i]);
+        }
+    }
+
+    #[test]
+    fn expansion_truncates_long_histories_like_build_instance() {
+        let req = ScoreRequest { user: 0, history: vec![0, 1, 2, 3, 4, 5], candidates: vec![1] };
+        let b = expand_request(&req, &layout(), 4).expect("valid");
+        let direct = Batch::from_instances(&[seqfm_data::build_instance(
+            &layout(),
+            0,
+            1,
+            &req.history,
+            4,
+            0.0,
+        )]);
+        assert_eq!(b.dyn_idx, direct.dyn_idx);
+        assert_eq!(b.static_idx, direct.static_idx);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let l = layout();
+        let base = ScoreRequest { user: 0, history: vec![], candidates: vec![1] };
+        assert_eq!(
+            expand_request(&ScoreRequest { candidates: vec![], ..base.clone() }, &l, 5),
+            Err(ServeError::NoCandidates)
+        );
+        assert_eq!(
+            expand_request(&ScoreRequest { user: 4, ..base.clone() }, &l, 5),
+            Err(ServeError::UnknownUser { user: 4, n_users: 4 })
+        );
+        assert_eq!(
+            expand_request(&ScoreRequest { history: vec![12], ..base.clone() }, &l, 5),
+            Err(ServeError::UnknownItem { item: 12, n_items: 12 })
+        );
+        assert_eq!(
+            expand_request(&ScoreRequest { candidates: vec![1, 99], ..base }, &l, 5),
+            Err(ServeError::UnknownItem { item: 99, n_items: 12 })
+        );
+    }
+
+    #[test]
+    fn ranking_is_descending_and_top_k_truncates() {
+        let l = layout();
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = SeqFmConfig { d: 8, max_seq: 5, ..Default::default() };
+        let model = SeqFm::new(&mut ps, &mut rng, &l, cfg);
+        let frozen = FrozenSeqFm::freeze(&model, &ps);
+        let mut scratch = Scratch::new();
+        let req = ScoreRequest { user: 1, history: vec![2, 8], candidates: (0..12).collect() };
+        let all = score_request(&frozen, &l, 5, 0, &req, &mut scratch).expect("valid");
+        assert_eq!(all.ranked.len(), 12);
+        for w in all.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score, "ranking not descending");
+        }
+        let top3 = score_request(&frozen, &l, 5, 3, &req, &mut scratch).expect("valid");
+        assert_eq!(top3.ranked.len(), 3);
+        assert_eq!(top3.ranked, all.ranked[..3].to_vec());
+        assert_eq!(all.best().unwrap().item, all.ranked[0].item);
+    }
+}

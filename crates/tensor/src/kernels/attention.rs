@@ -1,0 +1,140 @@
+//! Fused scaled-dot-product attention over raw slices — the graph-free
+//! inference counterpart of the tape ops `bmm_nt → scale → softmax → bmm`.
+//!
+//! The kernel performs exactly the same floating-point operations in exactly
+//! the same order as the graph path, so a frozen forward pass that uses it
+//! reproduces `Graph`-built logits bit for bit. The caller provides both the
+//! output buffer and a scores scratch buffer, so repeated calls allocate
+//! nothing.
+
+use super::bmm::{bmm_nn_into, bmm_nt_into};
+use super::softmax::{softmax_row_inplace, AttnMask};
+
+/// `out[b,n,d] = softmax(scale · Q·Kᵀ + M) · V` per batch slice.
+///
+/// `q`/`k`/`v` are `[bs, n, d]` row-major slices; `scores` is a scratch
+/// buffer of at least `bs·n·n` elements (overwritten with the attention
+/// weights); `out` must hold at least `bs·n·d` elements and is overwritten
+/// (not accumulated). `mask`, when given, is `[n, n]` and shared across the
+/// batch, as everywhere else in this crate; fully-masked rows produce
+/// all-zero attention weights, keeping padding rows inert.
+///
+/// # Panics
+/// Panics if any buffer is too small or the mask dims do not match `n`.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_into(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    mask: Option<&AttnMask>,
+    scale: f32,
+    bs: usize,
+    n: usize,
+    d: usize,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
+    assert!(q.len() >= bs * n * d, "attention_into: q too small");
+    assert!(k.len() >= bs * n * d, "attention_into: k too small");
+    assert!(v.len() >= bs * n * d, "attention_into: v too small");
+    assert!(scores.len() >= bs * n * n, "attention_into: scores scratch too small");
+    assert!(out.len() >= bs * n * d, "attention_into: out too small");
+    if let Some(mk) = mask {
+        assert_eq!(
+            (mk.rows(), mk.cols()),
+            (n, n),
+            "attention mask [{}x{}] does not match n = {n}",
+            mk.rows(),
+            mk.cols()
+        );
+    }
+    let (q, k, v) = (&q[..bs * n * d], &k[..bs * n * d], &v[..bs * n * d]);
+    let scores = &mut scores[..bs * n * n];
+    let out = &mut out[..bs * n * d];
+
+    // Q·Kᵀ, then the 1/√d scale — same op order as the tape.
+    scores.fill(0.0);
+    bmm_nt_into(q, k, scores, bs, n, d, n);
+    for s in scores.iter_mut() {
+        *s *= scale;
+    }
+    // Masked softmax, row by row in place.
+    for (ri, row) in scores.chunks_exact_mut(n).enumerate() {
+        let mask_row = mask.map(|mk| {
+            let r = ri % n;
+            &mk.data()[r * n..(r + 1) * n]
+        });
+        softmax_row_inplace(row, mask_row);
+    }
+    // Attention-weighted values.
+    out.fill(0.0);
+    bmm_nn_into(scores, v, out, bs, n, n, d);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::softmax::softmax_lastdim_masked;
+    use crate::testutil::rand_tensor;
+    use crate::{bmm_nn, bmm_nt, ew, Shape};
+    use std::sync::Arc;
+
+    #[test]
+    fn fused_kernel_matches_unfused_ops_bitwise() {
+        let (bs, n, d) = (3, 5, 4);
+        let mut seed = 23;
+        let q = rand_tensor(Shape::d3(bs, n, d), &mut seed);
+        let k = rand_tensor(Shape::d3(bs, n, d), &mut seed);
+        let v = rand_tensor(Shape::d3(bs, n, d), &mut seed);
+        let scale = 1.0 / (d as f32).sqrt();
+        let mask = Arc::new(AttnMask::causal(n));
+
+        // Reference: the exact op sequence the tape records.
+        let scores = ew::scale(&bmm_nt(&q, &k), scale);
+        let attn = softmax_lastdim_masked(&scores, &mask);
+        let expect = bmm_nn(&attn, &v);
+
+        let mut scratch = vec![0.0f32; bs * n * n];
+        let mut out = vec![0.0f32; bs * n * d];
+        attention_into(
+            q.data(),
+            k.data(),
+            v.data(),
+            Some(&mask),
+            scale,
+            bs,
+            n,
+            d,
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, expect.data(), "fused attention diverges from the tape ops");
+        assert_eq!(scratch, attn.data(), "attention weights diverge");
+    }
+
+    #[test]
+    fn unmasked_path_matches_too() {
+        let (bs, n, d) = (2, 3, 4);
+        let mut seed = 29;
+        let q = rand_tensor(Shape::d3(bs, n, d), &mut seed);
+        let k = rand_tensor(Shape::d3(bs, n, d), &mut seed);
+        let v = rand_tensor(Shape::d3(bs, n, d), &mut seed);
+        let scale = 0.5;
+        let scores = ew::scale(&bmm_nt(&q, &k), scale);
+        let attn = crate::softmax_lastdim(&scores);
+        let expect = bmm_nn(&attn, &v);
+        let mut scratch = vec![0.0f32; bs * n * n];
+        let mut out = vec![0.0f32; bs * n * d];
+        attention_into(q.data(), k.data(), v.data(), None, scale, bs, n, d, &mut scratch, &mut out);
+        assert_eq!(out, expect.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "scores scratch too small")]
+    fn rejects_undersized_scratch() {
+        let q = vec![0.0; 8];
+        let mut scratch = vec![0.0; 3];
+        let mut out = vec![0.0; 8];
+        attention_into(&q, &q, &q, None, 1.0, 1, 2, 4, &mut scratch, &mut out);
+    }
+}

@@ -81,6 +81,43 @@ pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
     out
 }
 
+/// Raw slice kernel: per-slice `c[i] += a[i] · b[i]` over `bs` batch slices
+/// (`a: [bs,m,k]`, `b: [bs,k,n]`, `c: [bs,m,n]`). Accumulates into `c`, so
+/// zero it first when a plain product is wanted.
+pub fn bmm_nn_into(a: &[f32], b: &[f32], c: &mut [f32], bs: usize, m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), bs * m * k);
+    debug_assert_eq!(b.len(), bs * k * n);
+    debug_assert_eq!(c.len(), bs * m * n);
+    for i in 0..bs {
+        matmul_nn_into(
+            &a[i * m * k..(i + 1) * m * k],
+            &b[i * k * n..(i + 1) * k * n],
+            &mut c[i * m * n..(i + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+}
+
+/// Raw slice kernel: per-slice `c[i] += a[i] · b[i]ᵀ` over `bs` batch slices
+/// (`a: [bs,m,k]`, `b: [bs,n,k]`, `c: [bs,m,n]`). Accumulates into `c`.
+pub fn bmm_nt_into(a: &[f32], b: &[f32], c: &mut [f32], bs: usize, m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), bs * m * k);
+    debug_assert_eq!(b.len(), bs * n * k);
+    debug_assert_eq!(c.len(), bs * m * n);
+    for i in 0..bs {
+        matmul_nt_into(
+            &a[i * m * k..(i + 1) * m * k],
+            &b[i * n * k..(i + 1) * n * k],
+            &mut c[i * m * n..(i + 1) * m * n],
+            m,
+            k,
+            n,
+        );
+    }
+}
+
 fn dims3(t: &Tensor, what: &str) -> (usize, usize, usize) {
     assert_eq!(t.shape().rank(), 3, "{what} must be rank 3, got {}", t.shape());
     (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2))
@@ -134,6 +171,22 @@ mod tests {
             let ci = matmul_tn(&ai, &bi);
             assert_close(&c.data()[i * 15..(i + 1) * 15], ci.data(), 1e-5);
         }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let mut seed = 17;
+        let a = rand_tensor(Shape::d3(2, 3, 4), &mut seed);
+        let b = rand_tensor(Shape::d3(2, 4, 5), &mut seed);
+        let expect = bmm_nn(&a, &b);
+        let mut c = vec![0.0f32; 2 * 3 * 5];
+        bmm_nn_into(a.data(), b.data(), &mut c, 2, 3, 4, 5);
+        assert_eq!(c, expect.data());
+        let bt = rand_tensor(Shape::d3(2, 5, 4), &mut seed);
+        let expect_nt = bmm_nt(&a, &bt);
+        c.fill(0.0);
+        bmm_nt_into(a.data(), bt.data(), &mut c, 2, 3, 4, 5);
+        assert_eq!(c, expect_nt.data());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! kernel allocates its output (there is no aliasing) except the explicitly
 //! `_into` / `accumulate` variants used on hot paths.
 
+pub mod attention;
 pub mod bmm;
 pub mod elementwise;
 pub mod matmul;

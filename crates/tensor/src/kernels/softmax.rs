@@ -153,6 +153,33 @@ fn softmax_impl(x: &Tensor, mask: Option<&AttnMask>) -> Tensor {
     out
 }
 
+/// In-place variant of [`softmax_row`] — identical arithmetic in identical
+/// order, for callers that own the row buffer (see `kernels::attention`).
+pub(crate) fn softmax_row_inplace(x: &mut [f32], mask: Option<&[f32]>) {
+    let mut max = f32::NEG_INFINITY;
+    for (i, &v) in x.iter().enumerate() {
+        let v = v + mask.map_or(0.0, |m| m[i]);
+        if v > max {
+            max = v;
+        }
+    }
+    if max == f32::NEG_INFINITY {
+        x.fill(0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for (i, slot) in x.iter_mut().enumerate() {
+        let v = *slot + mask.map_or(0.0, |m| m[i]);
+        let e = if v == f32::NEG_INFINITY { 0.0 } else { (v - max).exp() };
+        *slot = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for o in x.iter_mut() {
+        *o *= inv;
+    }
+}
+
 /// Stable masked softmax of a single row. Fully-masked rows yield all zeros.
 fn softmax_row(x: &[f32], mask: Option<&[f32]>, out: &mut [f32]) {
     let mut max = f32::NEG_INFINITY;
@@ -176,6 +203,43 @@ fn softmax_row(x: &[f32], mask: Option<&[f32]>, out: &mut [f32]) {
     let inv = 1.0 / sum;
     for o in out.iter_mut() {
         *o *= inv;
+    }
+}
+
+/// Out-buffer variant of [`softmax_lastdim`] / [`softmax_lastdim_masked`]
+/// operating on raw slices — the inference hot path, where the caller owns a
+/// reusable scratch buffer and wants zero allocations.
+///
+/// `x` holds `rows_per_slice`-row slices of width `m` (any number of batch
+/// slices); the optional mask is `[rows_per_slice, m]` and shared across
+/// slices, exactly as in the tensor-level functions.
+///
+/// # Panics
+/// Panics if lengths disagree or the mask dims do not match.
+pub fn softmax_rows_into(
+    x: &[f32],
+    m: usize,
+    rows_per_slice: usize,
+    mask: Option<&AttnMask>,
+    out: &mut [f32],
+) {
+    assert_eq!(x.len(), out.len(), "softmax_rows_into length mismatch");
+    assert_eq!(x.len() % m, 0, "softmax_rows_into: input not a multiple of row width {m}");
+    if let Some(mk) = mask {
+        assert_eq!(
+            (mk.rows(), mk.cols()),
+            (rows_per_slice, m),
+            "mask [{}x{}] does not match rows_per_slice {rows_per_slice} x width {m}",
+            mk.rows(),
+            mk.cols()
+        );
+    }
+    for (ri, (row_in, row_out)) in x.chunks_exact(m).zip(out.chunks_exact_mut(m)).enumerate() {
+        let mask_row = mask.map(|mk| {
+            let r = ri % rows_per_slice;
+            &mk.data()[r * m..(r + 1) * m]
+        });
+        softmax_row(row_in, mask_row, row_out);
     }
 }
 
@@ -308,6 +372,40 @@ mod tests {
             assert!((y.at3(b, 0, 1)).abs() < 1e-6);
             assert!((y.at3(b, 1, 0) - 0.5).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn inplace_row_matches_out_of_place_bitwise() {
+        let mask_full = AttnMask::causal(4);
+        for r in 0..4 {
+            let x = [0.3f32, -1.7, 2.5, 0.01];
+            let mrow = &mask_full.data()[r * 4..(r + 1) * 4];
+            let mut expect = [0.0f32; 4];
+            softmax_row(&x, Some(mrow), &mut expect);
+            let mut inplace = x;
+            softmax_row_inplace(&mut inplace, Some(mrow));
+            assert_eq!(inplace, expect, "row {r} diverges");
+        }
+        // Fully-masked row → zeros on both paths.
+        let mut blocked = AttnMask::causal(2);
+        blocked.block_leading_cols(2);
+        let mut x = [1.0f32, 2.0];
+        softmax_row_inplace(&mut x, Some(&blocked.data()[0..2]));
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn rows_into_matches_tensor_variant() {
+        let m = AttnMask::causal(2);
+        let x =
+            Tensor::from_vec(Shape::d3(2, 2, 2), vec![0.3, -1.0, 2.0, 0.1, 5.0, 4.0, -2.0, 0.0]);
+        let expect = softmax_lastdim_masked(&x, &m);
+        let mut out = vec![0.0f32; 8];
+        softmax_rows_into(x.data(), 2, 2, Some(&m), &mut out);
+        assert_eq!(out, expect.data(), "masked rows_into diverges from tensor softmax");
+        let expect_plain = softmax_lastdim(&x);
+        softmax_rows_into(x.data(), 2, 2, None, &mut out);
+        assert_eq!(out, expect_plain.data());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   ([`softmax_lastdim`], [`softmax_lastdim_masked`]) — the core primitive of
 //!   the paper's multi-view self-attention (Eq. 8, 9, 11).
 //! * Reductions over axis 1 and the last axis (intra-view pooling, Eq. 14).
+//! * Allocation-free `_into` variants of the hot kernels plus a fused
+//!   [`attention_into`] — the building blocks of the graph-free inference
+//!   path (`seqfm_core`'s `Scorer`/`FrozenSeqFm`).
 //!
 //! All shape errors are programming errors and panic with a descriptive
 //! message; the panic contract is documented on each function.
@@ -27,12 +30,15 @@ mod tensor;
 pub mod kernels;
 pub mod testutil;
 
-pub use kernels::bmm::{bmm_nn, bmm_nt, bmm_tn};
+pub use kernels::attention::attention_into;
+pub use kernels::bmm::{bmm_nn, bmm_nn_into, bmm_nt, bmm_nt_into, bmm_tn};
 pub use kernels::elementwise as ew;
-pub use kernels::matmul::{matmul_nn, matmul_nt, matmul_tn};
+pub use kernels::matmul::{
+    matmul_nn, matmul_nn_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into,
+};
 pub use kernels::reduce;
 pub use kernels::softmax::{
-    softmax_backward_lastdim, softmax_lastdim, softmax_lastdim_masked, AttnMask,
+    softmax_backward_lastdim, softmax_lastdim, softmax_lastdim_masked, softmax_rows_into, AttnMask,
 };
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,0 +1,123 @@
+//! Two-phase story: **train** with the graph-based `SeqModel::forward`,
+//! **deploy** with the graph-free `Scorer` API behind a multi-threaded
+//! serving engine.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::ParamStore;
+use seqfm_core::{FrozenSeqFm, Scorer, Scratch, SeqFm, SeqFmConfig, TrainConfig};
+use seqfm_data::{ranking::RankingConfig, FeatureLayout, LeaveOneOut, NegativeSampler, Scale};
+use seqfm_nn::checkpoint;
+use seqfm_serve::{Engine, EngineConfig, ScoreRequest};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    // ---- Phase 1: train (autograd graphs, mutable ParamStore) --------------
+    let mut gen_cfg = RankingConfig::gowalla(Scale::Small);
+    gen_cfg.n_users = 48;
+    gen_cfg.n_items = 120;
+    let dataset = seqfm_data::ranking::generate(&gen_cfg).expect("valid config");
+    let split = LeaveOneOut::split(&dataset);
+    let layout = FeatureLayout::of(&dataset);
+    let seen = (0..dataset.n_users).map(|u| split.seen_items(u)).collect();
+    let sampler = NegativeSampler::new(dataset.n_items, seen);
+
+    let mut params = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let max_seq = 10;
+    let model_cfg = SeqFmConfig { d: 16, max_seq, ..Default::default() };
+    let model = SeqFm::new(&mut params, &mut rng, &layout, model_cfg);
+    let train_cfg =
+        TrainConfig { epochs: 10, batch_size: 128, lr: 5e-3, max_seq, ..Default::default() };
+    let report =
+        seqfm_core::train_ranking(&model, &mut params, &split, &layout, &sampler, &train_cfg);
+    println!(
+        "phase 1 — trained SeqFM: loss {:.4} -> {:.4} in {:.1}s",
+        report.epoch_losses[0],
+        report.final_loss(),
+        report.seconds
+    );
+
+    // ---- Phase 2: freeze & serve (immutable snapshot, no graphs) -----------
+    // Ship the model as a checkpoint blob, then load it straight into the
+    // graph-free form — what a serving fleet would do at startup.
+    let blob = checkpoint::save(&params);
+    let frozen = FrozenSeqFm::from_checkpoint(&blob, &layout, model_cfg).expect("valid checkpoint");
+    println!(
+        "phase 2 — frozen {} ({} params) from a {}-byte checkpoint",
+        frozen.name(),
+        frozen.params().total_elems(),
+        blob.len()
+    );
+
+    // Sanity: graph-free scores equal the training-path scores.
+    let user0 = 0u32;
+    let history: Vec<u32> = split.train[user0 as usize].iter().map(|e| e.item).collect();
+    let req = ScoreRequest {
+        user: user0,
+        history: history.clone(),
+        candidates: (0..dataset.n_items as u32).collect(),
+    };
+
+    // A 2-thread engine sharing one Arc'd frozen model.
+    let engine =
+        Engine::new(Arc::new(frozen), layout, EngineConfig { threads: 2, max_seq, top_k: 5 });
+    let t0 = Instant::now();
+    let pending: Vec<_> = (0..dataset.n_users as u32)
+        .map(|u| {
+            engine.submit(ScoreRequest {
+                user: u,
+                history: split.train[u as usize].iter().map(|e| e.item).collect(),
+                candidates: (0..dataset.n_items as u32).collect(),
+            })
+        })
+        .collect();
+    let n_req = pending.len();
+    for p in pending {
+        p.wait().expect("valid request");
+    }
+    let dt = t0.elapsed();
+    println!(
+        "served {} full-catalog requests ({} candidates each) on 2 threads in {:.1}ms ({:.0} req/s)",
+        n_req,
+        dataset.n_items,
+        dt.as_secs_f64() * 1e3,
+        n_req as f64 / dt.as_secs_f64()
+    );
+
+    let resp = engine.score(req).expect("valid request");
+    println!("top-5 for user {user0} (history length {}):", history.len());
+    for (rank, c) in resp.ranked.iter().enumerate() {
+        println!("  #{:<2} item {:<4} score {:+.4}", rank + 1, c.item, c.score);
+    }
+
+    // The compatibility path: any baseline serves through GraphScorer.
+    let mut rng2 = StdRng::seed_from_u64(1);
+    let fm_scorer = seqfm_baselines::registry::build_scorer(
+        seqfm_baselines::registry::ModelKind::Fm,
+        &mut rng2,
+        &layout,
+        16,
+        max_seq,
+    );
+    let mut scratch = Scratch::new();
+    let fm_resp = seqfm_serve::score_request(
+        &fm_scorer,
+        &layout,
+        max_seq,
+        3,
+        &ScoreRequest { user: 1, history: vec![3, 8, 2], candidates: vec![5, 9, 40, 77] },
+        &mut scratch,
+    )
+    .expect("valid request");
+    println!(
+        "baseline {} serves too: best candidate {} of 4",
+        fm_scorer.name(),
+        fm_resp.best().expect("non-empty").item
+    );
+}

@@ -15,8 +15,11 @@
 //! * [`nn`] — layers, optimizers, initializers, checkpoints
 //! * [`data`] — synthetic chronological datasets + evaluation protocol
 //! * [`metrics`] — HR/NDCG, AUC/RMSE, MAE/RRSE
-//! * [`core`] — **SeqFM** (the paper's model), trainers, evaluators
+//! * [`core`] — **SeqFM** (the paper's model), trainers, evaluators, and the
+//!   graph-free `Scorer`/`FrozenSeqFm` inference API
 //! * [`baselines`] — all 11 comparison models
+//! * [`serve`] — request-level serving: candidate expansion, top-K ranking,
+//!   and the multi-threaded scoring engine
 //! * [`bench_harness`] — the table/figure regeneration harness
 
 pub use seqfm_autograd as autograd;
@@ -26,4 +29,5 @@ pub use seqfm_core as core;
 pub use seqfm_data as data;
 pub use seqfm_metrics as metrics;
 pub use seqfm_nn as nn;
+pub use seqfm_serve as serve;
 pub use seqfm_tensor as tensor;
