@@ -224,6 +224,65 @@ impl ParamStore {
         }
     }
 
+    /// A same-shaped store for one data-parallel training worker: identical
+    /// names, kinds, and **values**, with freshly zeroed gradients. Workers
+    /// accumulate shard gradients here, and the trainer merges them back via
+    /// [`Self::add_grads_from`].
+    pub fn worker_clone(&self) -> ParamStore {
+        let mut out = ParamStore::new();
+        for p in &self.params {
+            let value = Tensor::from_vec(p.value.shape(), p.value.data().to_vec());
+            match p.kind {
+                ParamKind::Dense => out.add_dense(p.name.clone(), value),
+                ParamKind::SparseRows => out.add_sparse(p.name.clone(), value),
+            };
+        }
+        out
+    }
+
+    /// Overwrites every parameter value with `src`'s (the per-step snapshot
+    /// refresh of data-parallel training). Gradients are untouched.
+    ///
+    /// # Panics
+    /// Panics if the stores do not hold the same parameters in the same
+    /// order with the same shapes.
+    pub fn copy_values_from(&mut self, src: &ParamStore) {
+        assert_eq!(self.params.len(), src.params.len(), "param count mismatch");
+        for (dst, s) in self.params.iter_mut().zip(&src.params) {
+            assert_eq!(dst.name, s.name, "param order mismatch");
+            assert!(dst.value.shape().same(&s.value.shape()), "shape mismatch for `{}`", dst.name);
+            dst.value.data_mut().copy_from_slice(s.value.data());
+        }
+    }
+
+    /// Adds `src`'s accumulated gradients into this store's — the
+    /// synchronous all-reduce of data-parallel training. Dense gradients add
+    /// elementwise; sparse gradients add only `src`'s touched rows (in
+    /// sorted order, so merging workers in a fixed order is deterministic)
+    /// and record them as touched here.
+    ///
+    /// # Panics
+    /// Panics if the stores do not hold the same parameters in the same
+    /// order with the same shapes.
+    pub fn add_grads_from(&mut self, src: &ParamStore) {
+        assert_eq!(self.params.len(), src.params.len(), "param count mismatch");
+        for (id, s) in (0..self.params.len()).map(ParamId).zip(&src.params) {
+            assert_eq!(self.params[id.0].name, s.name, "param order mismatch");
+            match s.kind {
+                ParamKind::Dense => self.accumulate_dense(id, &s.grad),
+                ParamKind::SparseRows => {
+                    let cols = s.value.shape().dim(1);
+                    let mut rows = s.touched.clone();
+                    rows.sort_unstable();
+                    rows.dedup();
+                    for r in rows {
+                        self.accumulate_row(id, r, &s.grad.data()[r * cols..(r + 1) * cols]);
+                    }
+                }
+            }
+        }
+    }
+
     /// Sum of squared gradient elements across all parameters (diagnostics).
     pub fn grad_sq_norm(&self) -> f64 {
         self.params.iter().flat_map(|p| p.grad.data()).map(|&g| (g as f64) * (g as f64)).sum()
@@ -303,6 +362,59 @@ mod tests {
         ps.zero_grads();
         assert!(ps.touched_rows(e).is_empty());
         assert!(ps.grad(e).data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn worker_clone_shares_values_not_grads() {
+        let mut ps = ParamStore::new();
+        let w = ps.add_dense("w", Tensor::vector(vec![1.0, 2.0]));
+        let e = ps.add_sparse("emb", Tensor::ones(Shape::d2(3, 2)));
+        ps.accumulate_dense(w, &Tensor::vector(vec![5.0, 5.0]));
+        let wk = ps.worker_clone();
+        assert_eq!(wk.value(w).data(), ps.value(w).data());
+        assert_eq!(wk.param(e).kind(), ParamKind::SparseRows);
+        assert!(wk.grad(w).data().iter().all(|&g| g == 0.0), "worker grads must start zeroed");
+    }
+
+    #[test]
+    fn copy_values_refreshes_the_snapshot() {
+        let mut master = ParamStore::new();
+        let w = master.add_dense("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut worker = master.worker_clone();
+        master.value_mut(w).data_mut()[0] = 9.0;
+        worker.copy_values_from(&master);
+        assert_eq!(worker.value(w).data(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn add_grads_merges_dense_and_touched_sparse_rows() {
+        let mut master = ParamStore::new();
+        let w = master.add_dense("w", Tensor::vector(vec![0.0, 0.0]));
+        let e = master.add_sparse("emb", Tensor::zeros(Shape::d2(4, 2)));
+        let mut wk1 = master.worker_clone();
+        let mut wk2 = master.worker_clone();
+        wk1.accumulate_dense(w, &Tensor::vector(vec![1.0, 2.0]));
+        wk1.accumulate_row(e, 1, &[0.5, 0.5]);
+        wk2.accumulate_dense(w, &Tensor::vector(vec![10.0, 20.0]));
+        wk2.accumulate_row(e, 1, &[0.5, 0.5]);
+        wk2.accumulate_row(e, 3, &[1.0, -1.0]);
+        master.add_grads_from(&wk1);
+        master.add_grads_from(&wk2);
+        assert_close(master.grad(w).data(), &[11.0, 22.0], 1e-6);
+        assert_eq!(master.touched_rows(e), vec![1, 3]);
+        assert_close(master.grad(e).data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, -1.0], 1e-6);
+        // zero_grads still clears everything merged.
+        master.zero_grads();
+        assert!(master.grad(e).data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "param count mismatch")]
+    fn merging_foreign_stores_is_rejected() {
+        let mut a = ParamStore::new();
+        a.add_dense("w", Tensor::vector(vec![0.0]));
+        let b = ParamStore::new();
+        a.add_grads_from(&b);
     }
 
     #[test]

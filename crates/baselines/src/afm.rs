@@ -132,22 +132,24 @@ mod tests {
         // attention-pooled interactions.
         let (m, ps) = build();
         let l = layout();
-        let b1 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        let b1 = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             1,
             4,
             &[2, 3],
             MAX_SEQ,
             1.0,
-        )]);
-        let b2 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        )])
+        .expect("valid batch");
+        let b2 = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             1,
             4,
             &[8, 9],
             MAX_SEQ,
             1.0,
-        )]);
+        )])
+        .expect("valid batch");
         let a = logits(&m, &ps, &b1)[0];
         let c = logits(&m, &ps, &b2)[0];
         assert!((a - c).abs() > 1e-6);

@@ -94,7 +94,7 @@ mod tests {
         let (m, ps) = build();
         let l = layout();
         let inst = seqfm_data::build_instance(&l, 1, 4, &[2, 6], MAX_SEQ, 1.0);
-        let b = seqfm_data::Batch::from_instances(&[inst]);
+        let b = seqfm_data::Batch::try_from_instances(&[inst]).expect("valid batch");
         // collect the four active embedding rows: user 1, item-feature 4,
         // dynamic 2, dynamic 6
         let es = ps.value(m.base.emb_static.table());

@@ -109,7 +109,7 @@ mod tests {
         let (m, ps) = build();
         let l = layout();
         let inst = seqfm_data::build_instance(&l, 0, 2, &[1, 3, 7], MAX_SEQ, 1.0);
-        let b = seqfm_data::Batch::from_instances(&[inst]);
+        let b = seqfm_data::Batch::try_from_instances(&[inst]).expect("valid batch");
         let es = ps.value(m.base.emb_static.table());
         let ed = ps.value(m.base.emb_dynamic.table());
         let rows: Vec<Vec<f32>> = vec![

@@ -203,10 +203,11 @@ mod tests {
     fn registry_builds_every_model_and_produces_finite_scores() {
         let layout = FeatureLayout { n_users: 6, n_items: 15 };
         let max_seq = 5;
-        let b = Batch::from_instances(&[
+        let b = Batch::try_from_instances(&[
             build_instance(&layout, 0, 3, &[1, 2], max_seq, 1.0),
             build_instance(&layout, 5, 14, &[4, 9, 2, 7, 1, 3], max_seq, 0.0),
-        ]);
+        ])
+        .expect("valid batch");
         let all = [
             ModelKind::Fm,
             ModelKind::WideDeep,
@@ -237,10 +238,11 @@ mod tests {
         use seqfm_core::{Scorer, Scratch};
         let layout = FeatureLayout { n_users: 6, n_items: 15 };
         let max_seq = 5;
-        let b = Batch::from_instances(&[
+        let b = Batch::try_from_instances(&[
             build_instance(&layout, 0, 3, &[1, 2], max_seq, 1.0),
             build_instance(&layout, 5, 14, &[4, 9, 2, 7, 1, 3], max_seq, 0.0),
-        ]);
+        ])
+        .expect("valid batch");
         let all = [
             ModelKind::Fm,
             ModelKind::WideDeep,

@@ -132,22 +132,24 @@ mod tests {
         // Different histories, same user/candidate → different scores.
         let (m, ps) = build();
         let l = layout();
-        let h1 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        let h1 = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             0,
             5,
             &[1, 2],
             MAX_SEQ,
             3.0,
-        )]);
-        let h2 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        )])
+        .expect("valid batch");
+        let h2 = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             0,
             5,
             &[7, 8],
             MAX_SEQ,
             3.0,
-        )]);
+        )])
+        .expect("valid batch");
         let a = logits(&m, &ps, &h1)[0];
         let b = logits(&m, &ps, &h2)[0];
         assert!((a - b).abs() > 1e-6);

@@ -159,22 +159,24 @@ mod tests {
         // after history [X] through the shared table.
         let (m, ps) = build();
         let l = layout();
-        let same = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        let same = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             0,
             2,
             &[2],
             MAX_SEQ,
             1.0,
-        )]);
-        let diff = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        )])
+        .expect("valid batch");
+        let diff = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             0,
             9,
             &[2],
             MAX_SEQ,
             1.0,
-        )]);
+        )])
+        .expect("valid batch");
         let a = logits(&m, &ps, &same)[0];
         let c = logits(&m, &ps, &diff)[0];
         assert!((a - c).abs() > 1e-6);
@@ -185,14 +187,15 @@ mod tests {
     fn rejects_wrong_sequence_length() {
         let (m, ps) = build();
         let l = layout();
-        let wrong = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        let wrong = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             0,
             2,
             &[1],
             MAX_SEQ + 1,
             1.0,
-        )]);
+        )])
+        .expect("valid batch");
         let _ = logits(&m, &ps, &wrong);
     }
 }

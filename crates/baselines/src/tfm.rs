@@ -107,30 +107,33 @@ mod tests {
         // the last one must. (This is TFM's defining limitation.)
         let (m, ps) = build();
         let l = layout();
-        let base = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        let base = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             1,
             6,
             &[2, 3, 4],
             MAX_SEQ,
             1.0,
-        )]);
-        let early_changed = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        )])
+        .expect("valid batch");
+        let early_changed = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             1,
             6,
             &[9, 10, 4],
             MAX_SEQ,
             1.0,
-        )]);
-        let last_changed = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        )])
+        .expect("valid batch");
+        let last_changed = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             1,
             6,
             &[2, 3, 11],
             MAX_SEQ,
             1.0,
-        )]);
+        )])
+        .expect("valid batch");
         let a = logits(&m, &ps, &base)[0];
         let b = logits(&m, &ps, &early_changed)[0];
         let c = logits(&m, &ps, &last_changed)[0];
@@ -142,22 +145,24 @@ mod tests {
     fn translation_is_user_specific() {
         let (m, ps) = build();
         let l = layout();
-        let u1 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        let u1 = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             0,
             6,
             &[2],
             MAX_SEQ,
             1.0,
-        )]);
-        let u2 = seqfm_data::Batch::from_instances(&[seqfm_data::build_instance(
+        )])
+        .expect("valid batch");
+        let u2 = seqfm_data::Batch::try_from_instances(&[seqfm_data::build_instance(
             &l,
             3,
             6,
             &[2],
             MAX_SEQ,
             1.0,
-        )]);
+        )])
+        .expect("valid batch");
         let a = logits(&m, &ps, &u1)[0];
         let b = logits(&m, &ps, &u2)[0];
         assert!((a - b).abs() > 1e-6);

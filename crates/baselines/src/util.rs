@@ -150,11 +150,12 @@ pub(crate) mod testkit {
 
     pub fn batch() -> Batch {
         let l = layout();
-        Batch::from_instances(&[
+        Batch::try_from_instances(&[
             build_instance(&l, 0, 3, &[1, 2, 5], MAX_SEQ, 1.0),
             build_instance(&l, 2, 7, &[4], MAX_SEQ, 0.0),
             build_instance(&l, 4, 11, &[0, 1, 2, 3, 4, 5, 6, 7], MAX_SEQ, 3.5),
         ])
+        .expect("valid batch")
     }
 
     /// Forward a model on a batch, returning the logits.

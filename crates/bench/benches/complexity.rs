@@ -24,7 +24,7 @@ fn batch_for(layout: &FeatureLayout, max_seq: usize) -> Batch {
             )
         })
         .collect();
-    Batch::from_instances(&insts)
+    Batch::try_from_instances(&insts).expect("valid batch")
 }
 
 fn bench_scaling_in_seq_len(c: &mut Criterion) {

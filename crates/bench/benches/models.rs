@@ -19,7 +19,7 @@ fn demo_batch(layout: &FeatureLayout, batch: usize, max_seq: usize) -> Batch {
             build_instance(layout, user, cand, &hist, max_seq, 1.0)
         })
         .collect();
-    Batch::from_instances(&insts)
+    Batch::try_from_instances(&insts).expect("valid batch")
 }
 
 fn bench_train_step(c: &mut Criterion) {

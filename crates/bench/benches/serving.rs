@@ -166,9 +166,12 @@ fn emit_serving_json(_c: &mut Criterion) {
     };
     let rps1 = rps_at(1);
     let rps4 = rps_at(4);
+    // Scaling numbers are only meaningful relative to the host: a 1-CPU
+    // container physically cannot show multi-thread speedup.
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let json = format!(
-        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256 }},\n  \"frozen_p50_latency_us\": {:.1},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0}\n}}\n",
+        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256 }},\n  \"host_cpus\": {host_cpus},\n  \"frozen_p50_latency_us\": {:.1},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0}\n}}\n",
         frozen_p50.as_secs_f64() * 1e6,
         graph_p50.as_secs_f64() * 1e6,
         speedup,

@@ -1,0 +1,111 @@
+//! Training-path benchmarks: data-parallel minibatch training at 1 and 4
+//! workers.
+//!
+//! Besides the criterion group, this bench writes `BENCH_training.json` at
+//! the repository root (training instances/sec at `workers = 1` and
+//! `workers = 4`, plus the host's CPU count so the scaling number can be
+//! interpreted) so the training-throughput trajectory is recorded PR over
+//! PR:
+//!
+//! ```text
+//! cargo bench -p seqfm-bench --bench training
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::ParamStore;
+use seqfm_core::{train_ranking, SeqFm, SeqFmConfig, TrainConfig};
+use seqfm_data::{ranking::RankingConfig, FeatureLayout, LeaveOneOut, NegativeSampler, Scale};
+
+const D: usize = 16;
+const MAX_SEQ: usize = 10;
+const EPOCHS: usize = 2;
+
+struct Setup {
+    split: LeaveOneOut,
+    layout: FeatureLayout,
+    sampler: NegativeSampler,
+    positions: usize,
+}
+
+fn setup() -> Setup {
+    let mut cfg = RankingConfig::gowalla(Scale::Small);
+    cfg.n_users = 64;
+    cfg.n_items = 150;
+    cfg.min_len = 8;
+    cfg.max_len = 16;
+    let ds = seqfm_data::ranking::generate(&cfg).expect("generate bench dataset");
+    let split = LeaveOneOut::split(&ds);
+    let layout = FeatureLayout::of(&ds);
+    let seen = (0..ds.n_users).map(|u| split.seen_items(u)).collect();
+    let sampler = NegativeSampler::new(ds.n_items, seen);
+    let positions = split.train.iter().map(|s| s.len().saturating_sub(1)).sum();
+    Setup { split, layout, sampler, positions }
+}
+
+fn train_cfg(workers: usize) -> TrainConfig {
+    TrainConfig {
+        epochs: EPOCHS,
+        batch_size: 64,
+        lr: 5e-3,
+        max_seq: MAX_SEQ,
+        seed: 13,
+        workers,
+        ..Default::default()
+    }
+}
+
+/// Runs one full training job and returns (instances/sec, final loss).
+fn run_once(s: &Setup, workers: usize) -> (f64, f64) {
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = SeqFmConfig { d: D, max_seq: MAX_SEQ, ..Default::default() };
+    let model = SeqFm::new(&mut ps, &mut rng, &s.layout, cfg);
+    let report =
+        train_ranking(&model, &mut ps, &s.split, &s.layout, &s.sampler, &train_cfg(workers));
+    let instances = (s.positions * report.epoch_losses.len()) as f64;
+    (instances / report.seconds.max(1e-9), report.final_loss())
+}
+
+/// Criterion: wall-clock of one training job at 1 and 4 workers.
+fn bench_training(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group(format!("train_ranking_d{D}_{}pos", s.positions));
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_function(format!("{workers}workers"), |b| {
+            b.iter(|| std::hint::black_box(run_once(&s, workers)));
+        });
+    }
+    group.finish();
+}
+
+/// Hand-timed measurements persisted to `BENCH_training.json`.
+///
+/// Skipped when a benchmark filter is passed, so iterating on one group
+/// neither pays for the sweep nor overwrites the recorded numbers.
+fn emit_training_json(_c: &mut Criterion) {
+    if std::env::args().skip(1).any(|a| !a.starts_with('-')) {
+        println!("benchmark filter given — skipping BENCH_training.json emission");
+        return;
+    }
+    let s = setup();
+    // Warm-up (pool spin-up, allocator), then measure.
+    let _ = run_once(&s, 1);
+    let (ips1, loss1) = run_once(&s, 1);
+    let _ = run_once(&s, 4);
+    let (ips4, loss4) = run_once(&s, 4);
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let json = format!(
+        "{{\n  \"bench\": \"training\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"epochs\": {EPOCHS}, \"positions_per_epoch\": {}, \"task\": \"ranking\" }},\n  \"host_cpus\": {host_cpus},\n  \"instances_per_sec_1_worker\": {:.0},\n  \"instances_per_sec_4_workers\": {:.0},\n  \"final_loss_1_worker\": {:.4},\n  \"final_loss_4_workers\": {:.4}\n}}\n",
+        s.positions, ips1, ips4, loss1, loss4,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_training.json");
+    std::fs::write(path, &json).expect("write BENCH_training.json");
+    println!("== BENCH_training.json ==\n{json}");
+}
+
+criterion_group!(benches, bench_training, emit_training_json);
+criterion_main!(benches);

@@ -30,6 +30,7 @@ fn run_point(p: Point, task: Task, prep: &Prepared, args: &HarnessArgs) -> f64 {
         max_seq: p.n_seq,
         ctr_negatives: 5,
         seed: args.seed,
+        ..TrainConfig::default()
     };
     let cfg =
         SeqFmConfig { d: p.d, layers: p.l, max_seq: p.n_seq, dropout: p.rho, ..Default::default() };

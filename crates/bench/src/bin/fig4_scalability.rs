@@ -29,6 +29,7 @@ fn main() {
             max_seq: args.max_seq,
             ctr_negatives: 5,
             seed: args.seed,
+            ..TrainConfig::default()
         };
         let cfg = SeqFmConfig { d: args.d, max_seq: args.max_seq, ..Default::default() };
         let mut ps = ParamStore::new();

@@ -23,6 +23,7 @@ fn run_variant(ablation: Ablation, task: Task, prep: &Prepared, args: &HarnessAr
         max_seq: args.max_seq,
         ctr_negatives: 5,
         seed: args.seed,
+        ..TrainConfig::default()
     };
     let cfg = SeqFmConfig { d: args.d, max_seq: args.max_seq, ablation, ..Default::default() };
     let mut ps = ParamStore::new();

@@ -146,6 +146,7 @@ pub fn run_one(kind: ModelKind, task: Task, prep: &Prepared, args: &HarnessArgs)
         max_seq: args.max_seq,
         ctr_negatives: 5,
         seed: args.seed,
+        ..TrainConfig::default()
     };
     let mut ps = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(args.seed ^ 0xC0FFEE);

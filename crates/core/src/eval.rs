@@ -52,7 +52,7 @@ pub fn score_instances(
 ) -> Vec<f32> {
     let mut scores = Vec::with_capacity(instances.len());
     for chunk in instances.chunks(batch_size.max(1)) {
-        let batch = Batch::from_instances(chunk);
+        let batch = Batch::try_from_instances(chunk).expect("valid batch");
         let mut g = Graph::new();
         let y = model.forward(&mut g, ps, &batch, false, rng);
         scores.extend_from_slice(g.value(y).data());

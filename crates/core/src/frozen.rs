@@ -621,11 +621,12 @@ mod tests {
 
     fn batch(max_seq: usize) -> Batch {
         let l = layout();
-        Batch::from_instances(&[
+        Batch::try_from_instances(&[
             build_instance(&l, 0, 3, &[1, 2, 5], max_seq, 1.0),
             build_instance(&l, 2, 7, &[4], max_seq, 0.0),
             build_instance(&l, 5, 9, &[0, 1, 2, 3, 4, 5, 6, 7], max_seq, 1.0),
         ])
+        .expect("valid batch")
     }
 
     fn graph_logits(model: &SeqFm, ps: &ParamStore, b: &Batch) -> Vec<f32> {
@@ -670,7 +671,7 @@ mod tests {
         let hist = [1u32, 2, 5, 8];
         let insts: Vec<_> =
             (0..7).map(|c| build_instance(&l, 3, c as u32, &hist, 6, 0.0)).collect();
-        let shared = Batch::from_instances(&insts);
+        let shared = Batch::try_from_instances(&insts).expect("valid batch");
         for (name, ab) in all_variants() {
             let cfg =
                 SeqFmConfig { d: 8, max_seq: 6, dropout: 0.0, ablation: ab, ..Default::default() };
@@ -704,7 +705,8 @@ mod tests {
         let big = batch(6);
         let first = frozen.score(&big, &mut scratch).to_vec();
         let l = layout();
-        let one = Batch::from_instances(&[build_instance(&l, 1, 4, &[2, 8], 6, 1.0)]);
+        let one = Batch::try_from_instances(&[build_instance(&l, 1, 4, &[2, 8], 6, 1.0)])
+            .expect("valid batch");
         let single = frozen.score(&one, &mut scratch).to_vec();
         assert_eq!(single.len(), 1);
         let again = frozen.score(&big, &mut scratch).to_vec();

@@ -37,7 +37,7 @@
 //!
 //! // Will user 3, having visited items [1, 4, 2], interact with item 7?
 //! let inst = build_instance(&layout, 3, 7, &[1, 4, 2], 5, 1.0);
-//! let batch = Batch::from_instances(&[inst]);
+//! let batch = Batch::try_from_instances(&[inst]).expect("valid batch");
 //! let mut g = seqfm_autograd::Graph::new();
 //! let score = model.forward(&mut g, &ps, &batch, false, &mut rng);
 //! assert_eq!(g.value(score).numel(), 1);
@@ -73,7 +73,11 @@ use seqfm_data::Batch;
 ///
 /// Implementations must be deterministic when `training == false` (dropout
 /// and any other stochastic regulariser disabled).
-pub trait SeqModel {
+///
+/// `Send + Sync` is a supertrait requirement: models hold only parameter
+/// ids and configuration (values live in the [`ParamStore`]), and
+/// data-parallel training shares one model reference across worker threads.
+pub trait SeqModel: Send + Sync {
     /// Model display name (used in experiment tables).
     fn name(&self) -> &str;
 

@@ -215,7 +215,7 @@ mod tests {
             build_instance(layout, 2, 7, &[4], max_seq, 0.0),
             build_instance(layout, 5, 9, &[0, 1, 2, 3, 4, 5, 6, 7], max_seq, 1.0),
         ];
-        Batch::from_instances(&insts)
+        Batch::try_from_instances(&insts).expect("valid batch")
     }
 
     fn build(cfg: SeqFmConfig) -> (SeqFm, ParamStore, StdRng) {
@@ -302,7 +302,7 @@ mod tests {
         let l = layout();
         let fwd = |m: &SeqFm, ps: &ParamStore, hist: &[u32], rng: &mut StdRng| -> f32 {
             let inst = vec![build_instance(&l, 0, 3, hist, 6, 1.0)];
-            let b = Batch::from_instances(&inst);
+            let b = Batch::try_from_instances(&inst).expect("valid batch");
             let mut g = Graph::new();
             let y = m.forward(&mut g, ps, &b, false, rng);
             g.value(y).data()[0]

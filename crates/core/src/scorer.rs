@@ -213,10 +213,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let cfg = SeqFmConfig { d: 8, max_seq: 6, ..Default::default() };
         let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
-        let batch = Batch::from_instances(&[
+        let batch = Batch::try_from_instances(&[
             build_instance(&layout, 0, 2, &[1, 3], 6, 1.0),
             build_instance(&layout, 4, 8, &[0, 5, 7, 2], 6, 0.0),
-        ]);
+        ])
+        .expect("valid batch");
         (GraphScorer::new(model, ps), batch)
     }
 

@@ -262,13 +262,17 @@ pub struct Batch {
 impl Batch {
     /// Assembles a batch from instances.
     ///
-    /// This is the panicking convenience used by training loops, where an
-    /// invalid batch is a programming error; request-driven callers (the
-    /// serving layer) should use [`Batch::try_from_instances`] and surface
-    /// the [`BatchError`] instead.
+    /// This was the panicking convenience once used by the training loops;
+    /// every in-tree caller (training included) now goes through
+    /// [`Batch::try_from_instances`] and decides explicitly how to surface
+    /// the [`BatchError`].
     ///
     /// # Panics
     /// Panics if `instances` is empty or static/dynamic widths disagree.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Batch::try_from_instances` and handle the `BatchError`"
+    )]
     pub fn from_instances(instances: &[Instance]) -> Batch {
         match Self::try_from_instances(instances) {
             Ok(b) => b,
@@ -407,7 +411,7 @@ mod tests {
         let l = FeatureLayout { n_users: 2, n_items: 4 };
         let insts =
             vec![build_instance(&l, 0, 1, &[2], 2, 1.0), build_instance(&l, 1, 3, &[0, 1], 2, 0.0)];
-        let b = Batch::from_instances(&insts);
+        let b = Batch::try_from_instances(&insts).expect("valid batch");
         assert_eq!(b.len, 2);
         assert_eq!(b.static_idx, vec![0, 3, 1, 5]);
         assert_eq!(b.dyn_idx, vec![PAD, 2, 0, 1]);
@@ -425,6 +429,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "empty batch")]
+    #[allow(deprecated)] // the deprecated constructor's contract is under test
     fn from_instances_still_panics_on_empty() {
         let _ = Batch::from_instances(&[]);
     }
@@ -445,8 +450,9 @@ mod tests {
             Batch::try_from_instances(&[good.clone(), bad_static]),
             Err(BatchError::RaggedStatic { index: 1, expected: 2, got: 3 })
         );
-        // The Ok path matches the panicking constructor.
+        // The Ok path matches the (deprecated) panicking constructor.
         let ok = Batch::try_from_instances(std::slice::from_ref(&good)).unwrap();
+        #[allow(deprecated)]
         let direct = Batch::from_instances(std::slice::from_ref(&good));
         assert_eq!(ok.static_idx, direct.static_idx);
         assert_eq!(ok.dyn_idx, direct.dyn_idx);
@@ -456,7 +462,7 @@ mod tests {
     fn with_candidates_swaps_only_item_feature() {
         let l = FeatureLayout { n_users: 2, n_items: 4 };
         let insts = vec![build_instance(&l, 0, 1, &[2], 2, 1.0)];
-        let b = Batch::from_instances(&insts);
+        let b = Batch::try_from_instances(&insts).expect("valid batch");
         let swapped = b.with_candidates(&l, &[3]);
         assert_eq!(swapped.static_idx, vec![0, 5]);
         assert_eq!(swapped.dyn_idx, b.dyn_idx);

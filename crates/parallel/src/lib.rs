@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # seqfm-parallel
+//!
+//! The workspace's parallelism subsystem — built entirely on `std`
+//! (`Mutex`/`Condvar`/atomics/threads), because the build environment is
+//! offline and the vendored crossbeam shim's single global
+//! `Mutex<VecDeque>` channel serializes every dispatch.
+//!
+//! Four facilities, layered bottom-up:
+//!
+//! * [`ThreadPool`] — a persistent pool of worker threads with **per-worker
+//!   sharded deques**: tasks are injected round-robin and idle workers
+//!   **steal** from their siblings, so no single lock funnels every dispatch.
+//!   [`ThreadPool::scope`] lets tasks borrow from the caller's stack frame
+//!   (crossbeam-style), and a blocked scope *helps* by executing queued
+//!   tasks, so nested scopes cannot deadlock the pool.
+//! * [`par_for`] / [`par_map_reduce`] — data-parallel loops over index
+//!   ranges. Chunking is deterministic (a pure function of the inputs), so
+//!   results never depend on thread scheduling.
+//! * [`partition`] / [`shard_seed`] — deterministic contiguous partitioning
+//!   and per-shard RNG stream derivation (SplitMix64 mixing), the building
+//!   blocks of reproducible data-parallel training.
+//! * [`WorkQueue`] / [`Oneshot`] — the serving-side work-distributing
+//!   channel (per-worker shards, round-robin submit, stealing, drain-on-
+//!   close) and a reusable single-value reply slot that replaces
+//!   per-request channel allocation.
+//!
+//! The global pool ([`global`]) is sized by the `SEQFM_WORKERS` environment
+//! variable when set, else by [`std::thread::available_parallelism`]; the
+//! tensor kernels dispatch through it above a size threshold.
+
+mod oneshot;
+mod par;
+mod pool;
+mod queue;
+mod shards;
+
+pub use oneshot::{Disconnected, Oneshot};
+pub use par::{
+    chunk_ranges, par_for, par_map_reduce, par_units, par_units2, partition, shard_seed,
+};
+pub use pool::{configured_workers, global, in_parallel_task, Scope, ThreadPool};
+pub use queue::{WorkQueue, WorkerHandle};
+
+/// The `SEQFM_WORKERS` environment variable, parsed once per call:
+/// `Some(n)` for a positive integer (clamped to 256), `None` when unset or
+/// unparseable. The single source of truth for every consumer — the kernel
+/// pool ([`default_workers`]) and the training default
+/// (`TrainConfig::workers`) differ only in their fallback, never in how
+/// they read the variable.
+pub fn env_workers() -> Option<usize> {
+    let raw = std::env::var("SEQFM_WORKERS").ok()?;
+    raw.trim().parse::<usize>().ok().filter(|&n| n >= 1).map(|n| n.min(256))
+}
+
+/// Pool size implied by the environment: [`env_workers`] when set, else the
+/// machine's available parallelism, else 1.
+pub fn default_workers() -> usize {
+    env_workers()
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}

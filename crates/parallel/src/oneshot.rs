@@ -1,0 +1,148 @@
+//! A reusable single-value reply slot.
+//!
+//! The serving engine's old reply path allocated a full MPMC channel
+//! (queue + two refcounts + condvar) per request. An [`Oneshot`] is the
+//! minimal replacement — one `Mutex<state>` + `Condvar` — and, crucially,
+//! it can be [`reset`](Oneshot::reset) and parked in a free list, so steady-
+//! state serving performs **zero** reply-path allocations.
+
+use std::sync::{Condvar, Mutex};
+
+/// Why [`Oneshot::recv`] returned without a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Disconnected {
+    /// `true` when the producing side was dropped mid-panic — the consumer
+    /// can report "worker panicked" instead of a generic shutdown.
+    pub panicked: bool,
+}
+
+enum State<T> {
+    /// Armed, no value yet.
+    Empty,
+    /// Value delivered, not yet consumed.
+    Full(T),
+    /// Producer gave up without delivering.
+    Closed(Disconnected),
+}
+
+/// A single-producer single-consumer, single-value slot. See module docs.
+pub struct Oneshot<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for Oneshot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Oneshot<T> {
+    /// An empty (armed) slot.
+    pub fn new() -> Self {
+        Oneshot { state: Mutex::new(State::Empty), cv: Condvar::new() }
+    }
+
+    /// Delivers `value` and wakes the consumer. Returns `false` (dropping
+    /// the value's effect) if the slot was not empty — a double send or a
+    /// send after close, both producer bugs this keeps harmless.
+    pub fn send(&self, value: T) -> bool {
+        let mut st = self.state.lock().expect("oneshot poisoned");
+        match *st {
+            State::Empty => {
+                *st = State::Full(value);
+                drop(st);
+                self.cv.notify_all();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks the slot closed-without-value (producer dropped the request).
+    /// No-op unless the slot is still empty.
+    pub fn close(&self, panicked: bool) {
+        let mut st = self.state.lock().expect("oneshot poisoned");
+        if matches!(*st, State::Empty) {
+            *st = State::Closed(Disconnected { panicked });
+            drop(st);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until a value or a close arrives. Taking the value leaves the
+    /// slot `Empty` again, ready for [`reset`](Self::reset)-free reuse by
+    /// the *same* consumer; a close is sticky until reset.
+    ///
+    /// # Errors
+    /// [`Disconnected`] when the producer closed the slot without a value.
+    pub fn recv(&self) -> Result<T, Disconnected> {
+        let mut st = self.state.lock().expect("oneshot poisoned");
+        loop {
+            match std::mem::replace(&mut *st, State::Empty) {
+                State::Full(v) => return Ok(v),
+                State::Closed(d) => {
+                    *st = State::Closed(d);
+                    return Err(d);
+                }
+                State::Empty => {
+                    st = self.cv.wait(st).expect("oneshot poisoned");
+                }
+            }
+        }
+    }
+
+    /// Returns the slot to `Empty`, discarding any undelivered value or
+    /// close marker — the free-list re-arm step.
+    pub fn reset(&self) {
+        *self.state.lock().expect("oneshot poisoned") = State::Empty;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn delivers_across_threads() {
+        let slot = Arc::new(Oneshot::<u32>::new());
+        let tx = Arc::clone(&slot);
+        let j = std::thread::spawn(move || tx.send(99));
+        assert_eq!(slot.recv(), Ok(99));
+        assert!(j.join().unwrap());
+    }
+
+    #[test]
+    fn close_reports_panic_flag() {
+        let slot = Oneshot::<u32>::new();
+        slot.close(true);
+        assert_eq!(slot.recv(), Err(Disconnected { panicked: true }));
+        // sticky until reset
+        assert_eq!(slot.recv(), Err(Disconnected { panicked: true }));
+        slot.reset();
+        slot.send(5);
+        assert_eq!(slot.recv(), Ok(5));
+    }
+
+    #[test]
+    fn slot_is_reusable_after_recv() {
+        let slot = Oneshot::<u32>::new();
+        for i in 0..10 {
+            assert!(slot.send(i));
+            assert_eq!(slot.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn double_send_is_rejected() {
+        let slot = Oneshot::<u32>::new();
+        assert!(slot.send(1));
+        assert!(!slot.send(2));
+        assert_eq!(slot.recv(), Ok(1));
+        // close after send is a no-op
+        assert!(slot.send(3));
+        slot.close(false);
+        assert_eq!(slot.recv(), Ok(3));
+    }
+}

@@ -1,0 +1,286 @@
+//! Data-parallel loop primitives and deterministic partitioning.
+//!
+//! Everything here is deterministic by construction: chunk boundaries are a
+//! pure function of the inputs (never of thread timing), per-chunk work is
+//! processed in index order, and reductions combine chunk results in chunk
+//! order. Parallel results therefore match their serial counterparts exactly
+//! whenever the combining operator is associative — and bit-for-bit when
+//! per-index work is independent (as in row-partitioned kernels).
+
+use crate::pool::{in_parallel_task, ThreadPool};
+use std::ops::Range;
+
+/// Splits `0..n` into exactly `min(parts, n)` contiguous ranges whose sizes
+/// differ by at most one (earlier ranges get the remainder) — so `n == 0`
+/// yields no ranges at all. Deterministic; the shard layout of
+/// data-parallel training.
+pub fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Splits `0..n` into at most `target_chunks` contiguous ranges of at least
+/// `min_chunk` items each (the tail range may be shorter only when
+/// `n < min_chunk`). Deterministic — used by [`par_for`] to bound task
+/// granularity.
+pub fn chunk_ranges(n: usize, target_chunks: usize, min_chunk: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let max_by_min = n.div_ceil(min_chunk);
+    partition(n, target_chunks.max(1).min(max_by_min))
+}
+
+/// Derives the RNG seed of stream `stream` from a base seed — a SplitMix64
+/// finalizer over `seed ⊕ (stream + 1)·φ64`, so consecutive streams are
+/// uncorrelated and stream 0 differs from the base seed itself.
+pub fn shard_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ (stream.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `f` over `0..n` in parallel chunks of at least `min_chunk` indices.
+///
+/// Falls back to one serial call `f(0..n)` when the pool has a single
+/// worker, the range fits one chunk, or the caller is already inside a pool
+/// task (nested data parallelism adds overhead, not concurrency).
+pub fn par_for<F>(pool: &ThreadPool, n: usize, min_chunk: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let chunks = chunk_ranges(n, pool.workers(), min_chunk);
+    if chunks.len() <= 1 || in_parallel_task() {
+        f(0..n);
+        return;
+    }
+    pool.scope(|s| {
+        for r in chunks {
+            let f = &f;
+            s.spawn(move || f(r));
+        }
+    });
+}
+
+/// Fans a buffer of `data.len() / unit_len` fixed-size units out over the
+/// pool in contiguous per-worker chunks, calling `f(first_unit, chunk)` for
+/// each chunk (`chunk` holds whole units; `first_unit` is the global index
+/// of its first one — mask/row offsets derive from it). The single home of
+/// the `div_ceil`/`chunks_mut` fan-out arithmetic used by every
+/// row/slice-partitioned kernel.
+///
+/// # Panics
+/// Panics if `unit_len == 0` or `data.len()` is not a multiple of
+/// `unit_len`.
+pub fn par_units<T, F>(pool: &ThreadPool, data: &mut [T], unit_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(unit_len > 0, "par_units: unit_len must be positive");
+    assert_eq!(data.len() % unit_len, 0, "par_units: data not a multiple of unit_len");
+    let units = data.len() / unit_len;
+    let per = units.div_ceil(pool.workers()).max(1);
+    pool.scope(|s| {
+        for (ci, chunk) in data.chunks_mut(per * unit_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(ci * per, chunk));
+        }
+    });
+}
+
+/// Like [`par_units`], but over two parallel buffers whose units correspond
+/// one-to-one (e.g. an attention kernel's per-slice scores and output):
+/// `f(first_unit, a_chunk, b_chunk)` receives matching chunks of both.
+///
+/// # Panics
+/// Panics if either unit length is zero, either buffer is not a multiple of
+/// its unit length, or the unit counts differ.
+pub fn par_units2<T, U, F>(
+    pool: &ThreadPool,
+    a: &mut [T],
+    a_unit: usize,
+    b: &mut [U],
+    b_unit: usize,
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    assert!(a_unit > 0 && b_unit > 0, "par_units2: unit lengths must be positive");
+    assert_eq!(a.len() % a_unit, 0, "par_units2: lhs not a multiple of its unit");
+    assert_eq!(b.len() % b_unit, 0, "par_units2: rhs not a multiple of its unit");
+    let units = a.len() / a_unit;
+    assert_eq!(units, b.len() / b_unit, "par_units2: unit count mismatch");
+    let per = units.div_ceil(pool.workers()).max(1);
+    pool.scope(|s| {
+        for ((ci, a_chunk), b_chunk) in
+            a.chunks_mut(per * a_unit).enumerate().zip(b.chunks_mut(per * b_unit))
+        {
+            let f = &f;
+            s.spawn(move || f(ci * per, a_chunk, b_chunk));
+        }
+    });
+}
+
+/// Parallel map + ordered reduce over `0..n`:
+/// each chunk folds `map(i)` in index order, and chunk results are folded
+/// into `init` in chunk order. For an associative `reduce` the result equals
+/// the serial `(0..n).map(map).fold(init, reduce)` exactly — the reduction
+/// tree depends only on `n`, `min_chunk`, and the pool size, never on
+/// scheduling.
+pub fn par_map_reduce<T, M, R>(
+    pool: &ThreadPool,
+    n: usize,
+    min_chunk: usize,
+    init: T,
+    map: M,
+    reduce: R,
+) -> T
+where
+    T: Send,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    if n == 0 {
+        return init;
+    }
+    let chunks = chunk_ranges(n, pool.workers(), min_chunk);
+    let fold_chunk = |r: Range<usize>| -> Option<T> {
+        let mut acc: Option<T> = None;
+        for i in r {
+            let v = map(i);
+            acc = Some(match acc {
+                None => v,
+                Some(a) => reduce(a, v),
+            });
+        }
+        acc
+    };
+    let mut slots: Vec<Option<T>> = Vec::new();
+    if chunks.len() <= 1 || in_parallel_task() {
+        slots.push(fold_chunk(0..n));
+    } else {
+        slots.resize_with(chunks.len(), || None);
+        pool.scope(|s| {
+            for (slot, r) in slots.iter_mut().zip(chunks) {
+                let fold_chunk = &fold_chunk;
+                s.spawn(move || *slot = fold_chunk(r));
+            }
+        });
+    }
+    slots.into_iter().flatten().fold(init, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let parts = partition(10, 4);
+        assert_eq!(parts, vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(partition(3, 8), vec![0..1, 1..2, 2..3]);
+        assert!(partition(0, 4).is_empty(), "no items -> no shards");
+    }
+
+    #[test]
+    fn chunk_ranges_respects_min_chunk() {
+        // 100 items, min chunk 40 → at most 3 chunks even on a wide pool.
+        let chunks = chunk_ranges(100, 16, 40);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|r| r.len() >= 33));
+        assert_eq!(chunk_ranges(5, 8, 10), vec![0..5]);
+        assert!(chunk_ranges(0, 4, 1).is_empty());
+    }
+
+    #[test]
+    fn shard_seeds_are_distinct_streams() {
+        let seeds: Vec<u64> = (0..64).map(|s| shard_seed(42, s)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "stream collision");
+        assert_ne!(shard_seed(42, 0), 42, "stream 0 must not echo the base seed");
+        assert_ne!(shard_seed(42, 0), shard_seed(43, 0), "base seed must matter");
+    }
+
+    #[test]
+    fn par_for_covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        par_for(&pool, hits.len(), 16, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_units_hands_out_whole_units_with_correct_offsets() {
+        let pool = ThreadPool::new(3);
+        let unit = 4;
+        let mut data = vec![0u32; 11 * unit];
+        par_units(&pool, &mut data, unit, |first, chunk| {
+            assert_eq!(chunk.len() % unit, 0, "partial unit handed out");
+            for (u, slots) in chunk.chunks_mut(unit).enumerate() {
+                slots.fill((first + u) as u32);
+            }
+        });
+        for (u, slots) in data.chunks(unit).enumerate() {
+            assert!(slots.iter().all(|&v| v == u as u32), "unit {u} wrote {slots:?}");
+        }
+    }
+
+    #[test]
+    fn par_units2_keeps_both_buffers_in_lockstep() {
+        let pool = ThreadPool::new(4);
+        let mut a = vec![0u32; 9 * 2];
+        let mut b = vec![0u32; 9 * 5];
+        par_units2(&pool, &mut a, 2, &mut b, 5, |first, ac, bc| {
+            assert_eq!(ac.len() / 2, bc.len() / 5, "chunk unit counts diverge");
+            for (u, slots) in ac.chunks_mut(2).enumerate() {
+                slots.fill((first + u) as u32);
+            }
+            for (u, slots) in bc.chunks_mut(5).enumerate() {
+                slots.fill((first + u) as u32);
+            }
+        });
+        for (u, slots) in a.chunks(2).enumerate() {
+            assert!(slots.iter().all(|&v| v == u as u32));
+        }
+        for (u, slots) in b.chunks(5).enumerate() {
+            assert!(slots.iter().all(|&v| v == u as u32));
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_matches_serial_fold() {
+        let pool = ThreadPool::new(3);
+        let n = 1234usize;
+        let serial: u64 = (0..n).map(|i| (i as u64) * 3 + 1).fold(7, u64::wrapping_add);
+        let par = par_map_reduce(&pool, n, 10, 7u64, |i| (i as u64) * 3 + 1, u64::wrapping_add);
+        assert_eq!(par, serial);
+    }
+}

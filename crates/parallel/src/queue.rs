@@ -1,0 +1,132 @@
+//! The work-distributing channel behind the serving engine: per-worker
+//! sharded FIFO queues with round-robin submission and stealing.
+//!
+//! Compared to a single shared MPMC queue, each push touches only one
+//! shard's lock and each worker drains its own shard contention-free in the
+//! common case; stealing preserves throughput under skew. Closing the
+//! submitter lets workers **drain** everything already queued before their
+//! `recv` returns `None`, so in-flight work is never dropped on shutdown.
+//!
+//! The queue machinery itself — shard array, park/wake protocol, counter
+//! discipline — is [`crate::shards::Shards`], shared with the thread pool.
+
+use crate::shards::Shards;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Submitting half of the sharded queue; dropping it closes the queue.
+pub struct WorkQueue<T> {
+    shared: Arc<Shards<T>>,
+    next: AtomicUsize,
+}
+
+/// One worker's receiving endpoint: pops its own shard first, steals from
+/// siblings otherwise, parks when the whole queue is empty.
+pub struct WorkerHandle<T> {
+    shared: Arc<Shards<T>>,
+    me: usize,
+}
+
+impl<T> WorkQueue<T> {
+    /// Creates a queue with `workers` shards and one [`WorkerHandle`] per
+    /// shard (clamped to at least 1).
+    pub fn new(workers: usize) -> (Self, Vec<WorkerHandle<T>>) {
+        let shared = Arc::new(Shards::new(workers));
+        let handles =
+            (0..shared.len()).map(|me| WorkerHandle { shared: Arc::clone(&shared), me }).collect();
+        (WorkQueue { shared, next: AtomicUsize::new(0) }, handles)
+    }
+
+    /// Number of shards (== worker handles).
+    pub fn shards(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Enqueues `item` on the next shard in round-robin order and wakes one
+    /// parked worker.
+    pub fn push(&self, item: T) {
+        self.shared.push(self.next.fetch_add(1, Ordering::Relaxed), item);
+    }
+}
+
+impl<T> Drop for WorkQueue<T> {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl<T> WorkerHandle<T> {
+    /// Blocks for the next item (own shard first, then stealing). Returns
+    /// `None` only once the submitter is dropped **and** every shard is
+    /// drained.
+    pub fn recv(&self) -> Option<T> {
+        self.shared.pop_or_park(self.me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_item_is_received_exactly_once() {
+        let (q, handles) = WorkQueue::<usize>::new(3);
+        assert_eq!(q.shards(), 3);
+        let collected = std::thread::scope(|s| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|h| {
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(i) = h.recv() {
+                            got.push(i);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for i in 0..300 {
+                q.push(i);
+            }
+            drop(q); // close → workers drain and exit
+            joins.into_iter().flat_map(|j| j.join().unwrap()).collect::<Vec<_>>()
+        });
+        let mut got = collected;
+        got.sort_unstable();
+        assert_eq!(got, (0..300).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn items_queued_before_close_are_drained() {
+        let (q, mut handles) = WorkQueue::<u8>::new(2);
+        for i in 0..10 {
+            q.push(i);
+        }
+        drop(q);
+        let h = handles.remove(0);
+        let mut got = Vec::new();
+        while let Some(i) = h.recv() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stealing_serves_a_single_worker_everything() {
+        // Round-robin spreads items over 4 shards, but one worker must still
+        // see them all via stealing.
+        let (q, handles) = WorkQueue::<usize>::new(4);
+        for i in 0..40 {
+            q.push(i);
+        }
+        drop(q);
+        let h = &handles[2];
+        let mut got = Vec::new();
+        while let Some(i) = h.recv() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+    }
+}

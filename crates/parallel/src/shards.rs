@@ -1,0 +1,98 @@
+//! The shared core of every sharded queue in this crate: one
+//! `Mutex<VecDeque>` per shard, an atomic count of queued items, and a
+//! park/wake protocol on a single `Condvar`.
+//!
+//! Both the thread pool's task queues ([`pool`](crate::pool)) and the
+//! serving-side [`WorkQueue`](crate::WorkQueue) are thin wrappers over this
+//! type, so the two subtle protocols — *lock-then-notify* on push (no lost
+//! wakeups) and *increment-under-the-shard-lock* (the `queued` counter can
+//! never transiently underflow, because an item's pop strictly follows its
+//! own increment) — live in exactly one place.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+pub(crate) struct Shards<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    /// Items pushed but not yet popped — the wake condition.
+    queued: AtomicUsize,
+    /// `true` once the producing side is done. Guards the parking condvar.
+    closed: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl<T> Shards<T> {
+    pub(crate) fn new(n: usize) -> Self {
+        Shards {
+            shards: (0..n.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            closed: Mutex::new(false),
+            wake: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueues `item` on shard `shard % len` and wakes one parked consumer.
+    pub(crate) fn push(&self, shard: usize, item: T) {
+        {
+            let mut q =
+                self.shards[shard % self.shards.len()].lock().expect("queue shard poisoned");
+            // Increment while holding the shard lock: a popper can only see
+            // (and decrement for) this item after the lock is released, so
+            // `queued` never transiently underflows.
+            self.queued.fetch_add(1, Ordering::Release);
+            q.push_back(item);
+        }
+        // Lock-then-notify pairs with the park loop: a consumer that
+        // observed `queued == 0` under this lock is guaranteed to be inside
+        // `wait` before we notify, so the wakeup cannot be lost.
+        drop(self.closed.lock().expect("queue closed flag poisoned"));
+        self.wake.notify_one();
+    }
+
+    /// Pops one item, preferring shard `home`, stealing from siblings
+    /// otherwise. Never blocks.
+    pub(crate) fn try_pop(&self, home: usize) -> Option<T> {
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = &self.shards[(home + i) % n];
+            let item = shard.lock().expect("queue shard poisoned").pop_front();
+            if let Some(item) = item {
+                self.queued.fetch_sub(1, Ordering::AcqRel);
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Blocks for the next item (own shard first, then stealing). Returns
+    /// `None` only once the queue is closed **and** every shard is drained.
+    pub(crate) fn pop_or_park(&self, home: usize) -> Option<T> {
+        loop {
+            if let Some(item) = self.try_pop(home) {
+                return Some(item);
+            }
+            let mut closed = self.closed.lock().expect("queue closed flag poisoned");
+            loop {
+                if self.queued.load(Ordering::Acquire) > 0 {
+                    break;
+                }
+                if *closed {
+                    return None;
+                }
+                closed = self.wake.wait(closed).expect("queue closed flag poisoned");
+            }
+        }
+    }
+
+    /// Marks the queue closed and wakes every parked consumer; already-
+    /// queued items remain poppable (drain semantics).
+    pub(crate) fn close(&self) {
+        *self.closed.lock().expect("queue closed flag poisoned") = true;
+        self.wake.notify_all();
+    }
+}

@@ -24,6 +24,13 @@ pub enum ServeError {
     /// The engine's workers are gone (the engine was dropped while the
     /// request was in flight).
     ShutDown,
+    /// The worker thread panicked while scoring this request. The panic
+    /// payload is drained into `message`; the worker itself survives and
+    /// keeps serving other requests.
+    WorkerPanicked {
+        /// Text of the caught panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -37,6 +44,9 @@ impl fmt::Display for ServeError {
                 write!(f, "unknown item {item} (model has {n_items} items)")
             }
             Self::ShutDown => write!(f, "scoring engine shut down"),
+            Self::WorkerPanicked { message } => {
+                write!(f, "scoring worker panicked mid-request: {message}")
+            }
         }
     }
 }

@@ -17,10 +17,12 @@
 //!   user/history features and only the candidate column varies;
 //! * [`score_request`] — expansion + scoring + top-K ranking in one
 //!   synchronous call (what each engine worker runs);
-//! * [`Engine`] — a multi-threaded scoring engine: requests fan out over a
-//!   crossbeam MPMC channel to worker threads, each owning a reusable
+//! * [`Engine`] — a multi-threaded scoring engine: requests are submitted
+//!   round-robin onto per-worker sharded queues (idle workers steal, see
+//!   [`seqfm_parallel::WorkQueue`]), each worker owning a reusable
 //!   [`Scratch`](seqfm_core::Scratch) workspace and sharing one
-//!   `Arc<impl Scorer>`.
+//!   `Arc<impl Scorer>`; replies ride reusable oneshot slots, so the
+//!   steady-state reply path allocates nothing.
 //!
 //! ## Example
 //!

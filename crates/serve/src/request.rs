@@ -157,14 +157,15 @@ mod tests {
     fn expansion_truncates_long_histories_like_build_instance() {
         let req = ScoreRequest { user: 0, history: vec![0, 1, 2, 3, 4, 5], candidates: vec![1] };
         let b = expand_request(&req, &layout(), 4).expect("valid");
-        let direct = Batch::from_instances(&[seqfm_data::build_instance(
+        let direct = Batch::try_from_instances(&[seqfm_data::build_instance(
             &layout(),
             0,
             1,
             &req.history,
             4,
             0.0,
-        )]);
+        )])
+        .expect("valid batch");
         assert_eq!(b.dyn_idx, direct.dyn_idx);
         assert_eq!(b.static_idx, direct.static_idx);
     }

@@ -5,7 +5,9 @@
 //! the same order as the graph path, so a frozen forward pass that uses it
 //! reproduces `Graph`-built logits bit for bit. The caller provides both the
 //! output buffer and a scores scratch buffer, so repeated calls allocate
-//! nothing.
+//! nothing. Above the dispatch threshold the batch dimension fans out over
+//! the global thread pool — per-slice arithmetic is untouched, so the
+//! bit-for-bit guarantee survives parallel execution.
 
 use super::bmm::{bmm_nn_into, bmm_nt_into};
 use super::softmax::{softmax_row_inplace, AttnMask};
@@ -52,6 +54,44 @@ pub fn attention_into(
     let scores = &mut scores[..bs * n * n];
     let out = &mut out[..bs * n * d];
 
+    // ~2 multiply-add passes of n·n·d plus the softmax per slice.
+    let work_per_slice = 2 * n * n * d + 16 * n * n;
+    if super::dispatch::should_par(bs * work_per_slice, bs) {
+        seqfm_parallel::par_units2(
+            seqfm_parallel::global(),
+            scores,
+            n * n,
+            out,
+            n * d,
+            |b0, scores_chunk, out_chunk| {
+                let slices = scores_chunk.len() / (n * n);
+                let q = &q[b0 * n * d..(b0 + slices) * n * d];
+                let k = &k[b0 * n * d..(b0 + slices) * n * d];
+                let v = &v[b0 * n * d..(b0 + slices) * n * d];
+                attention_slices(q, k, v, mask, scale, slices, n, d, scores_chunk, out_chunk);
+            },
+        );
+    } else {
+        attention_slices(q, k, v, mask, scale, bs, n, d, scores, out);
+    }
+}
+
+/// The fused attention pipeline over `bs` batch slices — exactly the serial
+/// op order (`Q·Kᵀ → scale → masked softmax → ·V`), used both as the serial
+/// path and as each parallel task's body.
+#[allow(clippy::too_many_arguments)]
+fn attention_slices(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    mask: Option<&AttnMask>,
+    scale: f32,
+    bs: usize,
+    n: usize,
+    d: usize,
+    scores: &mut [f32],
+    out: &mut [f32],
+) {
     // Q·Kᵀ, then the 1/√d scale — same op order as the tape.
     scores.fill(0.0);
     bmm_nt_into(q, k, scores, bs, n, d, n);

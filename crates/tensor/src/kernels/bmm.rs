@@ -6,8 +6,33 @@
 //! because backward passes need them: for `C = bmm(A, B)`,
 //! `dA = bmm_nt(dC, B)` and `dB = bmm_tn(A, dC)`.
 
+use super::dispatch::should_par;
 use super::matmul::{matmul_nn_into, matmul_nt_into, matmul_tn_into};
 use crate::{Shape, Tensor};
+
+/// Fans `bs` batch slices out over the global pool, calling
+/// `f(slice_index, c_slice)` per slice, or runs the same loop serially
+/// below the dispatch threshold. Per-slice arithmetic is untouched, so
+/// parallel output is bit-identical to serial output.
+fn for_each_slice(
+    c: &mut [f32],
+    bs: usize,
+    slice_len: usize,
+    work_per_slice: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if should_par(bs * work_per_slice, bs) {
+        seqfm_parallel::par_units(seqfm_parallel::global(), c, slice_len, |b0, chunk| {
+            for (j, c_slice) in chunk.chunks_mut(slice_len).enumerate() {
+                f(b0 + j, c_slice);
+            }
+        });
+    } else {
+        for (i, c_slice) in c.chunks_mut(slice_len).enumerate() {
+            f(i, c_slice);
+        }
+    }
+}
 
 /// `C[b,m,n] = A[b,m,k] · B[b,k,n]` per batch slice.
 ///
@@ -20,16 +45,7 @@ pub fn bmm_nn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm_nn batch mismatch: {} vs {}", a.shape(), b.shape());
     assert_eq!(k, k2, "bmm_nn inner dim mismatch: {} vs {}", a.shape(), b.shape());
     let mut out = Tensor::zeros(Shape::d3(bs, m, n));
-    for i in 0..bs {
-        matmul_nn_into(
-            &a.data()[i * m * k..(i + 1) * m * k],
-            &b.data()[i * k * n..(i + 1) * k * n],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
-            m,
-            k,
-            n,
-        );
-    }
+    bmm_nn_into(a.data(), b.data(), out.data_mut(), bs, m, k, n);
     out
 }
 
@@ -44,16 +60,7 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm_nt batch mismatch: {} vs {}", a.shape(), b.shape());
     assert_eq!(k, k2, "bmm_nt inner dim mismatch: {} vs {}", a.shape(), b.shape());
     let mut out = Tensor::zeros(Shape::d3(bs, m, n));
-    for i in 0..bs {
-        matmul_nt_into(
-            &a.data()[i * m * k..(i + 1) * m * k],
-            &b.data()[i * n * k..(i + 1) * n * k],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
-            m,
-            k,
-            n,
-        );
-    }
+    bmm_nt_into(a.data(), b.data(), out.data_mut(), bs, m, k, n);
     out
 }
 
@@ -68,16 +75,17 @@ pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm_tn batch mismatch: {} vs {}", a.shape(), b.shape());
     assert_eq!(k, k2, "bmm_tn inner dim mismatch: {} vs {}", a.shape(), b.shape());
     let mut out = Tensor::zeros(Shape::d3(bs, m, n));
-    for i in 0..bs {
+    let (ad, bd) = (a.data(), b.data());
+    for_each_slice(out.data_mut(), bs, m * n, m * k * n, |i, c_slice| {
         matmul_tn_into(
-            &a.data()[i * k * m..(i + 1) * k * m],
-            &b.data()[i * k * n..(i + 1) * k * n],
-            &mut out.data_mut()[i * m * n..(i + 1) * m * n],
+            &ad[i * k * m..(i + 1) * k * m],
+            &bd[i * k * n..(i + 1) * k * n],
+            c_slice,
             m,
             k,
             n,
         );
-    }
+    });
     out
 }
 
@@ -88,16 +96,16 @@ pub fn bmm_nn_into(a: &[f32], b: &[f32], c: &mut [f32], bs: usize, m: usize, k: 
     debug_assert_eq!(a.len(), bs * m * k);
     debug_assert_eq!(b.len(), bs * k * n);
     debug_assert_eq!(c.len(), bs * m * n);
-    for i in 0..bs {
+    for_each_slice(c, bs, m * n, m * k * n, |i, c_slice| {
         matmul_nn_into(
             &a[i * m * k..(i + 1) * m * k],
             &b[i * k * n..(i + 1) * k * n],
-            &mut c[i * m * n..(i + 1) * m * n],
+            c_slice,
             m,
             k,
             n,
         );
-    }
+    });
 }
 
 /// Raw slice kernel: per-slice `c[i] += a[i] · b[i]ᵀ` over `bs` batch slices
@@ -106,16 +114,16 @@ pub fn bmm_nt_into(a: &[f32], b: &[f32], c: &mut [f32], bs: usize, m: usize, k: 
     debug_assert_eq!(a.len(), bs * m * k);
     debug_assert_eq!(b.len(), bs * n * k);
     debug_assert_eq!(c.len(), bs * m * n);
-    for i in 0..bs {
+    for_each_slice(c, bs, m * n, m * k * n, |i, c_slice| {
         matmul_nt_into(
             &a[i * m * k..(i + 1) * m * k],
             &b[i * n * k..(i + 1) * n * k],
-            &mut c[i * m * n..(i + 1) * m * n],
+            c_slice,
             m,
             k,
             n,
         );
-    }
+    });
 }
 
 fn dims3(t: &Tensor, what: &str) -> (usize, usize, usize) {

@@ -7,7 +7,13 @@
 //! The `nn` and `tn` kernels use the `ikj` loop order so the innermost loop
 //! walks both `B` and `C` contiguously (auto-vectorises well); `nt` uses a
 //! dot-product inner loop since both operands are then walked contiguously.
+//!
+//! All three `_into` kernels are **row-partitioned** across the global
+//! thread pool above a size threshold (see `kernels::dispatch`): output rows
+//! are independent, each row's accumulation order is unchanged, so parallel
+//! results are bit-for-bit identical to serial ones.
 
+use super::dispatch::should_par;
 use crate::{Shape, Tensor};
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
@@ -50,10 +56,20 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Raw slice kernel: `c[m,n] += a[m,k] · b[k,n]`. Accumulates into `c`.
+/// Row-partitioned across the global pool above the dispatch threshold;
+/// results are bit-identical to the serial loop.
 pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    if should_par(m * k * n, m) {
+        par_rows(a, c, k, n, |a_rows, c_rows, rows| matmul_nn_rows(a_rows, b, c_rows, rows, k, n));
+    } else {
+        matmul_nn_rows(a, b, c, m, k, n);
+    }
+}
+
+fn matmul_nn_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -70,10 +86,19 @@ pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
 }
 
 /// Raw slice kernel: `c[m,n] += a[m,k] · b[n,k]ᵀ`. Accumulates into `c`.
+/// Row-partitioned like [`matmul_nn_into`].
 pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    if should_par(m * k * n, m) {
+        par_rows(a, c, k, n, |a_rows, c_rows, rows| matmul_nt_rows(a_rows, b, c_rows, rows, k, n));
+    } else {
+        matmul_nt_rows(a, b, c, m, k, n);
+    }
+}
+
+fn matmul_nt_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
@@ -89,23 +114,64 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
 }
 
 /// Raw slice kernel: `c[m,n] += a[k,m]ᵀ · b[k,n]`. Accumulates into `c`.
+/// Partitioned over **output** rows (the lhs is walked column-wise, so each
+/// task re-scans `a` but owns a disjoint block of `c`); per-element
+/// accumulation order over `p` is unchanged, keeping results bit-identical.
 pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    if should_par(m * k * n, m) {
+        seqfm_parallel::par_units(seqfm_parallel::global(), c, n, |i0, c_rows| {
+            matmul_tn_rows(a, b, c_rows, i0, c_rows.len() / n, m, k, n)
+        });
+    } else {
+        matmul_tn_rows(a, b, c, 0, m, m, k, n);
+    }
+}
+
+/// `tn` over output rows `[i0, i0 + rows)` only; `c` holds exactly those
+/// rows. The `p`-outer loop order of the full kernel is preserved.
+#[allow(clippy::too_many_arguments)]
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     for p in 0..k {
         let a_row = &a[p * m..(p + 1) * m];
         let b_row = &b[p * n..(p + 1) * n];
-        for (i, &a_pi) in a_row.iter().enumerate() {
+        for (ri, &a_pi) in a_row[i0..i0 + rows].iter().enumerate() {
             if a_pi == 0.0 {
                 continue;
             }
-            let c_row = &mut c[i * n..(i + 1) * n];
+            let c_row = &mut c[ri * n..(ri + 1) * n];
             for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
                 *c_el += a_pi * b_el;
             }
         }
     }
+}
+
+/// Fans `m` rows of `a`/`c` out over the global pool via
+/// [`seqfm_parallel::par_units`], calling `f(a_rows, c_rows, rows)` per
+/// contiguous block.
+fn par_rows(
+    a: &[f32],
+    c: &mut [f32],
+    k: usize,
+    n: usize,
+    f: impl Fn(&[f32], &mut [f32], usize) + Sync,
+) {
+    seqfm_parallel::par_units(seqfm_parallel::global(), c, n, |i0, c_rows| {
+        let rows = c_rows.len() / n;
+        f(&a[i0 * k..(i0 + rows) * k], c_rows, rows)
+    });
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {

@@ -141,15 +141,7 @@ fn softmax_impl(x: &Tensor, mask: Option<&AttnMask>) -> Tensor {
         r => panic!("softmax expects rank 2 or 3, got rank {r}"),
     };
     let mut out = Tensor::zeros(x.shape());
-    for (ri, (row_in, row_out)) in
-        x.data().chunks_exact(m).zip(out.data_mut().chunks_exact_mut(m)).enumerate()
-    {
-        let mask_row = mask.map(|mk| {
-            let r = ri % rows_per_slice;
-            &mk.data()[r * m..(r + 1) * m]
-        });
-        softmax_row(row_in, mask_row, row_out);
-    }
+    softmax_rows_into(x.data(), m, rows_per_slice, mask, out.data_mut());
     out
 }
 
@@ -234,9 +226,32 @@ pub fn softmax_rows_into(
             mk.cols()
         );
     }
+    let rows = x.len().checked_div(m).unwrap_or(0);
+    // exp dominates a softmax row — weight the op estimate accordingly so
+    // modest score matrices still clear the fan-out threshold.
+    if super::dispatch::should_par(x.len() * 16, rows) {
+        seqfm_parallel::par_units(seqfm_parallel::global(), out, m, |r0, out_rows| {
+            let x_rows = &x[r0 * m..r0 * m + out_rows.len()];
+            softmax_rows(x_rows, m, rows_per_slice, mask, out_rows, r0)
+        });
+    } else {
+        softmax_rows(x, m, rows_per_slice, mask, out, 0);
+    }
+}
+
+/// Softmaxes a contiguous block of rows whose first row has global index
+/// `r0` (the mask is indexed by *global* row modulo `rows_per_slice`).
+fn softmax_rows(
+    x: &[f32],
+    m: usize,
+    rows_per_slice: usize,
+    mask: Option<&AttnMask>,
+    out: &mut [f32],
+    r0: usize,
+) {
     for (ri, (row_in, row_out)) in x.chunks_exact(m).zip(out.chunks_exact_mut(m)).enumerate() {
         let mask_row = mask.map(|mk| {
-            let r = ri % rows_per_slice;
+            let r = (r0 + ri) % rows_per_slice;
             &mk.data()[r * m..(r + 1) * m]
         });
         softmax_row(row_in, mask_row, row_out);

@@ -1,0 +1,180 @@
+//! Bit-for-bit parity of the parallel kernel paths.
+//!
+//! This binary forces a 4-worker global pool (the env var is read once,
+//! before any kernel dispatch) and drives every auto-dispatching kernel at
+//! shapes large enough to clear the fan-out threshold, comparing against
+//! naive reference loops with the **same per-element accumulation order**.
+//! Equality is exact: row/slice partitioning must not change a single bit.
+
+use seqfm_tensor::testutil::rand_tensor;
+use seqfm_tensor::{
+    attention_into, bmm_nn, bmm_nt, matmul_nn, matmul_nt, matmul_tn, softmax_lastdim_masked,
+    softmax_rows_into, AttnMask, Shape, Tensor,
+};
+
+/// Large enough that m·k·n clears the 96 Ki-op dispatch threshold.
+const M: usize = 48;
+const K: usize = 64;
+const N: usize = 56;
+
+fn refer_nn(a: &Tensor, b: &Tensor, m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let a_ip = a.data()[i * k + p];
+            for j in 0..n {
+                c[i * n + j] += a_ip * b.data()[p * n + j];
+            }
+        }
+    }
+    c
+}
+
+#[test]
+fn parallel_kernel_paths_match_serial_references_bitwise() {
+    // Must happen before the first kernel dispatch in this process: the
+    // global pool reads the variable exactly once.
+    std::env::set_var("SEQFM_WORKERS", "4");
+    let mut seed = 41;
+
+    // matmul_nn: ikj kernel == naive ikj loop, bit for bit.
+    let a = rand_tensor(Shape::d2(M, K), &mut seed);
+    let b = rand_tensor(Shape::d2(K, N), &mut seed);
+    assert_eq!(matmul_nn(&a, &b).data(), refer_nn(&a, &b, M, K, N), "matmul_nn diverges");
+
+    // matmul_nt: dot-product rows against explicit transpose.
+    let bt = rand_tensor(Shape::d2(N, K), &mut seed);
+    let mut want = vec![0.0f32; M * N];
+    for i in 0..M {
+        for j in 0..N {
+            let mut acc = 0.0f32;
+            for p in 0..K {
+                acc += a.data()[i * K + p] * bt.data()[j * K + p];
+            }
+            want[i * N + j] = acc;
+        }
+    }
+    assert_eq!(matmul_nt(&a, &bt).data(), want, "matmul_nt diverges");
+
+    // matmul_tn: p-outer accumulation order.
+    let at = rand_tensor(Shape::d2(K, M), &mut seed);
+    let bb = rand_tensor(Shape::d2(K, N), &mut seed);
+    let mut want = vec![0.0f32; M * N];
+    for p in 0..K {
+        for i in 0..M {
+            let a_pi = at.data()[p * M + i];
+            for j in 0..N {
+                want[i * N + j] += a_pi * bb.data()[p * N + j];
+            }
+        }
+    }
+    assert_eq!(matmul_tn(&at, &bb).data(), want, "matmul_tn diverges");
+
+    // bmm_nn / bmm_nt: slice-partitioned path vs. per-slice 2-D kernels run
+    // at sub-threshold size (i.e. guaranteed-serial references).
+    // bs·m·k·n = 20·16·24·20 = 153,600 > the 96 Ki-op threshold, so the bmm
+    // fan-out genuinely runs; each 16·24·20 ≈ 7.7k-op slice stays serial.
+    let (bs, sm, sk, sn) = (20, 16, 24, 20);
+    let a3 = rand_tensor(Shape::d3(bs, sm, sk), &mut seed);
+    let b3 = rand_tensor(Shape::d3(bs, sk, sn), &mut seed);
+    let got = bmm_nn(&a3, &b3);
+    for i in 0..bs {
+        let ai =
+            Tensor::from_vec(Shape::d2(sm, sk), a3.data()[i * sm * sk..(i + 1) * sm * sk].to_vec());
+        let bi =
+            Tensor::from_vec(Shape::d2(sk, sn), b3.data()[i * sk * sn..(i + 1) * sk * sn].to_vec());
+        let want = matmul_nn(&ai, &bi); // sub-threshold → serial
+        assert_eq!(
+            &got.data()[i * sm * sn..(i + 1) * sm * sn],
+            want.data(),
+            "bmm_nn slice {i} diverges"
+        );
+    }
+    let b3t = rand_tensor(Shape::d3(bs, sn, sk), &mut seed);
+    let got = bmm_nt(&a3, &b3t);
+    for i in 0..bs {
+        let ai =
+            Tensor::from_vec(Shape::d2(sm, sk), a3.data()[i * sm * sk..(i + 1) * sm * sk].to_vec());
+        let bi = Tensor::from_vec(
+            Shape::d2(sn, sk),
+            b3t.data()[i * sn * sk..(i + 1) * sn * sk].to_vec(),
+        );
+        let want = matmul_nt(&ai, &bi);
+        assert_eq!(
+            &got.data()[i * sm * sn..(i + 1) * sm * sn],
+            want.data(),
+            "bmm_nt slice {i} diverges"
+        );
+    }
+
+    // softmax over enough rows to clear the (exp-weighted) threshold; the
+    // reference is the per-row formula with identical op order.
+    let rows = 96;
+    let width = 80;
+    let x = rand_tensor(Shape::d2(rows, width), &mut seed);
+    let mask = AttnMask::causal(width);
+    let mask_rect = AttnMask::allow_all(rows, width); // all-open: exercises the mask plumbing
+    let got = softmax_lastdim_masked(
+        &rand_tensor(Shape::d2(width, width), &mut seed),
+        &mask, // square case exercises the masked parallel path
+    );
+    for r in 0..width {
+        let row: Vec<f32> = got.row(r).to_vec();
+        let live = r + 1; // causal row r allows columns 0..=r
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "row {r} not a distribution");
+        assert!(row[live..].iter().all(|&v| v == 0.0), "mask leak in row {r}");
+    }
+    // Unmasked parallel softmax vs. naive reference, bitwise.
+    let mut got = vec![0.0f32; rows * width];
+    softmax_rows_into(x.data(), width, rows, Some(&mask_rect), &mut got);
+    for r in 0..rows {
+        let xin = &x.data()[r * width..(r + 1) * width];
+        let mut max = f32::NEG_INFINITY;
+        for &v in xin {
+            if v > max {
+                max = v;
+            }
+        }
+        let mut want = vec![0.0f32; width];
+        let mut sum = 0.0f32;
+        for (o, &v) in want.iter_mut().zip(xin) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in want.iter_mut() {
+            *o *= inv;
+        }
+        assert_eq!(&got[r * width..(r + 1) * width], want, "softmax row {r} diverges");
+    }
+
+    // attention_into: slice-partitioned fused kernel vs. the unfused tensor
+    // ops at the same shape (whose own kernels are bit-identical serial or
+    // parallel, as proven above).
+    let (abs, an, ad) = (16, 24, 16);
+    let q = rand_tensor(Shape::d3(abs, an, ad), &mut seed);
+    let kk = rand_tensor(Shape::d3(abs, an, ad), &mut seed);
+    let v = rand_tensor(Shape::d3(abs, an, ad), &mut seed);
+    let scale = 1.0 / (ad as f32).sqrt();
+    let amask = AttnMask::causal(an);
+    let scores = seqfm_tensor::ew::scale(&bmm_nt(&q, &kk), scale);
+    let attn = softmax_lastdim_masked(&scores, &amask);
+    let want = bmm_nn(&attn, &v);
+    let mut scratch = vec![0.0f32; abs * an * an];
+    let mut out = vec![0.0f32; abs * an * ad];
+    attention_into(
+        q.data(),
+        kk.data(),
+        v.data(),
+        Some(&amask),
+        scale,
+        abs,
+        an,
+        ad,
+        &mut scratch,
+        &mut out,
+    );
+    assert_eq!(out, want.data(), "fused parallel attention diverges");
+}

@@ -31,6 +31,7 @@ fn main() {
         max_seq: 15,
         ctr_negatives: 5, // paper §IV-D: 5 negatives per positive
         seed: 7,
+        ..TrainConfig::default()
     };
 
     // Three contenders sharing the training protocol.

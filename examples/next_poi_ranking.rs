@@ -60,7 +60,7 @@ fn main() {
         (0..dataset.n_items as u32).filter(|i| !seen[user as usize].contains(i)).collect();
     let instances: Vec<_> =
         unseen.iter().map(|&poi| build_instance(&layout, user, poi, &history, 12, 0.0)).collect();
-    let batch = Batch::from_instances(&instances);
+    let batch = Batch::try_from_instances(&instances).expect("valid batch");
     let mut g = Graph::new();
     let scores = seqfm.forward(&mut g, &seqfm_ps, &batch, false, &mut rng);
     let mut ranked: Vec<(u32, f32)> =

@@ -10,7 +10,10 @@
 //!
 //! Crate map:
 //!
-//! * [`tensor`] — dense f32 tensors and kernels (matmul/bmm/softmax/…)
+//! * [`parallel`] — the parallelism subsystem: work-stealing thread pool,
+//!   `par_for`/`par_map_reduce`, sharded work queues, reusable oneshots
+//! * [`tensor`] — dense f32 tensors and kernels (matmul/bmm/softmax/…),
+//!   auto-parallel above a size threshold
 //! * [`autograd`] — tape-based reverse-mode autodiff
 //! * [`nn`] — layers, optimizers, initializers, checkpoints
 //! * [`data`] — synthetic chronological datasets + evaluation protocol
@@ -29,5 +32,6 @@ pub use seqfm_core as core;
 pub use seqfm_data as data;
 pub use seqfm_metrics as metrics;
 pub use seqfm_nn as nn;
+pub use seqfm_parallel as parallel;
 pub use seqfm_serve as serve;
 pub use seqfm_tensor as tensor;

@@ -30,11 +30,12 @@ fn tiny_data() -> (seqfm_data::Dataset, LeaveOneOut, FeatureLayout, NegativeSamp
 }
 
 fn eval_batch(layout: &FeatureLayout, max_seq: usize) -> Batch {
-    Batch::from_instances(&[
+    Batch::try_from_instances(&[
         build_instance(layout, 0, 7, &[1, 2, 5], max_seq, 1.0),
         build_instance(layout, 3, 39, &[], max_seq, 0.0), // cold start: all padding
         build_instance(layout, 15, 0, &[4, 9, 2, 7, 1, 3, 8, 11], max_seq, 1.0),
     ])
+    .expect("valid batch")
 }
 
 #[test]

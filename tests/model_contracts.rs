@@ -33,7 +33,7 @@ fn layout() -> FeatureLayout {
 
 fn score(model: &dyn SeqModel, ps: &ParamStore, hist: &[u32]) -> f32 {
     let inst = build_instance(&layout(), 1, 5, hist, 6, 1.0);
-    let b = Batch::from_instances(&[inst]);
+    let b = Batch::try_from_instances(&[inst]).expect("valid batch");
     let mut rng = StdRng::seed_from_u64(0);
     let mut g = Graph::new();
     let y = model.forward(&mut g, ps, &b, false, &mut rng);
@@ -87,7 +87,7 @@ fn every_model_reacts_to_the_candidate() {
         let l = layout();
         let mk = |cand: u32| {
             let inst = build_instance(&l, 1, cand, &[2, 7], 6, 1.0);
-            Batch::from_instances(&[inst])
+            Batch::try_from_instances(&[inst]).expect("valid batch")
         };
         let mut g = Graph::new();
         let mut rng2 = StdRng::seed_from_u64(0);

@@ -56,7 +56,7 @@ fn core_quickstart_path_runs_end_to_end() {
     let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
 
     let inst = build_instance(&layout, 3, 7, &[1, 4, 2], 5, 1.0);
-    let batch = Batch::from_instances(&[inst]);
+    let batch = Batch::try_from_instances(&[inst]).expect("valid batch");
     let mut g = Graph::new();
     let score = model.forward(&mut g, &ps, &batch, false, &mut rng);
     assert_eq!(g.value(score).numel(), 1);
