@@ -1,11 +1,11 @@
 //! Serving-path benchmarks: graph-free `FrozenSeqFm::score` vs. building an
-//! autograd `Graph` per request, plus engine throughput at 1 and 4 worker
-//! threads.
+//! autograd `Graph` per request, engine throughput at 1 and 4 worker
+//! threads, and the batch-coalescing engine on a shared-history workload.
 //!
 //! Besides the criterion groups, this bench writes `BENCH_serving.json` at
-//! the repository root (requests/sec single- and 4-thread, p50 latencies,
-//! frozen-vs-graph speedup) so the serving-performance trajectory is
-//! recorded PR over PR:
+//! the repository root (requests/sec single-/4-thread/coalesced, p50
+//! latencies, frozen-vs-graph speedup) so the serving-performance
+//! trajectory is recorded PR over PR:
 //!
 //! ```text
 //! cargo bench -p seqfm-bench --bench serving
@@ -45,6 +45,29 @@ fn request(i: usize, l: &FeatureLayout) -> ScoreRequest {
     }
 }
 
+/// Candidates per request in the coalescing workload. Deliberately
+/// **small**: within one large request the frozen fast path already
+/// amortises the history, so coalescing pays off exactly where ROADMAP
+/// predicted — many small same-history requests (a hot user / trending
+/// slate hammered by concurrent callers), where the per-request dynamic
+/// view and dispatch round trip dominate the per-candidate work.
+const COALESCE_CANDIDATES: usize = 8;
+
+/// The coalescing workload: one hot user/history hit by a burst of small
+/// candidate-set requests — the shape the engine's same-`(user, history)`
+/// grouping turns into cross-request super-batches.
+fn shared_history_request(i: usize, l: &FeatureLayout) -> ScoreRequest {
+    ScoreRequest {
+        user: 7,
+        history: (0..MAX_SEQ).map(|j| ((j * 11) % l.n_items) as u32).collect(),
+        candidates: (0..COALESCE_CANDIDATES).map(|c| ((c * 3 + i) % l.n_items) as u32).collect(),
+    }
+}
+
+fn engine_cfg(threads: usize, coalesce_max: usize) -> EngineConfig {
+    EngineConfig { threads, max_seq: MAX_SEQ, top_k: 10, queue_capacity: 1024, coalesce_max }
+}
+
 fn request_batch(l: &FeatureLayout) -> Batch {
     expand_request(&request(0, l), l, MAX_SEQ).expect("valid request")
 }
@@ -69,7 +92,8 @@ fn bench_single_request(c: &mut Criterion) {
     group.finish();
 }
 
-/// Criterion: engine round-trip throughput at 1 and 4 worker threads.
+/// Criterion: engine round-trip throughput at 1 and 4 worker threads
+/// (per-request dispatch: coalescing off).
 fn bench_engine_throughput(c: &mut Criterion) {
     let l = layout();
     let (model, ps) = build_model();
@@ -79,14 +103,42 @@ fn bench_engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_engine_64req");
     group.sample_size(10);
     for threads in [1usize, 4] {
-        let engine = Engine::new(
-            Arc::clone(&frozen),
-            l,
-            EngineConfig { threads, max_seq: MAX_SEQ, top_k: 10 },
-        );
+        let engine =
+            Engine::new(Arc::clone(&frozen), l, engine_cfg(threads, 1)).expect("valid config");
         group.bench_function(format!("{threads}thread"), |b| {
             b.iter(|| {
-                let pending: Vec<_> = requests.iter().map(|r| engine.submit(r.clone())).collect();
+                let pending: Vec<_> = requests
+                    .iter()
+                    .map(|r| engine.submit(r.clone()).expect("under capacity"))
+                    .collect();
+                for p in pending {
+                    p.wait().expect("valid request");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Criterion: the coalescing scenario — a shared-history burst through one
+/// worker, per-request dispatch vs. coalesced super-batches.
+fn bench_engine_coalescing(c: &mut Criterion) {
+    let l = layout();
+    let (model, ps) = build_model();
+    let frozen = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let requests: Vec<ScoreRequest> = (0..64).map(|i| shared_history_request(i, &l)).collect();
+
+    let mut group = c.benchmark_group("serve_engine_coalesce_64req_shared_history");
+    group.sample_size(10);
+    for coalesce_max in [1usize, 16] {
+        let engine =
+            Engine::new(Arc::clone(&frozen), l, engine_cfg(1, coalesce_max)).expect("valid config");
+        group.bench_function(format!("coalesce{coalesce_max}"), |b| {
+            b.iter(|| {
+                let pending: Vec<_> = requests
+                    .iter()
+                    .map(|r| engine.submit(r.clone()).expect("under capacity"))
+                    .collect();
                 for p in pending {
                     p.wait().expect("valid request");
                 }
@@ -146,42 +198,65 @@ fn emit_serving_json(_c: &mut Criterion) {
     );
     let speedup = graph_p50.as_secs_f64() / frozen_p50.as_secs_f64();
 
-    let rps_at = |threads: usize| -> f64 {
-        let engine = Engine::new(
-            Arc::clone(&frozen_shared),
-            l,
-            EngineConfig { threads, max_seq: MAX_SEQ, top_k: 10 },
-        );
-        let n = 256usize;
-        // Warm the workers' scratches first.
-        for i in 0..threads * 2 {
-            engine.score(request(i, &l)).expect("valid request");
+    let n = 256usize;
+    let run = |engine: &Engine, req_of: &dyn Fn(usize) -> ScoreRequest| -> f64 {
+        // Warm the workers' scratches (and the slot free list) first.
+        for i in 0..engine.threads() * 2 {
+            engine.score(req_of(i)).expect("valid request");
         }
         let t = Instant::now();
-        let pending: Vec<_> = (0..n).map(|i| engine.submit(request(i, &l))).collect();
+        let pending: Vec<_> =
+            (0..n).map(|i| engine.submit(req_of(i)).expect("under capacity")).collect();
         for p in pending {
             p.wait().expect("valid request");
         }
         n as f64 / t.elapsed().as_secs_f64()
     };
+    // Distinct-history workload, per-request dispatch (the PR-over-PR
+    // engine baseline).
+    let rps_at = |threads: usize| -> f64 {
+        let engine =
+            Engine::new(Arc::clone(&frozen_shared), l, engine_cfg(threads, 1)).expect("valid");
+        run(&engine, &|i| request(i, &l))
+    };
     let rps1 = rps_at(1);
     let rps4 = rps_at(4);
+    // The coalescing scenario: a shared-history burst of small requests
+    // through ONE worker, coalescing off vs. on — the off number isolates
+    // what batching at admission buys, independent of threads or workload
+    // shape. (Same requests, same worker count; only `coalesce_max`
+    // changes.)
+    let rps_shared_at = |coalesce_max: usize| -> f64 {
+        let engine =
+            Engine::new(Arc::clone(&frozen_shared), l, engine_cfg(1, coalesce_max)).expect("valid");
+        run(&engine, &|i| shared_history_request(i, &l))
+    };
+    let rps_coalesce_off = rps_shared_at(1);
+    let rps_coalesced = rps_shared_at(32);
     // Scaling numbers are only meaningful relative to the host: a 1-CPU
     // container physically cannot show multi-thread speedup.
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let json = format!(
-        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256 }},\n  \"host_cpus\": {host_cpus},\n  \"frozen_p50_latency_us\": {:.1},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0}\n}}\n",
+        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256, \"coalesce_max\": 32, \"coalesce_candidates_per_request\": {COALESCE_CANDIDATES} }},\n  \"host_cpus\": {host_cpus},\n  \"frozen_p50_latency_us\": {:.1},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0},\n  \"engine_rps_coalesce_off\": {:.0},\n  \"engine_rps_coalesced\": {:.0}\n}}\n",
         frozen_p50.as_secs_f64() * 1e6,
         graph_p50.as_secs_f64() * 1e6,
         speedup,
         rps1,
         rps4,
+        rps_coalesce_off,
+        rps_coalesced,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     std::fs::write(path, &json).expect("write BENCH_serving.json");
     println!("== BENCH_serving.json ==\n{json}");
 }
 
-criterion_group!(benches, bench_single_request, bench_engine_throughput, emit_serving_json);
+criterion_group!(
+    benches,
+    bench_single_request,
+    bench_engine_throughput,
+    bench_engine_coalescing,
+    emit_serving_json
+);
 criterion_main!(benches);

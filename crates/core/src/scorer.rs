@@ -36,6 +36,21 @@ pub trait Scorer {
     /// Scores every instance of `batch`, returning `batch.len` scores that
     /// live inside `scratch`.
     fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32];
+
+    /// Scores `batch` and **appends** the `batch.len` scores to `out`
+    /// instead of borrowing them out of `scratch`.
+    ///
+    /// This is the out-buffer hook batch-coalescing servers build on: one
+    /// caller-owned accumulator collects the scores of several groups
+    /// scored back to back, each [`Scorer::score`] call reusing the same
+    /// `scratch`, with no per-group allocation once both are warm. The
+    /// default implementation delegates to [`Scorer::score`] and copies;
+    /// implementations whose kernels can write straight into `out` may
+    /// override it.
+    fn score_into(&self, batch: &Batch, scratch: &mut Scratch, out: &mut Vec<f32>) {
+        let scores = self.score(batch, scratch);
+        out.extend_from_slice(scores);
+    }
 }
 
 /// Cached attention masks for the dynamic and cross views, keyed by the
@@ -124,6 +139,16 @@ impl Scratch {
         if self.pad_counts.len() < b {
             self.pad_counts.resize(b, 0);
         }
+    }
+
+    /// Copies `scores` into the workspace's score buffer and hands back the
+    /// borrow — the ergonomic way for a custom [`Scorer`] (a stub, a proxy,
+    /// a remote-call adapter) to satisfy the "returned scores live inside
+    /// `scratch`" contract without access to the private buffers.
+    pub fn publish_scores(&mut self, scores: &[f32]) -> &[f32] {
+        self.out.clear();
+        self.out.extend_from_slice(scores);
+        &self.out
     }
 
     /// The cached masks for a `(ns, nd)` geometry, rebuilding on change.
@@ -240,6 +265,47 @@ mod tests {
         let first = scorer.score(&batch, &mut scratch).to_vec();
         let again = scorer.score(&batch, &mut scratch).to_vec();
         assert_eq!(first, again, "scoring must be deterministic");
+    }
+
+    #[test]
+    fn score_into_appends_and_matches_score() {
+        let (scorer, batch) = setup();
+        let mut scratch = Scratch::new();
+        let direct = scorer.score(&batch, &mut scratch).to_vec();
+        // Accumulate two back-to-back scoring rounds into one buffer — the
+        // coalescing-server usage pattern.
+        let mut acc = vec![-1.0f32];
+        scorer.score_into(&batch, &mut scratch, &mut acc);
+        scorer.score_into(&batch, &mut scratch, &mut acc);
+        assert_eq!(acc.len(), 1 + 2 * batch.len);
+        assert_eq!(acc[0], -1.0, "existing contents must be preserved");
+        assert_eq!(&acc[1..1 + batch.len], &direct[..]);
+        assert_eq!(&acc[1 + batch.len..], &direct[..]);
+    }
+
+    /// A stub scorer built on `publish_scores` — the supported way for
+    /// out-of-crate `Scorer` impls to return fabricated scores.
+    struct Fixed(Vec<f32>);
+
+    impl Scorer for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
+            scratch.publish_scores(&self.0[..batch.len])
+        }
+    }
+
+    #[test]
+    fn publish_scores_supports_external_scorer_impls() {
+        let (_, batch) = setup();
+        let stub = Fixed(vec![0.5, -2.0]);
+        let mut scratch = Scratch::new();
+        assert_eq!(stub.score(&batch, &mut scratch), &[0.5, -2.0]);
+        let mut acc = Vec::new();
+        stub.score_into(&batch, &mut scratch, &mut acc);
+        assert_eq!(acc, vec![0.5, -2.0]);
     }
 
     #[test]

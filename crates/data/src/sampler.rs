@@ -54,16 +54,25 @@ impl NegativeSampler {
     /// Samples `k` *distinct* negatives for user `u` (evaluation candidate
     /// pools; paper uses J = 1000).
     ///
+    /// The pool is returned in **draw order**: for a seeded RNG the result
+    /// is identical run to run. (It was once collected out of a `HashSet`,
+    /// whose random per-instance hash state shuffled the order on every
+    /// call — breaking eval reproducibility even under a fixed seed.)
+    ///
     /// # Panics
     /// Panics if fewer than `k` unseen items exist.
     pub fn sample_distinct<R: Rng + ?Sized>(&self, u: usize, k: usize, rng: &mut R) -> Vec<u32> {
         let unseen = self.n_items - self.seen[u].len();
         assert!(unseen >= k, "user {u}: requested {k} negatives but only {unseen} unseen items");
-        let mut out = HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        let mut picked = HashSet::with_capacity(k);
         while out.len() < k {
-            out.insert(self.sample(u, rng));
+            let cand = self.sample(u, rng);
+            if picked.insert(cand) {
+                out.push(cand);
+            }
         }
-        out.into_iter().collect()
+        out
     }
 }
 
@@ -94,6 +103,23 @@ mod tests {
         for &n in &negs {
             assert!(!sampler.is_seen(0, n));
         }
+    }
+
+    #[test]
+    fn distinct_sampling_is_reproducible_under_a_fixed_seed() {
+        // Regression: the pool was once collected out of a `HashSet`, whose
+        // per-instance random hash state reordered it on every call — two
+        // identically-seeded runs disagreed on candidate-pool order.
+        let sampler = NegativeSampler::new(500, vec![vec![0, 1, 2, 3, 4]]);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let a = sampler.sample_distinct(0, 100, &mut rng_a);
+        let b = sampler.sample_distinct(0, 100, &mut rng_b);
+        assert_eq!(a, b, "identical seeds must produce identical candidate pools, in order");
+        // And the order is the draw order, not sorted or hashed.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_ne!(a, sorted, "pool should be in draw order (statistically never sorted)");
     }
 
     #[test]

@@ -23,8 +23,12 @@
 //!   blocks of reproducible data-parallel training.
 //! * [`WorkQueue`] / [`Oneshot`] — the serving-side work-distributing
 //!   channel (per-worker shards, round-robin submit, stealing, drain-on-
-//!   close) and a reusable single-value reply slot that replaces
-//!   per-request channel allocation.
+//!   close; optionally capacity-[`bounded`](WorkQueue::bounded) with a
+//!   non-blocking [`try_push`](WorkQueue::try_push) backpressure signal, a
+//!   parking [`push_wait`](WorkQueue::push_wait), and bulk
+//!   [`recv_many`](WorkerHandle::recv_many) draining for batch coalescing)
+//!   and a reusable single-value reply slot that replaces per-request
+//!   channel allocation.
 //!
 //! The global pool ([`global`]) is sized by the `SEQFM_WORKERS` environment
 //! variable when set, else by [`std::thread::available_parallelism`]; the

@@ -92,6 +92,24 @@ impl<T> Oneshot<T> {
         }
     }
 
+    /// Non-blocking [`recv`](Self::recv): takes the value if one has been
+    /// delivered, reports a close if the producer gave up, and returns
+    /// `None` while the slot is still armed and unanswered. Lets a consumer
+    /// abandoning a slot decide whether it is safe to recycle — `Some`
+    /// means the producer is done with it, `None` means a send may still
+    /// be in flight.
+    pub fn try_recv(&self) -> Option<Result<T, Disconnected>> {
+        let mut st = self.state.lock().expect("oneshot poisoned");
+        match std::mem::replace(&mut *st, State::Empty) {
+            State::Full(v) => Some(Ok(v)),
+            State::Closed(d) => {
+                *st = State::Closed(d);
+                Some(Err(d))
+            }
+            State::Empty => None,
+        }
+    }
+
     /// Returns the slot to `Empty`, discarding any undelivered value or
     /// close marker — the free-list re-arm step.
     pub fn reset(&self) {
@@ -132,6 +150,21 @@ mod tests {
             assert!(slot.send(i));
             assert_eq!(slot.recv(), Ok(i));
         }
+    }
+
+    #[test]
+    fn try_recv_reports_all_three_states() {
+        let slot = Oneshot::<u32>::new();
+        assert_eq!(slot.try_recv(), None, "armed slot has nothing to take");
+        slot.send(4);
+        assert_eq!(slot.try_recv(), Some(Ok(4)));
+        assert_eq!(slot.try_recv(), None, "value consumed, slot re-armed");
+        slot.close(false);
+        assert_eq!(slot.try_recv(), Some(Err(Disconnected { panicked: false })));
+        // Close is sticky until reset, like recv.
+        assert_eq!(slot.try_recv(), Some(Err(Disconnected { panicked: false })));
+        slot.reset();
+        assert_eq!(slot.try_recv(), None);
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! wakeups) and *increment-under-the-shard-lock* (the `queued` counter can
 //! never transiently underflow, because an item's pop strictly follows its
 //! own increment) — live in exactly one place.
+//!
+//! A queue may additionally carry a **capacity bound** across all shards
+//! ([`Shards::bounded`]): [`Shards::try_push`] refuses items at capacity
+//! (the caller's backpressure signal) and [`Shards::push_wait`] parks the
+//! producer on a dedicated `space` condvar until a pop frees a slot. The
+//! producer-side park mirrors the consumer-side one — condition checked
+//! under the `closed` mutex, poppers lock-then-notify — so wakeups cannot
+//! be lost in either direction.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -17,18 +25,36 @@ pub(crate) struct Shards<T> {
     shards: Vec<Mutex<VecDeque<T>>>,
     /// Items pushed but not yet popped — the wake condition.
     queued: AtomicUsize,
+    /// Total queued-item bound across all shards; `usize::MAX` = unbounded.
+    capacity: usize,
+    /// Producers currently parked (or about to park) in [`Shards::push_wait`].
+    /// Lets the pop hot path skip the lock + `space` notification entirely
+    /// in the common nobody-is-parked case — see the SeqCst pairing note in
+    /// `try_pop`.
+    parked_producers: AtomicUsize,
     /// `true` once the producing side is done. Guards the parking condvar.
     closed: Mutex<bool>,
     wake: Condvar,
+    /// Producers parked on a full bounded queue (see [`Shards::push_wait`]).
+    space: Condvar,
 }
 
 impl<T> Shards<T> {
     pub(crate) fn new(n: usize) -> Self {
+        Self::bounded(n, usize::MAX)
+    }
+
+    /// A queue refusing to hold more than `capacity` items across all
+    /// shards (clamped to at least 1).
+    pub(crate) fn bounded(n: usize, capacity: usize) -> Self {
         Shards {
             shards: (0..n.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
             queued: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            parked_producers: AtomicUsize::new(0),
             closed: Mutex::new(false),
             wake: Condvar::new(),
+            space: Condvar::new(),
         }
     }
 
@@ -36,7 +62,13 @@ impl<T> Shards<T> {
         self.shards.len()
     }
 
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Enqueues `item` on shard `shard % len` and wakes one parked consumer.
+    /// Ignores the capacity bound — the unbounded producers (thread-pool
+    /// task injection) use this path.
     pub(crate) fn push(&self, shard: usize, item: T) {
         {
             let mut q =
@@ -47,9 +79,70 @@ impl<T> Shards<T> {
             self.queued.fetch_add(1, Ordering::Release);
             q.push_back(item);
         }
-        // Lock-then-notify pairs with the park loop: a consumer that
-        // observed `queued == 0` under this lock is guaranteed to be inside
-        // `wait` before we notify, so the wakeup cannot be lost.
+        self.notify_push();
+    }
+
+    /// Enqueues `item` unless the queue already holds `capacity` items;
+    /// on refusal the item is handed back untouched. The admission check
+    /// and the increment are one CAS, so the bound is exact even with
+    /// concurrent producers on different shards.
+    pub(crate) fn try_push(&self, shard: usize, item: T) -> Result<(), T> {
+        {
+            let mut q =
+                self.shards[shard % self.shards.len()].lock().expect("queue shard poisoned");
+            let mut cur = self.queued.load(Ordering::Acquire);
+            loop {
+                if cur >= self.capacity {
+                    return Err(item);
+                }
+                match self.queued.compare_exchange(
+                    cur,
+                    cur + 1,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+            q.push_back(item);
+        }
+        self.notify_push();
+        Ok(())
+    }
+
+    /// Enqueues `item`, parking until a pop frees capacity if the queue is
+    /// full. Hands the item back only if the queue is closed while waiting.
+    pub(crate) fn push_wait(&self, shard: usize, item: T) -> Result<(), T> {
+        let mut item = item;
+        loop {
+            item = match self.try_push(shard, item) {
+                Ok(()) => return Ok(()),
+                Err(back) => back,
+            };
+            let mut closed = self.closed.lock().expect("queue closed flag poisoned");
+            // Announce the park *before* the final fullness re-check (both
+            // SeqCst): either this load observes a pop's decrement and we
+            // skip the wait, or that pop's subsequent `parked_producers`
+            // load observes our increment and sends the wakeup. Its
+            // lock-then-notify cannot fire between our re-check and the
+            // wait, because we hold `closed` for that whole window.
+            self.parked_producers.fetch_add(1, Ordering::SeqCst);
+            while self.queued.load(Ordering::SeqCst) >= self.capacity {
+                if *closed {
+                    self.parked_producers.fetch_sub(1, Ordering::SeqCst);
+                    return Err(item);
+                }
+                closed = self.space.wait(closed).expect("queue closed flag poisoned");
+            }
+            self.parked_producers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Lock-then-notify pairs with the consumer park loop: a consumer that
+    /// observed `queued == 0` under this lock is guaranteed to be inside
+    /// `wait` before we notify, so the wakeup cannot be lost.
+    fn notify_push(&self) {
         drop(self.closed.lock().expect("queue closed flag poisoned"));
         self.wake.notify_one();
     }
@@ -62,7 +155,18 @@ impl<T> Shards<T> {
             let shard = &self.shards[(home + i) % n];
             let item = shard.lock().expect("queue shard poisoned").pop_front();
             if let Some(item) = item {
-                self.queued.fetch_sub(1, Ordering::AcqRel);
+                // SeqCst pairs with `push_wait`: this decrement precedes the
+                // `parked_producers` load, the producer's increment precedes
+                // its fullness re-check — in any interleaving at least one
+                // side sees the other, so a wakeup is never lost while the
+                // common nobody-parked pop stays lock-free.
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                if self.parked_producers.load(Ordering::SeqCst) > 0 {
+                    // Lock-then-notify, aimed at producers parked on a full
+                    // queue (bounded queues only — nothing parks otherwise).
+                    drop(self.closed.lock().expect("queue closed flag poisoned"));
+                    self.space.notify_one();
+                }
                 return Some(item);
             }
         }
@@ -89,10 +193,29 @@ impl<T> Shards<T> {
         }
     }
 
-    /// Marks the queue closed and wakes every parked consumer; already-
-    /// queued items remain poppable (drain semantics).
+    /// Bulk drain: blocks for the first item, then greedily takes up to
+    /// `max - 1` more that are already queued (own shard first, stealing
+    /// otherwise) **without** blocking again. Appends to `out` and returns
+    /// `true`, or returns `false` once the queue is closed and drained.
+    pub(crate) fn pop_many_or_park(&self, home: usize, max: usize, out: &mut Vec<T>) -> bool {
+        let Some(first) = self.pop_or_park(home) else {
+            return false;
+        };
+        out.push(first);
+        while out.len() < max {
+            match self.try_pop(home) {
+                Some(item) => out.push(item),
+                None => break,
+            }
+        }
+        true
+    }
+
+    /// Marks the queue closed and wakes every parked consumer and producer;
+    /// already-queued items remain poppable (drain semantics).
     pub(crate) fn close(&self) {
         *self.closed.lock().expect("queue closed flag poisoned") = true;
         self.wake.notify_all();
+        self.space.notify_all();
     }
 }

@@ -1,25 +1,37 @@
-//! The multi-threaded scoring engine.
+//! The multi-threaded, batch-coalescing scoring engine.
 //!
-//! An [`Engine`] owns a pool of worker threads fed by a
-//! [`WorkQueue`](seqfm_parallel::WorkQueue): requests are submitted
-//! round-robin onto **per-worker sharded queues**, and an idle worker steals
-//! from its siblings, so dispatch never funnels through a single lock.
-//! Every worker holds its own [`Scratch`] workspace (warm buffers, no
-//! cross-thread locks on the hot path) and a shared `Arc` of the scorer —
-//! which is why the [`Scorer`] contract requires `&self`-only scoring and
-//! why `FrozenSeqFm: Send + Sync` is load-bearing.
+//! An [`Engine`] owns a pool of worker threads fed by a **bounded**
+//! [`WorkQueue`](seqfm_parallel::WorkQueue): requests are admitted
+//! round-robin onto per-worker sharded queues, an idle worker steals from
+//! its siblings, and — the throughput lever — each worker wakeup **drains up
+//! to [`EngineConfig::coalesce_max`] queued requests at once**, groups the
+//! ones sharing a `(user, history)` pair, and scores every group as one
+//! super-batch through [`score_requests`](crate::score_requests). The frozen
+//! scorer's shared-history fast path then fires *across* requests, so
+//! throughput rises with load, not only with threads.
+//!
+//! Admission is explicit: the non-blocking [`Engine::submit`] sheds load
+//! with [`ServeError::Overloaded`] once
+//! [`EngineConfig::queue_capacity`] requests are queued, while
+//! [`Engine::submit_wait`] parks the caller until capacity frees up. Every
+//! worker holds its own [`Scratch`] workspace (warm buffers, no cross-thread
+//! locks on the hot path) and a shared `Arc` of the scorer — which is why
+//! the [`Scorer`] contract requires `&self`-only scoring and why
+//! `FrozenSeqFm: Send + Sync` is load-bearing.
 //!
 //! Replies travel through **reusable oneshot slots**
 //! ([`seqfm_parallel::Oneshot`]): after a response is consumed the slot is
 //! parked in a free list and re-armed by the next submit, so steady-state
-//! serving allocates nothing on the reply path.
+//! serving allocates nothing on the reply path. A [`PendingResponse`]
+//! dropped without [`wait`](PendingResponse::wait) recycles its slot too,
+//! provided the reply already arrived.
 //!
-//! Worker panics are contained: a panic while scoring one request is
-//! drained into [`ServeError::WorkerPanicked`] for that request's caller,
-//! and the worker keeps serving subsequent requests.
+//! Worker panics are contained: a panic while scoring is drained into
+//! [`ServeError::WorkerPanicked`] for every request of that coalesced
+//! drain, and the worker keeps serving subsequent requests.
 
 use crate::error::ServeError;
-use crate::request::{score_request, ScoreRequest, ScoreResponse};
+use crate::request::{score_requests, ScoreRequest, ScoreResponse};
 use seqfm_core::{Scorer, Scratch};
 use seqfm_data::FeatureLayout;
 use seqfm_parallel::{Oneshot, WorkQueue};
@@ -27,31 +39,75 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Engine sizing and ranking policy.
+/// Engine sizing, admission, and ranking policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads (clamped to at least 1).
     pub threads: usize,
-    /// Dynamic window n˙ the serving model was trained with.
+    /// Dynamic window n˙ the serving model was trained with. Must be ≥ 1.
     pub max_seq: usize,
     /// Responses keep only the best `top_k` candidates; `0` keeps all.
     pub top_k: usize,
+    /// Admission bound: at most this many requests queued across all
+    /// workers before [`Engine::submit`] sheds load with
+    /// [`ServeError::Overloaded`]. Must be ≥ 1.
+    pub queue_capacity: usize,
+    /// Requests a worker drains per wakeup and scores as coalesced
+    /// same-`(user, history)` super-batches. `1` disables coalescing;
+    /// larger values trade per-request latency for throughput under load.
+    /// Must be ≥ 1.
+    pub coalesce_max: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         // `max_seq` matches `SeqFmConfig::default`; single-threaded until the
-        // caller opts into more.
-        EngineConfig { threads: 1, max_seq: 20, top_k: 0 }
+        // caller opts into more. The admission queue absorbs a healthy burst
+        // before shedding; modest coalescing is on by default — it only
+        // batches requests that are *already* waiting, so an unloaded engine
+        // keeps single-request latency.
+        EngineConfig { threads: 1, max_seq: 20, top_k: 0, queue_capacity: 1024, coalesce_max: 16 }
+    }
+}
+
+impl EngineConfig {
+    /// Checks the configuration, mirroring
+    /// [`SeqFmConfig::validate`](seqfm_core::SeqFmConfig::validate) but as a
+    /// value instead of a panic — a misconfigured window would otherwise
+    /// surface as scrambled scores or dead workers on the first request.
+    ///
+    /// # Errors
+    /// [`ServeError::BadConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let bad = |reason: &str| Err(ServeError::BadConfig { reason: reason.into() });
+        if self.max_seq == 0 {
+            return bad("max_seq must be >= 1 (a zero-width dynamic block cannot be scored)");
+        }
+        if self.queue_capacity == 0 {
+            return bad("queue_capacity must be >= 1 (an engine that admits nothing cannot serve)");
+        }
+        if self.coalesce_max == 0 {
+            return bad("coalesce_max must be >= 1 (each worker wakeup must drain a request)");
+        }
+        Ok(())
     }
 }
 
 type Reply = Result<ScoreResponse, ServeError>;
 type Slot = Arc<Oneshot<Reply>>;
+type FreeList = Arc<Mutex<Vec<Slot>>>;
 
 /// Parked reply slots awaiting reuse; bounded so a burst of one-off callers
 /// cannot pin memory forever.
 const MAX_PARKED_SLOTS: usize = 1024;
+
+/// Parks a slot for reuse by a later submit.
+fn park_slot(free: &FreeList, slot: Slot) {
+    let mut free = free.lock().expect("slot free list poisoned");
+    if free.len() < MAX_PARKED_SLOTS {
+        free.push(slot);
+    }
+}
 
 struct Job {
     req: ScoreRequest,
@@ -75,9 +131,15 @@ impl Drop for Job {
 
 /// A handle to a submitted request; resolve it with
 /// [`PendingResponse::wait`].
+///
+/// Dropping the handle without waiting abandons the request (the engine
+/// still scores it); if the reply had already arrived, the slot is recycled
+/// into the engine's free list on drop, so abandoned handles cannot leak
+/// the zero-allocation steady state away.
 pub struct PendingResponse {
-    slot: Slot,
-    free: Arc<Mutex<Vec<Slot>>>,
+    /// `Some` until `wait` or `Drop` consumes the slot.
+    slot: Option<Slot>,
+    free: FreeList,
 }
 
 impl PendingResponse {
@@ -90,30 +152,45 @@ impl PendingResponse {
     /// and the worker survives to serve other requests);
     /// [`ServeError::ShutDown`] if the engine was torn down before
     /// answering.
-    pub fn wait(self) -> Result<ScoreResponse, ServeError> {
-        match self.slot.recv() {
-            Ok(reply) => {
-                // recv() left the slot empty (armed); park it for reuse.
-                let mut free = self.free.lock().expect("slot free list poisoned");
-                if free.len() < MAX_PARKED_SLOTS {
-                    free.push(self.slot);
-                }
-                reply
-            }
+    pub fn wait(mut self) -> Result<ScoreResponse, ServeError> {
+        let slot = self.slot.take().expect("slot present until wait/drop");
+        let reply = match slot.recv() {
+            Ok(reply) => reply,
             // Dropped without an answer — see the `Job` drop guard.
             Err(d) if d.panicked => Err(ServeError::WorkerPanicked {
                 message: "worker thread panicked before replying".into(),
             }),
             Err(_) => Err(ServeError::ShutDown),
+        };
+        // The producer is done with the slot on every branch (value taken,
+        // or sticky close — cleared by the next re-arm); park it for reuse.
+        park_slot(&self.free, slot);
+        reply
+    }
+}
+
+impl Drop for PendingResponse {
+    fn drop(&mut self) {
+        let Some(slot) = self.slot.take() else {
+            return; // consumed by wait()
+        };
+        // Recycle only if the producer is done with the slot (reply or
+        // close already arrived). An unanswered slot may still receive a
+        // worker's send — re-arming it for another request would cross the
+        // two replies, so that slot is simply dropped (the worker's send
+        // lands in an Arc nobody reads, then the memory is freed).
+        if slot.try_recv().is_some() {
+            slot.reset(); // clear any sticky close marker before reuse
+            park_slot(&self.free, slot);
         }
     }
 }
 
-/// Multi-threaded scoring engine. See the module docs.
+/// Multi-threaded batch-coalescing scoring engine. See the module docs.
 pub struct Engine {
     queue: Option<WorkQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
-    free: Arc<Mutex<Vec<Slot>>>,
+    free: FreeList,
 }
 
 impl Engine {
@@ -124,52 +201,62 @@ impl Engine {
     /// [`GraphScorer`](seqfm_core::GraphScorer) over any baseline
     /// (compatibility path) — anything `Scorer + Send + Sync` works.
     ///
-    /// # Panics
-    /// Panics if `cfg.max_seq == 0` — a misconfigured window would otherwise
-    /// surface as dead worker threads on the first request, like
-    /// [`SeqFmConfig::validate`](seqfm_core::SeqFmConfig::validate) this
-    /// fails fast at construction.
+    /// # Errors
+    /// [`ServeError::BadConfig`] when [`EngineConfig::validate`] rejects
+    /// `cfg` — failing fast here instead of on the first request.
     pub fn new<S: Scorer + Send + Sync + 'static>(
         scorer: Arc<S>,
         layout: FeatureLayout,
         cfg: EngineConfig,
-    ) -> Self {
-        assert!(cfg.max_seq > 0, "EngineConfig::max_seq must be positive");
-        let (queue, handles) = WorkQueue::<Job>::new(cfg.threads.max(1));
+    ) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let (queue, handles) = WorkQueue::<Job>::bounded(cfg.threads.max(1), cfg.queue_capacity);
         let workers = handles
             .into_iter()
             .map(|handle| {
                 let scorer = Arc::clone(&scorer);
                 std::thread::spawn(move || {
                     let mut scratch = Scratch::new();
-                    while let Some(mut job) = handle.recv() {
-                        // Contain per-request panics: the caller gets the
-                        // drained panic text, the worker keeps serving.
+                    let mut jobs: Vec<Job> = Vec::new();
+                    // The coalescer: drain up to `coalesce_max` queued
+                    // requests per wakeup and score them as grouped
+                    // super-batches. Under light load the drain holds one
+                    // request and this degenerates to per-request scoring.
+                    while handle.recv_many(cfg.coalesce_max, &mut jobs) {
+                        let refs: Vec<&ScoreRequest> = jobs.iter().map(|j| &j.req).collect();
+                        // Contain panics: every caller in this drain gets
+                        // the drained panic text, the worker keeps serving.
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            score_request(
+                            score_requests(
                                 &*scorer,
                                 &layout,
                                 cfg.max_seq,
                                 cfg.top_k,
-                                &job.req,
+                                &refs,
                                 &mut scratch,
                             )
                         }));
-                        let reply = match result {
-                            Ok(r) => r,
-                            Err(payload) => Err(ServeError::WorkerPanicked {
-                                message: panic_message(payload.as_ref()),
-                            }),
-                        };
-                        // A dropped reply receiver just means the caller gave
-                        // up on this request; keep serving.
-                        let _ = job.slot.send(reply);
-                        job.answered = true;
+                        drop(refs);
+                        let replies = result.unwrap_or_else(|payload| {
+                            let message = panic_message(payload.as_ref());
+                            jobs.iter()
+                                .map(|_| {
+                                    Err(ServeError::WorkerPanicked { message: message.clone() })
+                                })
+                                .collect()
+                        });
+                        for (job, reply) in jobs.iter_mut().zip(replies) {
+                            // A dropped reply receiver just means the caller
+                            // gave up on this request; keep serving.
+                            let _ = job.slot.send(reply);
+                            job.answered = true;
+                        }
+                        jobs.clear();
                     }
                 })
             })
             .collect();
-        Engine { queue: Some(queue), workers, free: Arc::new(Mutex::new(Vec::new())) }
+        Ok(Engine { queue: Some(queue), workers, free: Arc::new(Mutex::new(Vec::new())) })
     }
 
     /// Number of worker threads.
@@ -177,12 +264,8 @@ impl Engine {
         self.workers.len()
     }
 
-    /// Enqueues a request and returns immediately; the next worker in
-    /// round-robin order (or a stealing sibling) picks it up. Pair with
-    /// [`PendingResponse::wait`], or use [`Engine::score`] for the blocking
-    /// round trip. The reply slot comes from the engine's free list — no
-    /// allocation once the engine is warm.
-    pub fn submit(&self, req: ScoreRequest) -> PendingResponse {
+    /// Pops a parked reply slot (or allocates the first time) and re-arms it.
+    fn arm_slot(&self) -> Slot {
         let slot: Slot = self
             .free
             .lock()
@@ -190,20 +273,72 @@ impl Engine {
             .pop()
             .unwrap_or_else(|| Arc::new(Oneshot::new()));
         slot.reset(); // re-arm (clears any stale close marker)
+        slot
+    }
+
+    /// Non-blocking admission: enqueues the request and returns immediately,
+    /// or sheds it when [`EngineConfig::queue_capacity`] requests are
+    /// already queued — the backpressure signal an async front door (network
+    /// acceptor, stream consumer) turns into "503 / retry later". Pair the
+    /// handle with [`PendingResponse::wait`].
+    ///
+    /// The reply slot comes from the engine's free list — no allocation
+    /// once the engine is warm, including on the shed path.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the admission queue is full; the
+    /// shed request is handed back inside the error, so retrying (or
+    /// falling back to [`Engine::submit_wait`]) needs no defensive clone.
+    pub fn submit(&self, req: ScoreRequest) -> Result<PendingResponse, ServeError> {
+        let slot = self.arm_slot();
         match &self.queue {
-            Some(q) => q.push(Job { req, slot: Arc::clone(&slot), answered: false }),
+            Some(q) => {
+                if let Err(mut job) =
+                    q.try_push(Job { req, slot: Arc::clone(&slot), answered: false })
+                {
+                    // Take the request back out of the bounced job (swap —
+                    // the `Drop` guard forbids destructuring), disarm the
+                    // guard (nobody is waiting on this slot), and park the
+                    // slot for the next submit.
+                    let req = std::mem::replace(
+                        &mut job.req,
+                        ScoreRequest { user: 0, history: Vec::new(), candidates: Vec::new() },
+                    );
+                    job.answered = true;
+                    drop(job);
+                    park_slot(&self.free, slot);
+                    return Err(ServeError::Overloaded {
+                        capacity: q.capacity(),
+                        req: Box::new(req),
+                    });
+                }
+            }
             // Unreachable while the engine is alive; keep `wait` total.
             None => slot.close(false),
         }
-        PendingResponse { slot, free: Arc::clone(&self.free) }
+        Ok(PendingResponse { slot: Some(slot), free: Arc::clone(&self.free) })
     }
 
-    /// Scores one request, blocking until the response is ready.
+    /// Blocking admission: like [`Engine::submit`], but parks the calling
+    /// thread while the queue is at capacity instead of shedding — natural
+    /// backpressure for batch producers that should slow down rather than
+    /// drop work.
+    pub fn submit_wait(&self, req: ScoreRequest) -> PendingResponse {
+        let slot = self.arm_slot();
+        match &self.queue {
+            Some(q) => q.push_wait(Job { req, slot: Arc::clone(&slot), answered: false }),
+            None => slot.close(false),
+        }
+        PendingResponse { slot: Some(slot), free: Arc::clone(&self.free) }
+    }
+
+    /// Scores one request, blocking until the response is ready (parking on
+    /// admission capacity if necessary).
     ///
     /// # Errors
     /// See [`PendingResponse::wait`].
     pub fn score(&self, req: ScoreRequest) -> Result<ScoreResponse, ServeError> {
-        self.submit(req).wait()
+        self.submit_wait(req).wait()
     }
 }
 
@@ -232,11 +367,13 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::score_request;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use seqfm_autograd::ParamStore;
     use seqfm_core::{FrozenSeqFm, SeqFm, SeqFmConfig};
     use seqfm_data::Batch;
+    use std::sync::Condvar;
 
     fn frozen_model(layout: &FeatureLayout) -> FrozenSeqFm {
         let mut ps = ParamStore::new();
@@ -246,12 +383,15 @@ mod tests {
         FrozenSeqFm::freeze(&model, &ps)
     }
 
+    fn engine_cfg(threads: usize, top_k: usize) -> EngineConfig {
+        EngineConfig { threads, max_seq: 6, top_k, ..Default::default() }
+    }
+
     #[test]
     fn engine_matches_direct_scoring_across_many_requests() {
         let layout = FeatureLayout { n_users: 8, n_items: 20 };
         let frozen = Arc::new(frozen_model(&layout));
-        let cfg = EngineConfig { threads: 3, max_seq: 6, top_k: 5 };
-        let engine = Engine::new(Arc::clone(&frozen), layout, cfg);
+        let engine = Engine::new(Arc::clone(&frozen), layout, engine_cfg(3, 5)).expect("valid cfg");
         assert_eq!(engine.threads(), 3);
 
         let requests: Vec<ScoreRequest> = (0..24)
@@ -262,9 +402,10 @@ mod tests {
             })
             .collect();
 
-        // Fan out everything first, then collect — exercises concurrency.
+        // Fan out everything first, then collect — exercises concurrency
+        // and (since several requests share a history) the coalescer.
         let pending: Vec<PendingResponse> =
-            requests.iter().map(|r| engine.submit(r.clone())).collect();
+            requests.iter().map(|r| engine.submit(r.clone()).expect("under capacity")).collect();
         let mut scratch = Scratch::new();
         for (req, p) in requests.iter().zip(pending) {
             let got = p.wait().expect("valid request");
@@ -277,11 +418,8 @@ mod tests {
     #[test]
     fn engine_reports_request_errors_not_panics() {
         let layout = FeatureLayout { n_users: 8, n_items: 20 };
-        let engine = Engine::new(
-            Arc::new(frozen_model(&layout)),
-            layout,
-            EngineConfig { threads: 1, max_seq: 6, top_k: 0 },
-        );
+        let engine =
+            Engine::new(Arc::new(frozen_model(&layout)), layout, engine_cfg(1, 0)).expect("valid");
         let bad = ScoreRequest { user: 99, history: vec![], candidates: vec![1] };
         assert_eq!(engine.score(bad), Err(ServeError::UnknownUser { user: 99, n_users: 8 }));
         // The worker survives a bad request.
@@ -309,11 +447,9 @@ mod tests {
     #[test]
     fn worker_panic_is_drained_into_the_error_and_worker_survives() {
         let layout = FeatureLayout { n_users: 8, n_items: 20 };
-        let engine = Engine::new(
-            Arc::new(Grenade(frozen_model(&layout))),
-            layout,
-            EngineConfig { threads: 1, max_seq: 6, top_k: 0 },
-        );
+        let engine =
+            Engine::new(Arc::new(Grenade(frozen_model(&layout))), layout, engine_cfg(1, 0))
+                .expect("valid");
         // 13 candidates → the scorer panics mid-request.
         let boom = ScoreRequest { user: 1, history: vec![2], candidates: (0..13).collect() };
         match engine.score(boom) {
@@ -330,11 +466,8 @@ mod tests {
     #[test]
     fn reply_slots_are_reused_across_sequential_requests() {
         let layout = FeatureLayout { n_users: 8, n_items: 20 };
-        let engine = Engine::new(
-            Arc::new(frozen_model(&layout)),
-            layout,
-            EngineConfig { threads: 2, max_seq: 6, top_k: 2 },
-        );
+        let engine =
+            Engine::new(Arc::new(frozen_model(&layout)), layout, engine_cfg(2, 2)).expect("valid");
         let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![2, 3, 4] };
         let first = engine.score(req.clone()).expect("valid");
         for _ in 0..50 {
@@ -346,29 +479,263 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "max_seq must be positive")]
-    fn zero_max_seq_fails_fast_at_construction() {
+    fn bad_configs_are_rejected_at_construction() {
         let layout = FeatureLayout { n_users: 4, n_items: 10 };
-        let _ = Engine::new(
-            Arc::new(frozen_model(&layout)),
-            layout,
-            EngineConfig { threads: 1, max_seq: 0, top_k: 0 },
+        let frozen = Arc::new(frozen_model(&layout));
+        for cfg in [
+            EngineConfig { max_seq: 0, ..Default::default() },
+            EngineConfig { queue_capacity: 0, ..Default::default() },
+            EngineConfig { coalesce_max: 0, ..Default::default() },
+        ] {
+            assert!(cfg.validate().is_err());
+            match Engine::new(Arc::clone(&frozen), layout, cfg) {
+                Err(ServeError::BadConfig { reason }) => {
+                    assert!(!reason.is_empty(), "BadConfig must explain itself");
+                }
+                other => panic!("expected BadConfig for {cfg:?}, got {:?}", other.map(|_| ())),
+            }
+        }
+        // The default configuration itself must of course be valid.
+        EngineConfig::default().validate().expect("default config valid");
+    }
+
+    /// Shared gate state: (worker entered, gate open).
+    type Gate = Arc<(Mutex<(bool, bool)>, Condvar)>;
+
+    /// A scorer whose first call parks until released — lets tests fill the
+    /// admission queue deterministically while the worker is busy.
+    struct Gated {
+        inner: FrozenSeqFm,
+        gate: Gate,
+    }
+
+    impl Gated {
+        fn new(inner: FrozenSeqFm) -> (Self, Gate) {
+            let gate = Arc::new((Mutex::new((false, false)), Condvar::new()));
+            (Gated { inner, gate: Arc::clone(&gate) }, gate)
+        }
+    }
+
+    /// Blocks until the gated worker has entered its first score call.
+    fn await_entered(gate: &Gate) {
+        let (lock, cv) = &**gate;
+        let mut st = lock.lock().unwrap();
+        while !st.0 {
+            st = cv.wait(st).unwrap();
+        }
+    }
+
+    /// Opens the gate, releasing the parked worker.
+    fn open_gate(gate: &Gate) {
+        let (lock, cv) = &**gate;
+        lock.lock().unwrap().1 = true;
+        cv.notify_all();
+    }
+
+    impl Scorer for Gated {
+        fn name(&self) -> &str {
+            "gated"
+        }
+
+        fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
+            let (lock, cv) = &*self.gate;
+            let mut st = lock.lock().unwrap();
+            st.0 = true;
+            cv.notify_all();
+            while !st.1 {
+                st = cv.wait(st).unwrap();
+            }
+            drop(st);
+            self.inner.score(batch, scratch)
+        }
+    }
+
+    #[test]
+    fn submit_sheds_load_with_overloaded_once_the_queue_is_full() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let (gated, gate) = Gated::new(frozen_model(&layout));
+        let cfg = EngineConfig { threads: 1, max_seq: 6, queue_capacity: 2, ..Default::default() };
+        let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
+        let req = |u: u32| ScoreRequest { user: u, history: vec![2], candidates: vec![1, 3] };
+
+        // The worker picks up the first request and parks inside the scorer,
+        // leaving the admission queue empty...
+        let blocker = engine.submit(req(0)).expect("queue empty");
+        await_entered(&gate);
+        // ...so exactly `queue_capacity` more are admitted...
+        let queued: Vec<_> =
+            (1..=2).map(|u| engine.submit(req(u)).expect("under capacity")).collect();
+        // ...and the next submit is shed with the explicit signal, handing
+        // the request back untouched.
+        match engine.submit(req(3)) {
+            Err(ServeError::Overloaded { capacity, req: shed }) => {
+                assert_eq!(capacity, 2);
+                assert_eq!(*shed, req(3), "shed request must come back intact");
+            }
+            other => panic!("expected Overloaded, got {:?}", other.map(|_| ())),
+        }
+        // Backpressure clears once the worker drains the backlog.
+        open_gate(&gate);
+        blocker.wait().expect("valid");
+        for p in queued {
+            p.wait().expect("valid");
+        }
+        engine.score(req(4)).expect("engine healthy after shedding");
+    }
+
+    #[test]
+    fn submit_wait_parks_on_capacity_instead_of_shedding() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let (gated, gate) = Gated::new(frozen_model(&layout));
+        let cfg = EngineConfig { threads: 1, max_seq: 6, queue_capacity: 1, ..Default::default() };
+        let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
+        let req = |u: u32| ScoreRequest { user: u, history: vec![2], candidates: vec![1, 3] };
+
+        let blocker = engine.submit(req(0)).expect("queue empty");
+        await_entered(&gate);
+        let filler = engine.submit(req(1)).expect("fills the queue");
+        assert!(matches!(engine.submit(req(2)), Err(ServeError::Overloaded { .. })));
+        // submit_wait must park (not shed) and complete once the gate opens.
+        std::thread::scope(|s| {
+            let parked = s.spawn(|| engine.submit_wait(req(3)).wait());
+            open_gate(&gate);
+            assert_eq!(parked.join().unwrap().expect("valid").ranked.len(), 2);
+        });
+        blocker.wait().expect("valid");
+        filler.wait().expect("valid");
+    }
+
+    #[test]
+    fn queued_requests_coalesce_and_match_serial_scoring_bit_for_bit() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let reference = frozen_model(&layout);
+        let (gated, gate) = Gated::new(frozen_model(&layout));
+        let cfg =
+            EngineConfig { threads: 1, max_seq: 6, top_k: 0, queue_capacity: 64, coalesce_max: 8 };
+        let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
+        // Park the worker, then pile up a mixed backlog: two share a
+        // (user, history), others don't — one wakeup drains and groups all.
+        let blocker = engine
+            .submit(ScoreRequest { user: 7, history: vec![1], candidates: vec![2] })
+            .expect("queue empty");
+        await_entered(&gate);
+        let backlog: Vec<ScoreRequest> = vec![
+            ScoreRequest { user: 1, history: vec![2, 5], candidates: vec![0, 3, 9] },
+            ScoreRequest { user: 1, history: vec![2, 5], candidates: vec![4] },
+            ScoreRequest { user: 2, history: vec![], candidates: vec![7, 8] },
+            ScoreRequest { user: 1, history: vec![5, 2], candidates: vec![0] },
+            ScoreRequest { user: 1, history: vec![2, 5], candidates: vec![11, 0] },
+        ];
+        let pending: Vec<_> =
+            backlog.iter().map(|r| engine.submit(r.clone()).expect("under capacity")).collect();
+        open_gate(&gate);
+        blocker.wait().expect("valid");
+        let mut scratch = Scratch::new();
+        for (req, p) in backlog.iter().zip(pending) {
+            let got = p.wait().expect("valid");
+            let want = score_request(&reference, &layout, 6, 0, req, &mut scratch).expect("valid");
+            assert_eq!(got.ranked.len(), want.ranked.len());
+            for (g, w) in got.ranked.iter().zip(&want.ranked) {
+                assert_eq!(g.item, w.item, "coalesced ranking diverges for {req:?}");
+                assert_eq!(
+                    g.score.to_bits(),
+                    w.score.to_bits(),
+                    "coalesced score not bit-identical for {req:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_pending_responses_recycle_their_slots() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let engine =
+            Engine::new(Arc::new(frozen_model(&layout)), layout, engine_cfg(1, 0)).expect("valid");
+        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![2, 3] };
+        // With one FIFO worker, waiting on a *later* request guarantees the
+        // earlier replies have been delivered into their slots.
+        let abandoned: Vec<PendingResponse> =
+            (0..4).map(|_| engine.submit(req.clone()).expect("under capacity")).collect();
+        engine.score(req.clone()).expect("valid");
+        // Pre-fix, only `wait()` parked slots back on the free list, so
+        // dropping these leaked all four slots permanently.
+        drop(abandoned);
+        assert_eq!(
+            engine.free.lock().unwrap().len(),
+            5,
+            "dropped pendings must return their slots to the free list"
+        );
+        // The recycled slots serve fresh requests correctly.
+        let want = engine.score(req.clone()).expect("valid");
+        for _ in 0..8 {
+            assert_eq!(engine.score(req.clone()).expect("valid"), want);
+        }
+        assert!(
+            engine.free.lock().unwrap().len() <= 5,
+            "steady state must reuse, not grow, the free list"
         );
     }
 
     #[test]
-    fn dropping_the_engine_joins_workers_cleanly() {
-        let layout = FeatureLayout { n_users: 4, n_items: 10 };
-        let engine = Engine::new(
-            Arc::new(frozen_model(&layout)),
-            layout,
-            EngineConfig { threads: 2, max_seq: 6, top_k: 1 },
-        );
-        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![2, 3] };
-        let _ = engine.score(req).expect("valid");
-        drop(engine); // must not hang or panic
+    fn overloaded_submits_do_not_leak_slots_either() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let (gated, gate) = Gated::new(frozen_model(&layout));
+        let cfg = EngineConfig { threads: 1, max_seq: 6, queue_capacity: 1, ..Default::default() };
+        let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
+        let req = |u: u32| ScoreRequest { user: u, history: vec![2], candidates: vec![1] };
+        let blocker = engine.submit(req(0)).expect("queue empty");
+        await_entered(&gate);
+        let filler = engine.submit(req(1)).expect("fills the queue");
+        for _ in 0..16 {
+            assert!(matches!(engine.submit(req(2)), Err(ServeError::Overloaded { .. })));
+        }
+        // All shed submits recycled their slot: at most one was allocated
+        // for the shed path, and it sits parked.
+        assert!(engine.free.lock().unwrap().len() <= 1);
+        open_gate(&gate);
+        blocker.wait().expect("valid");
+        filler.wait().expect("valid");
+    }
 
-        // In-flight work submitted before the drop is answered, not lost:
-        // covered implicitly — the queue drains before workers exit.
+    #[test]
+    fn dropping_the_engine_answers_in_flight_requests() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let (gated, gate) = Gated::new(frozen_model(&layout));
+        let cfg = EngineConfig { threads: 2, max_seq: 6, ..Default::default() };
+        let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
+        let req = |u: u32| ScoreRequest { user: u, history: vec![1], candidates: vec![2, 3] };
+        let blocker = engine.submit(req(0)).expect("queue empty");
+        await_entered(&gate);
+        // Queue a backlog behind the parked worker, then tear down while
+        // all of it is in flight.
+        let pending: Vec<_> =
+            (1..6).map(|u| engine.submit(req(u)).expect("under capacity")).collect();
+        open_gate(&gate);
+        drop(engine); // closes the queue; workers drain the backlog and exit
+        assert_eq!(blocker.wait().expect("answered").ranked.len(), 2);
+        for p in pending {
+            // Drain semantics: in-flight requests are answered, not dropped.
+            assert_eq!(p.wait().expect("answered on teardown").ranked.len(), 2);
+        }
+    }
+
+    #[test]
+    fn a_job_destroyed_unanswered_surfaces_shutdown_to_its_caller() {
+        // The ShutDown path end-to-end at the slot level: a queue destroyed
+        // with jobs still inside (e.g. torn down with dead workers) drops
+        // the jobs unanswered, and each waiting caller gets ShutDown — not
+        // a hang and not a phantom response.
+        let free: FreeList = Arc::new(Mutex::new(Vec::new()));
+        let slot: Slot = Arc::new(Oneshot::new());
+        let job = Job {
+            req: ScoreRequest { user: 0, history: vec![], candidates: vec![1] },
+            slot: Arc::clone(&slot),
+            answered: false,
+        };
+        let pending = PendingResponse { slot: Some(slot), free: Arc::clone(&free) };
+        drop(job); // queue destruction drops the job without a reply
+        assert_eq!(pending.wait(), Err(ServeError::ShutDown));
+        // The closed slot was parked again — ShutDown does not leak it.
+        assert_eq!(free.lock().unwrap().len(), 1);
     }
 }

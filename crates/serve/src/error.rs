@@ -1,5 +1,6 @@
 //! Serving-layer errors.
 
+use crate::request::ScoreRequest;
 use std::fmt;
 
 /// Why a score request could not be served.
@@ -20,6 +21,28 @@ pub enum ServeError {
         item: u32,
         /// Number of items the model was trained for.
         n_items: usize,
+    },
+    /// The engine (or a [`crate::score_requests`] caller) was configured
+    /// with an impossible parameter — e.g. `max_seq == 0`, which would
+    /// build zero-width dynamic blocks the attention kernels were never
+    /// trained for. Raised at construction so misconfiguration cannot
+    /// surface as scrambled scores on the first request.
+    BadConfig {
+        /// Human-readable description of the rejected parameter.
+        reason: String,
+    },
+    /// The engine's bounded admission queue is full — the non-blocking
+    /// [`Engine::submit`](crate::Engine::submit) backpressure signal. The
+    /// caller decides: shed the request, retry after a beat, or park on
+    /// capacity via [`Engine::submit_wait`](crate::Engine::submit_wait).
+    Overloaded {
+        /// The engine's admission-queue capacity
+        /// ([`EngineConfig::queue_capacity`](crate::EngineConfig)).
+        capacity: usize,
+        /// The shed request, handed back untouched (like
+        /// `std::sync::mpsc::TrySendError`) — retrying or falling back to
+        /// `submit_wait` costs nothing on the admitted path.
+        req: Box<ScoreRequest>,
     },
     /// The engine's workers are gone (the engine was dropped while the
     /// request was in flight).
@@ -42,6 +65,12 @@ impl fmt::Display for ServeError {
             }
             Self::UnknownItem { item, n_items } => {
                 write!(f, "unknown item {item} (model has {n_items} items)")
+            }
+            Self::BadConfig { reason } => {
+                write!(f, "invalid serving configuration: {reason}")
+            }
+            Self::Overloaded { capacity, .. } => {
+                write!(f, "admission queue full ({capacity} requests queued); request shed")
             }
             Self::ShutDown => write!(f, "scoring engine shut down"),
             Self::WorkerPanicked { message } => {

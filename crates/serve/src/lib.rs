@@ -15,13 +15,19 @@
 //! * [`expand_request`] — the candidate-expansion layer: one request becomes
 //!   one scoring [`Batch`](seqfm_data::Batch) in which every row shares the
 //!   user/history features and only the candidate column varies;
-//! * [`score_request`] — expansion + scoring + top-K ranking in one
-//!   synchronous call (what each engine worker runs);
-//! * [`Engine`] — a multi-threaded scoring engine: requests are submitted
-//!   round-robin onto per-worker sharded queues (idle workers steal, see
-//!   [`seqfm_parallel::WorkQueue`]), each worker owning a reusable
-//!   [`Scratch`](seqfm_core::Scratch) workspace and sharing one
-//!   `Arc<impl Scorer>`; replies ride reusable oneshot slots, so the
+//! * [`score_request`] — expansion + scoring + NaN-safe top-K ranking in one
+//!   synchronous call;
+//! * [`score_requests`] — the **coalesced** path: many requests scored at
+//!   once, with same-`(user, history)` requests grouped into one super-batch
+//!   so the frozen scorer's shared-history fast path fires *across*
+//!   requests (bit-identical to the serial path, per request);
+//! * [`Engine`] — a multi-threaded, batch-coalescing scoring engine with
+//!   **bounded admission**: the non-blocking [`Engine::submit`] sheds load
+//!   with [`ServeError::Overloaded`] once the queue is full (the signal an
+//!   async network front door turns into "retry later"), while
+//!   [`Engine::submit_wait`] parks on capacity. Each worker wakeup drains
+//!   up to `coalesce_max` queued requests and scores them as grouped
+//!   super-batches; replies ride reusable oneshot slots, so the
 //!   steady-state reply path allocates nothing.
 //!
 //! ## Example
@@ -32,7 +38,7 @@
 //! use seqfm_autograd::ParamStore;
 //! use seqfm_core::{FrozenSeqFm, SeqFm, SeqFmConfig};
 //! use seqfm_data::FeatureLayout;
-//! use seqfm_serve::{Engine, EngineConfig, ScoreRequest};
+//! use seqfm_serve::{Engine, EngineConfig, ScoreRequest, ServeError};
 //! use std::sync::Arc;
 //!
 //! let layout = FeatureLayout { n_users: 10, n_items: 20 };
@@ -41,17 +47,33 @@
 //! let cfg = SeqFmConfig { d: 8, max_seq: 5, ..Default::default() };
 //! let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
 //!
-//! // Freeze for serving, then stand up a 2-thread engine.
+//! // Freeze for serving, then stand up a 2-thread engine with a small
+//! // admission queue and coalescing enabled (the defaults).
 //! let frozen = Arc::new(FrozenSeqFm::freeze(&model, &ps));
 //! let engine = Engine::new(
 //!     frozen,
 //!     layout,
-//!     EngineConfig { threads: 2, max_seq: 5, top_k: 3 },
-//! );
+//!     EngineConfig { threads: 2, max_seq: 5, top_k: 3, ..Default::default() },
+//! )
+//! .expect("valid engine config");
 //! let resp = engine
 //!     .score(ScoreRequest { user: 3, history: vec![1, 4, 2], candidates: vec![7, 9, 11, 0] })
 //!     .expect("valid request");
 //! assert_eq!(resp.ranked.len(), 3); // top-3 of 4 candidates
+//!
+//! // The non-blocking front door either admits or sheds explicitly:
+//! match engine.submit(ScoreRequest { user: 1, history: vec![2], candidates: vec![5, 6] }) {
+//!     Ok(pending) => {
+//!         let resp = pending.wait().expect("valid request");
+//!         assert_eq!(resp.ranked.len(), 2);
+//!     }
+//!     Err(ServeError::Overloaded { capacity, req }) => {
+//!         // queue full — the request comes back untouched; shed it,
+//!         // retry later, or fall back to engine.submit_wait(*req)
+//!         let _ = (capacity, req);
+//!     }
+//!     Err(other) => panic!("unexpected: {other}"),
+//! }
 //! ```
 
 mod engine;
@@ -60,4 +82,6 @@ mod request;
 
 pub use engine::{Engine, EngineConfig, PendingResponse};
 pub use error::ServeError;
-pub use request::{expand_request, score_request, ScoreRequest, ScoreResponse, ScoredCandidate};
+pub use request::{
+    expand_request, score_request, score_requests, ScoreRequest, ScoreResponse, ScoredCandidate,
+};

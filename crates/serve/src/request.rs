@@ -1,4 +1,5 @@
-//! Typed score requests, candidate expansion, and top-K ranking.
+//! Typed score requests, candidate expansion, top-K ranking — and the
+//! coalesced multi-request scoring path the batching engine is built on.
 
 use crate::error::ServeError;
 use seqfm_core::{Scorer, Scratch};
@@ -29,7 +30,8 @@ pub struct ScoredCandidate {
 /// Candidates ranked by descending score, truncated to the engine's top-K.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScoreResponse {
-    /// Best-first candidates. Ties keep request order (stable sort).
+    /// Best-first candidates. Ties keep request order (stable sort); NaN
+    /// scores rank strictly last.
     pub ranked: Vec<ScoredCandidate>,
 }
 
@@ -40,12 +42,91 @@ impl ScoreResponse {
     }
 }
 
+/// Checks one request against the model's layout and window.
+///
+/// # Errors
+/// [`ServeError::BadConfig`] for `max_seq == 0` (a zero-width dynamic block
+/// the attention kernels were never trained for),
+/// [`ServeError::NoCandidates`], [`ServeError::UnknownUser`], or
+/// [`ServeError::UnknownItem`].
+fn validate_request(
+    req: &ScoreRequest,
+    layout: &FeatureLayout,
+    max_seq: usize,
+) -> Result<(), ServeError> {
+    if max_seq == 0 {
+        return Err(ServeError::BadConfig {
+            reason: "max_seq must be >= 1 (a zero-width dynamic block cannot be scored)".into(),
+        });
+    }
+    if req.candidates.is_empty() {
+        return Err(ServeError::NoCandidates);
+    }
+    if req.user as usize >= layout.n_users {
+        return Err(ServeError::UnknownUser { user: req.user, n_users: layout.n_users });
+    }
+    for &item in req.history.iter().chain(&req.candidates) {
+        if item as usize >= layout.n_items {
+            return Err(ServeError::UnknownItem { item, n_items: layout.n_items });
+        }
+    }
+    Ok(())
+}
+
+/// The window of `req.history` that actually enters the dynamic block: the
+/// most recent `max_seq` items. Two requests with equal effective histories
+/// expand to identical dynamic rows and can share one super-batch.
+fn effective_history(req: &ScoreRequest, max_seq: usize) -> &[u32] {
+    let take = req.history.len().min(max_seq);
+    &req.history[req.history.len() - take..]
+}
+
+/// Writes the candidate-expansion rows of `group` (indices into `reqs`,
+/// all sharing one effective history) into `batch`, reusing its buffers.
+/// Row layout is identical to [`expand_request`]'s: every row carries
+/// `[user, candidate]` static features and the shared left-padded history.
+fn expand_group_into(
+    reqs: &[&ScoreRequest],
+    group: &[usize],
+    layout: &FeatureLayout,
+    max_seq: usize,
+    batch: &mut Batch,
+) {
+    let hist = effective_history(reqs[group[0]], max_seq);
+    let total: usize = group.iter().map(|&i| reqs[i].candidates.len()).sum();
+    batch.len = total;
+    batch.n_static = 2;
+    batch.n_dynamic = max_seq;
+    batch.static_idx.clear();
+    batch.static_idx.reserve(total * 2);
+    for &i in group {
+        let req = reqs[i];
+        let user_feat = layout.user_feature(req.user);
+        for &cand in &req.candidates {
+            batch.static_idx.push(user_feat);
+            batch.static_idx.push(layout.item_feature(cand));
+        }
+    }
+    // The shared dynamic block: built once, then repeated per row with a
+    // buffer-internal copy (no scratch allocation).
+    batch.dyn_idx.clear();
+    batch.dyn_idx.reserve(total * max_seq);
+    batch.dyn_idx.resize(max_seq - hist.len(), PAD);
+    batch.dyn_idx.extend(hist.iter().map(|&it| it as i64));
+    for _ in 1..total {
+        batch.dyn_idx.extend_from_within(0..max_seq);
+    }
+    batch.targets.clear();
+    batch.targets.resize(total, 0.0);
+}
+
 /// The candidate-expansion layer: turns one request into a scoring batch of
 /// `candidates.len()` rows that all share the user and history features and
 /// differ only in the candidate column — the layout every caching/batching
 /// optimisation builds on.
 ///
 /// # Errors
+/// [`ServeError::BadConfig`] (for `max_seq == 0`),
 /// [`ServeError::NoCandidates`], [`ServeError::UnknownUser`], or
 /// [`ServeError::UnknownItem`] when the request does not fit the layout.
 pub fn expand_request(
@@ -53,54 +134,48 @@ pub fn expand_request(
     layout: &FeatureLayout,
     max_seq: usize,
 ) -> Result<Batch, ServeError> {
-    if req.candidates.is_empty() {
-        return Err(ServeError::NoCandidates);
-    }
-    if req.user as usize >= layout.n_users {
-        return Err(ServeError::UnknownUser { user: req.user, n_users: layout.n_users });
-    }
-    let check_item = |item: u32| {
-        if (item as usize) < layout.n_items {
-            Ok(())
-        } else {
-            Err(ServeError::UnknownItem { item, n_items: layout.n_items })
-        }
-    };
-    for &it in req.history.iter().chain(&req.candidates) {
-        check_item(it)?;
-    }
-
-    // The shared dynamic block: most recent `max_seq` items, left-padded —
-    // built once, reused for every candidate row.
-    let take = req.history.len().min(max_seq);
-    let recent = &req.history[req.history.len() - take..];
-    let mut dyn_row = vec![PAD; max_seq - take];
-    dyn_row.extend(recent.iter().map(|&it| it as i64));
-
-    let k = req.candidates.len();
-    let user_feat = layout.user_feature(req.user);
-    let mut static_idx = Vec::with_capacity(k * 2);
-    let mut dyn_idx = Vec::with_capacity(k * max_seq);
-    for &cand in &req.candidates {
-        static_idx.push(user_feat);
-        static_idx.push(layout.item_feature(cand));
-        dyn_idx.extend_from_slice(&dyn_row);
-    }
-    Ok(Batch {
-        len: k,
+    validate_request(req, layout, max_seq)?;
+    let mut batch = Batch {
+        len: 0,
         n_static: 2,
         n_dynamic: max_seq,
-        static_idx,
-        dyn_idx,
-        targets: vec![0.0; k],
-    })
+        static_idx: Vec::new(),
+        dyn_idx: Vec::new(),
+        targets: Vec::new(),
+    };
+    expand_group_into(&[req], &[0], layout, max_seq, &mut batch);
+    Ok(batch)
+}
+
+/// Ranks `candidates` by descending score. The sort is total
+/// (`f32::total_cmp`) with NaN logits pinned strictly last, so a numerical
+/// blow-up in one candidate's score cannot scramble the rest of the
+/// ranking — and the result is deterministic for any input. Ties keep
+/// request order (stable sort). `top_k == 0` keeps everything.
+fn rank_candidates(candidates: &[u32], scores: &[f32], top_k: usize) -> Vec<ScoredCandidate> {
+    let mut ranked: Vec<ScoredCandidate> = candidates
+        .iter()
+        .zip(scores)
+        .map(|(&item, &score)| ScoredCandidate { item, score })
+        .collect();
+    ranked.sort_by(|a, b| match (a.score.is_nan(), b.score.is_nan()) {
+        (false, false) => b.score.total_cmp(&a.score),
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+    });
+    if top_k > 0 {
+        ranked.truncate(top_k);
+    }
+    ranked
 }
 
 /// Serves one request synchronously: expand, score, rank, truncate.
 ///
-/// `top_k == 0` returns every candidate ranked. This is exactly what each
-/// [`Engine`](crate::Engine) worker runs per request; calling it directly
-/// (with a caller-owned [`Scratch`]) is the single-threaded serving path.
+/// `top_k == 0` returns every candidate ranked. Calling it directly (with a
+/// caller-owned [`Scratch`]) is the single-threaded serving path; the
+/// [`Engine`](crate::Engine) workers run the coalesced sibling
+/// [`score_requests`], which is bit-identical per request.
 ///
 /// # Errors
 /// See [`expand_request`].
@@ -114,17 +189,79 @@ pub fn score_request<S: Scorer + ?Sized>(
 ) -> Result<ScoreResponse, ServeError> {
     let batch = expand_request(req, layout, max_seq)?;
     let scores = scorer.score(&batch, scratch);
-    let mut ranked: Vec<ScoredCandidate> = req
-        .candidates
-        .iter()
-        .zip(scores)
-        .map(|(&item, &score)| ScoredCandidate { item, score })
-        .collect();
-    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
-    if top_k > 0 {
-        ranked.truncate(top_k);
+    Ok(ScoreResponse { ranked: rank_candidates(&req.candidates, scores, top_k) })
+}
+
+/// Serves many requests as coalesced super-batches: requests with the same
+/// `(user, effective history)` are grouped and scored through **one** batch
+/// whose rows all share the dynamic block — exactly the candidate-expansion
+/// shape the frozen scorer's shared-history fast path accelerates, now
+/// firing *across* requests instead of only within one.
+///
+/// Grouping is by first occurrence, scores are split back per request, and
+/// each response is ranked exactly like [`score_request`] — per-request
+/// results are **bit-identical** to the serial path (per-row arithmetic is
+/// untouched; the fast path's reuse is itself bit-exact). Invalid requests
+/// get their own [`ServeError`] without poisoning the rest. The returned
+/// vector is index-aligned with `reqs`.
+///
+/// Scoring goes through [`Scorer::score_into`] with one reused expansion
+/// batch and score accumulator, so a warm caller performs no per-group
+/// allocation.
+pub fn score_requests<S: Scorer + ?Sized>(
+    scorer: &S,
+    layout: &FeatureLayout,
+    max_seq: usize,
+    top_k: usize,
+    reqs: &[&ScoreRequest],
+    scratch: &mut Scratch,
+) -> Vec<Result<ScoreResponse, ServeError>> {
+    let mut out: Vec<Option<Result<ScoreResponse, ServeError>>> = vec![None; reqs.len()];
+    // Group valid requests by (user, effective history), preserving first-
+    // occurrence order. Linear key search: coalesced batches are small
+    // (`coalesce_max`), so a hash map would cost more than it saves.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        if let Err(e) = validate_request(req, layout, max_seq) {
+            out[i] = Some(Err(e));
+            continue;
+        }
+        match groups.iter_mut().find(|g| {
+            let head = reqs[g[0]];
+            head.user == req.user
+                && effective_history(head, max_seq) == effective_history(req, max_seq)
+        }) {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
     }
-    Ok(ScoreResponse { ranked })
+
+    // One reusable expansion batch + score accumulator across all groups.
+    let mut batch = Batch {
+        len: 0,
+        n_static: 2,
+        n_dynamic: max_seq,
+        static_idx: Vec::new(),
+        dyn_idx: Vec::new(),
+        targets: Vec::new(),
+    };
+    let mut scores: Vec<f32> = Vec::new();
+    for group in &groups {
+        expand_group_into(reqs, group, layout, max_seq, &mut batch);
+        scores.clear();
+        scorer.score_into(&batch, scratch, &mut scores);
+        let mut offset = 0usize;
+        for &i in group {
+            let k = reqs[i].candidates.len();
+            out[i] = Some(Ok(ScoreResponse {
+                ranked: rank_candidates(&reqs[i].candidates, &scores[offset..offset + k], top_k),
+            }));
+            offset += k;
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every request is either rejected by validation or scored in a group"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -137,6 +274,14 @@ mod tests {
 
     fn layout() -> FeatureLayout {
         FeatureLayout { n_users: 4, n_items: 12 }
+    }
+
+    fn frozen(seed: u64) -> FrozenSeqFm {
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SeqFmConfig { d: 8, max_seq: 5, ..Default::default() };
+        let model = SeqFm::new(&mut ps, &mut rng, &layout(), cfg);
+        FrozenSeqFm::freeze(&model, &ps)
     }
 
     #[test]
@@ -193,13 +338,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_max_seq_is_a_config_error_not_a_zero_width_batch() {
+        let l = layout();
+        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![2] };
+        // Pre-fix, this built a Batch with n_dynamic == 0 and let the
+        // attention kernels run on a shape the model was never trained for.
+        let err = expand_request(&req, &l, 0).expect_err("must reject");
+        assert!(matches!(err, ServeError::BadConfig { .. }), "got {err:?}");
+        let mut scratch = Scratch::new();
+        let err = score_request(&frozen(3), &l, 0, 0, &req, &mut scratch).expect_err("must reject");
+        assert!(matches!(err, ServeError::BadConfig { .. }));
+        let got = score_requests(&frozen(3), &l, 0, 0, &[&req], &mut scratch);
+        assert!(matches!(&got[0], Err(ServeError::BadConfig { .. })));
+    }
+
+    #[test]
     fn ranking_is_descending_and_top_k_truncates() {
         let l = layout();
-        let mut ps = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(11);
-        let cfg = SeqFmConfig { d: 8, max_seq: 5, ..Default::default() };
-        let model = SeqFm::new(&mut ps, &mut rng, &l, cfg);
-        let frozen = FrozenSeqFm::freeze(&model, &ps);
+        let frozen = frozen(11);
         let mut scratch = Scratch::new();
         let req = ScoreRequest { user: 1, history: vec![2, 8], candidates: (0..12).collect() };
         let all = score_request(&frozen, &l, 5, 0, &req, &mut scratch).expect("valid");
@@ -211,5 +367,128 @@ mod tests {
         assert_eq!(top3.ranked.len(), 3);
         assert_eq!(top3.ranked, all.ranked[..3].to_vec());
         assert_eq!(all.best().unwrap().item, all.ranked[0].item);
+    }
+
+    /// Stub scorer returning preset scores (NaN-injection regression rig).
+    struct Preset(Vec<f32>);
+
+    impl Scorer for Preset {
+        fn name(&self) -> &str {
+            "preset"
+        }
+
+        fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
+            scratch.publish_scores(&self.0[..batch.len])
+        }
+    }
+
+    #[test]
+    fn nan_scores_rank_last_and_deterministically() {
+        let l = layout();
+        let stub = Preset(vec![1.0, f32::NAN, 0.5, f32::NAN, 2.0]);
+        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![10, 11, 2, 3, 4] };
+        let mut scratch = Scratch::new();
+        let first = score_request(&stub, &l, 5, 0, &req, &mut scratch).expect("valid");
+        // Finite scores descending, then the NaN-scored candidates in
+        // request order — never interleaved into the ranking.
+        let items: Vec<u32> = first.ranked.iter().map(|c| c.item).collect();
+        assert_eq!(items, vec![4, 10, 2, 11, 3]);
+        assert!(first.ranked[3].score.is_nan() && first.ranked[4].score.is_nan());
+        // Pre-fix, `partial_cmp(..).unwrap_or(Equal)` made NaN compare Equal
+        // to everything and the result depended on sort internals. Now every
+        // rerun must agree.
+        for _ in 0..20 {
+            let again = score_request(&stub, &l, 5, 0, &req, &mut scratch).expect("valid");
+            let again_items: Vec<u32> = again.ranked.iter().map(|c| c.item).collect();
+            assert_eq!(again_items, items, "NaN ranking must be deterministic");
+        }
+        // top_k truncation happens after NaN demotion: NaNs can't crowd out
+        // finite scores.
+        let top3 = score_request(&stub, &l, 5, 3, &req, &mut scratch).expect("valid");
+        let top3_items: Vec<u32> = top3.ranked.iter().map(|c| c.item).collect();
+        assert_eq!(top3_items, vec![4, 10, 2]);
+    }
+
+    #[test]
+    fn coalesced_scoring_is_bit_identical_to_serial_per_request() {
+        let l = layout();
+        let model = frozen(21);
+        // A deliberately messy mix: shared (user, history) pairs, a history
+        // equal only after truncation, different candidate counts, a cold
+        // start, and two invalid requests in the middle.
+        let reqs = [
+            ScoreRequest { user: 1, history: vec![2, 8, 3], candidates: vec![0, 5, 7] },
+            ScoreRequest { user: 0, history: vec![], candidates: vec![1] },
+            ScoreRequest { user: 1, history: vec![2, 8, 3], candidates: vec![9] },
+            ScoreRequest { user: 9, history: vec![], candidates: vec![1] }, // unknown user
+            // Truncation-equivalent to the user-1 history above (max_seq 3).
+            ScoreRequest { user: 1, history: vec![11, 2, 8, 3], candidates: vec![4, 4, 6] },
+            ScoreRequest { user: 2, history: vec![2, 8, 3], candidates: vec![0, 5] },
+            ScoreRequest { user: 1, history: vec![3, 2], candidates: vec![] }, // no candidates
+            ScoreRequest { user: 3, history: vec![1, 1, 1], candidates: (0..12).collect() },
+        ];
+        let refs: Vec<&ScoreRequest> = reqs.iter().collect();
+        for (max_seq, top_k) in [(3usize, 0usize), (3, 2), (5, 4)] {
+            let mut scratch = Scratch::new();
+            let coalesced = score_requests(&model, &l, max_seq, top_k, &refs, &mut scratch);
+            assert_eq!(coalesced.len(), reqs.len());
+            let mut serial_scratch = Scratch::new();
+            for (i, req) in reqs.iter().enumerate() {
+                let serial = score_request(&model, &l, max_seq, top_k, req, &mut serial_scratch);
+                match (&coalesced[i], &serial) {
+                    (Ok(c), Ok(s)) => {
+                        assert_eq!(c.ranked.len(), s.ranked.len(), "request {i}");
+                        for (cc, sc) in c.ranked.iter().zip(&s.ranked) {
+                            assert_eq!(cc.item, sc.item, "request {i}: item order diverges");
+                            assert_eq!(
+                                cc.score.to_bits(),
+                                sc.score.to_bits(),
+                                "request {i}: score not bit-identical ({} vs {})",
+                                cc.score,
+                                sc.score
+                            );
+                        }
+                    }
+                    (c, s) => assert_eq!(c, s, "request {i}: error mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_groups_form_by_user_and_effective_history() {
+        // Observable through a counting scorer: each group is one score
+        // call with all member candidates in one batch.
+        use std::cell::Cell;
+        struct Counting {
+            calls: Cell<usize>,
+            rows: Cell<usize>,
+        }
+        impl Scorer for Counting {
+            fn name(&self) -> &str {
+                "counting"
+            }
+            fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
+                self.calls.set(self.calls.get() + 1);
+                self.rows.set(self.rows.get() + batch.len);
+                scratch.publish_scores(&vec![0.0; batch.len])
+            }
+        }
+        let l = layout();
+        let reqs = [
+            ScoreRequest { user: 1, history: vec![2, 8], candidates: vec![0, 5] },
+            ScoreRequest { user: 1, history: vec![2, 8], candidates: vec![7] },
+            ScoreRequest { user: 2, history: vec![2, 8], candidates: vec![1] }, // other user
+            ScoreRequest { user: 1, history: vec![8, 2], candidates: vec![1] }, // other order
+            ScoreRequest { user: 1, history: vec![2, 8], candidates: vec![3] },
+        ];
+        let refs: Vec<&ScoreRequest> = reqs.iter().collect();
+        let counter = Counting { calls: Cell::new(0), rows: Cell::new(0) };
+        let mut scratch = Scratch::new();
+        let out = score_requests(&counter, &l, 5, 0, &refs, &mut scratch);
+        assert!(out.iter().all(Result::is_ok));
+        // Three groups: {0, 1, 4} (same user+history), {2}, {3}.
+        assert_eq!(counter.calls.get(), 3, "expected 3 coalesced groups");
+        assert_eq!(counter.rows.get(), 6, "all candidate rows scored exactly once");
     }
 }
