@@ -3,14 +3,25 @@
 //! A [`Graph`] is a tape: every operation executes eagerly, appends a node
 //! holding its output value, and returns a [`Var`] handle. Calling
 //! [`Graph::backward`] replays the tape in reverse, accumulating parameter
-//! gradients into a [`ParamStore`]. A fresh graph is built per mini-batch —
-//! node construction is cheap and values are exactly the activations needed
-//! by the backward pass.
+//! gradients into a [`ParamStore`].
+//!
+//! ## Pooled tape buffers
+//!
+//! Node values (and the backward pass's gradient temporaries) live in
+//! buffers drawn from the graph's own [`Workspace`] pool instead of fresh
+//! heap allocations. [`Graph::reset`] clears the tape and recycles every
+//! buffer, so a training loop that reuses one `Graph` across mini-batches —
+//! or a serving adapter that reuses one across requests — builds each new
+//! tape without touching the global allocator once the pool has warmed to
+//! the batch shape. Dropping the graph simply frees the pool.
 
 use crate::op::{LnCache, Op};
 use crate::store::{ParamId, ParamStore};
 use rand::Rng;
-use seqfm_tensor::{bmm_nn, bmm_nt, ew, matmul_nn, matmul_nt, reduce, AttnMask, Shape, Tensor};
+use seqfm_tensor::{
+    bmm_nn_into, bmm_nt_into, kernels::matmul::matmul_nn_into, reduce, softmax_rows_into, AttnMask,
+    Shape, Tensor, Workspace,
+};
 use std::sync::Arc;
 
 /// Handle to a node in a [`Graph`].
@@ -27,6 +38,14 @@ pub(crate) struct Node {
 #[derive(Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
+    /// Buffer pool backing node values and backward temporaries; `&self`
+    /// interior mutability so the backward sweep (which borrows the tape
+    /// immutably) can recycle through it too.
+    pub(crate) ws: Workspace,
+    /// Reused gradient-slot table of the backward sweep (one entry per
+    /// node); kept across calls so backward itself allocates nothing once
+    /// its capacity has grown to the tape length.
+    pub(crate) grads: std::cell::RefCell<Vec<Option<Tensor>>>,
 }
 
 impl Graph {
@@ -37,7 +56,48 @@ impl Graph {
 
     /// Tape with preallocated node capacity (hot training loops).
     pub fn with_capacity(n: usize) -> Self {
-        Graph { nodes: Vec::with_capacity(n) }
+        Graph { nodes: Vec::with_capacity(n), ..Default::default() }
+    }
+
+    /// Clears the tape and recycles every node's buffer into the graph's
+    /// workspace pool, ready for the next forward pass. A loop that calls
+    /// `reset` between mini-batches (or serving requests) rebuilds its tape
+    /// with **zero heap allocations** once the pool is warm — the pooled
+    /// successor of building a fresh `Graph` per batch.
+    pub fn reset(&mut self) {
+        // Reverse node order: the pool pops LIFO, so the next forward pass's
+        // i-th allocation receives exactly the buffer the previous pass's
+        // i-th node held — identity reuse, no capacity churn between
+        // differently-sized slots.
+        for node in self.nodes.drain(..).rev() {
+            match node.op {
+                // Input buffers were allocated by the caller (batch
+                // construction), not the pool: absorbing one per op per
+                // cycle would grow the pool without bound and keep
+                // shuffling odd-sized buffers into the hot take sequence.
+                Op::Input => drop(node.value),
+                // Recycle the op payloads that own real buffers, too.
+                Op::LayerNorm { cache, .. } => {
+                    self.ws.put_vec(node.value.into_vec());
+                    self.ws.put_vec(cache.mean);
+                    self.ws.put_vec(cache.rstd);
+                }
+                Op::Dropout { mask, .. } => {
+                    self.ws.put_vec(node.value.into_vec());
+                    if let Ok(mask) = Arc::try_unwrap(mask) {
+                        self.ws.put_vec(mask);
+                    }
+                }
+                _ => self.ws.put_vec(node.value.into_vec()),
+            }
+        }
+    }
+
+    /// The graph's buffer pool — exposed so callers can observe warm-state
+    /// allocation behaviour (`heap_events`) or release memory (`reset`
+    /// on the workspace itself frees parked buffers).
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
     }
 
     /// Number of nodes recorded so far.
@@ -74,6 +134,28 @@ impl Graph {
         self.nodes[v.0].needs_grad
     }
 
+    // --- pooled buffers -----------------------------------------------------
+
+    /// Zero-filled pooled tensor (the tape's `Tensor::zeros`).
+    pub(crate) fn pooled_zeros(&self, shape: Shape) -> Tensor {
+        Tensor::from_vec(shape, self.ws.take_vec(shape.numel()))
+    }
+
+    /// Pooled copy of `src` (the tape's `Tensor::clone`).
+    pub(crate) fn pooled_copy(&self, src: &Tensor) -> Tensor {
+        Tensor::from_vec(src.shape(), self.ws.take_vec_copy(src.data()))
+    }
+
+    /// Pooled copy of `src` under a different shape (reshape-with-copy).
+    pub(crate) fn pooled_copy_shaped(&self, src: &[f32], shape: Shape) -> Tensor {
+        Tensor::from_vec(shape, self.ws.take_vec_copy(src))
+    }
+
+    /// Returns a pooled tensor's buffer to the pool (backward temporaries).
+    pub(crate) fn recycle(&self, t: Tensor) {
+        self.ws.put_vec(t.into_vec());
+    }
+
     // --- leaves -------------------------------------------------------------
 
     /// Records a constant input (no gradient).
@@ -81,9 +163,11 @@ impl Graph {
         self.push(t, Op::Input, false)
     }
 
-    /// Records a parameter leaf by copying its current value from the store.
+    /// Records a parameter leaf by copying its current value from the store
+    /// (into a pooled buffer — parameters are the largest per-tape copies).
     pub fn param(&mut self, ps: &ParamStore, id: ParamId) -> Var {
-        self.push(ps.value(id).clone(), Op::Param(id), true)
+        let v = self.pooled_copy(ps.value(id));
+        self.push(v, Op::Param(id), true)
     }
 
     /// Embedding lookup: gathers rows of the (sparse) parameter `table` into
@@ -104,7 +188,7 @@ impl Graph {
         assert_eq!(idx.len(), b * n, "gather: idx len {} != {}x{}", idx.len(), b, n);
         let tbl = ps.value(table);
         let (rows, d) = (tbl.shape().dim(0), tbl.shape().dim(1));
-        let mut out = Tensor::zeros(Shape::d3(b, n, d));
+        let mut out = self.pooled_zeros(Shape::d3(b, n, d));
         for (slot, &i) in idx.iter().enumerate() {
             if i < 0 {
                 continue;
@@ -119,86 +203,109 @@ impl Graph {
 
     // --- elementwise --------------------------------------------------------
 
+    /// Pooled copy of `a`'s value transformed elementwise in place — the
+    /// tape's `map` (per-element arithmetic identical to mapping).
+    fn unary(&mut self, x: Var, f: impl Fn(f32) -> f32, op: Op) -> Var {
+        let mut v = self.pooled_copy(self.value(x));
+        for o in v.data_mut() {
+            *o = f(*o);
+        }
+        let g = self.ng(x);
+        self.push(v, op, g)
+    }
+
+    /// Pooled copy of `a`'s value combined elementwise with `b`'s — the
+    /// tape's `zip` (`f(a_i, b_i)` exactly, evaluated left-to-right).
+    fn binary(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32, op: Op) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert!(
+            av.shape().same(&bv.shape()),
+            "elementwise shape mismatch: {} vs {}",
+            av.shape(),
+            bv.shape()
+        );
+        let mut v = self.pooled_copy(av);
+        let bv = self.value(b);
+        for (o, &y) in v.data_mut().iter_mut().zip(bv.data()) {
+            *o = f(*o, y);
+        }
+        let g = self.ng(a) || self.ng(b);
+        self.push(v, op, g)
+    }
+
     /// `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = ew::add(self.value(a), self.value(b));
-        let g = self.ng(a) || self.ng(b);
-        self.push(v, Op::Add(a, b), g)
+        self.binary(a, b, |x, y| x + y, Op::Add(a, b))
     }
 
     /// `a - b` (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = ew::sub(self.value(a), self.value(b));
-        let g = self.ng(a) || self.ng(b);
-        self.push(v, Op::Sub(a, b), g)
+        self.binary(a, b, |x, y| x - y, Op::Sub(a, b))
     }
 
     /// `a ⊙ b` (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = ew::mul(self.value(a), self.value(b));
-        let g = self.ng(a) || self.ng(b);
-        self.push(v, Op::Mul(a, b), g)
+        self.binary(a, b, |x, y| x * y, Op::Mul(a, b))
     }
 
     /// `-x`.
     pub fn neg(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|v| -v);
-        let g = self.ng(x);
-        self.push(v, Op::Neg(x), g)
+        self.unary(x, |v| -v, Op::Neg(x))
     }
 
     /// `s · x`.
     pub fn scale(&mut self, x: Var, s: f32) -> Var {
-        let v = ew::scale(self.value(x), s);
-        let g = self.ng(x);
-        self.push(v, Op::Scale(x, s), g)
+        self.unary(x, |v| v * s, Op::Scale(x, s))
     }
 
     /// `x + c` elementwise with a constant.
     pub fn add_scalar(&mut self, x: Var, c: f32) -> Var {
-        let v = self.value(x).map(|v| v + c);
-        let g = self.ng(x);
-        self.push(v, Op::AddScalar(x), g)
+        self.unary(x, |v| v + c, Op::AddScalar(x))
     }
 
     /// `x²` elementwise.
     pub fn square(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|v| v * v);
-        let g = self.ng(x);
-        self.push(v, Op::Square(x), g)
+        self.unary(x, |v| v * v, Op::Square(x))
     }
 
     /// ReLU.
     pub fn relu(&mut self, x: Var) -> Var {
-        let v = ew::relu(self.value(x));
-        let g = self.ng(x);
-        self.push(v, Op::Relu(x), g)
+        self.unary(x, |v| v.max(0.0), Op::Relu(x))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let v = ew::sigmoid(self.value(x));
-        let g = self.ng(x);
-        self.push(v, Op::Sigmoid(x), g)
+        self.unary(x, seqfm_tensor::ew::sigmoid_scalar, Op::Sigmoid(x))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(|v| v.tanh());
-        let g = self.ng(x);
-        self.push(v, Op::Tanh(x), g)
+        self.unary(x, |v| v.tanh(), Op::Tanh(x))
     }
 
     /// Numerically-stable softplus `ln(1+eˣ)`.
     pub fn softplus(&mut self, x: Var) -> Var {
-        let v = self.value(x).map(ew::softplus_scalar);
-        let g = self.ng(x);
-        self.push(v, Op::Softplus(x), g)
+        self.unary(x, seqfm_tensor::ew::softplus_scalar, Op::Softplus(x))
     }
 
     /// `x + bias` (bias rank-1, broadcast over rows).
     pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
-        let v = ew::add_bias(self.value(x), self.value(b));
+        let (xv, bv) = (self.value(x), self.value(b));
+        assert_eq!(bv.shape().rank(), 1, "bias must be rank 1, got {}", bv.shape());
+        let d = bv.numel();
+        assert_eq!(
+            xv.shape().last_dim(),
+            d,
+            "bias dim {d} does not match last dim of {}",
+            xv.shape()
+        );
+        let mut v = self.pooled_copy(xv);
+        let bv = self.value(b);
+        for row in v.data_mut().chunks_exact_mut(d) {
+            for (o, &bias) in row.iter_mut().zip(bv.data()) {
+                *o += bias;
+            }
+        }
         let g = self.ng(x) || self.ng(b);
         self.push(v, Op::AddBias { x, b }, g)
     }
@@ -207,30 +314,56 @@ impl Graph {
 
     /// `A[m,k]·B[k,n]`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = matmul_nn(self.value(a), self.value(b));
+        let (av, bv) = (self.value(a), self.value(b));
+        let (m, k) = dims2(av, "matmul lhs");
+        let (k2, n) = dims2(bv, "matmul rhs");
+        assert_eq!(k, k2, "matmul inner dim mismatch: {} vs {}", av.shape(), bv.shape());
+        let mut out = self.pooled_zeros(Shape::d2(m, n));
+        let (av, bv) = (self.value(a), self.value(b));
+        seqfm_tensor::matmul_nn_into(av.data(), bv.data(), out.data_mut(), m, k, n);
         let g = self.ng(a) || self.ng(b);
-        self.push(v, Op::Matmul(a, b), g)
+        self.push(out, Op::Matmul(a, b), g)
     }
 
     /// `A[m,k]·B[n,k]ᵀ`.
     pub fn matmul_nt(&mut self, a: Var, b: Var) -> Var {
-        let v = matmul_nt(self.value(a), self.value(b));
+        let (av, bv) = (self.value(a), self.value(b));
+        let (m, k) = dims2(av, "matmul_nt lhs");
+        let (n, k2) = dims2(bv, "matmul_nt rhs");
+        assert_eq!(k, k2, "matmul_nt inner dim mismatch: {} vs {}", av.shape(), bv.shape());
+        let mut out = self.pooled_zeros(Shape::d2(m, n));
+        let (av, bv) = (self.value(a), self.value(b));
+        seqfm_tensor::matmul_nt_into(av.data(), bv.data(), out.data_mut(), m, k, n);
         let g = self.ng(a) || self.ng(b);
-        self.push(v, Op::MatmulNT(a, b), g)
+        self.push(out, Op::MatmulNT(a, b), g)
     }
 
     /// Batched `A[b,m,k]·B[b,k,n]`.
     pub fn bmm(&mut self, a: Var, b: Var) -> Var {
-        let v = bmm_nn(self.value(a), self.value(b));
+        let (av, bv) = (self.value(a), self.value(b));
+        let (bs, m, k) = dims3(av, "bmm lhs");
+        let (bs2, k2, n) = dims3(bv, "bmm rhs");
+        assert_eq!(bs, bs2, "bmm batch mismatch: {} vs {}", av.shape(), bv.shape());
+        assert_eq!(k, k2, "bmm inner dim mismatch: {} vs {}", av.shape(), bv.shape());
+        let mut out = self.pooled_zeros(Shape::d3(bs, m, n));
+        let (av, bv) = (self.value(a), self.value(b));
+        bmm_nn_into(av.data(), bv.data(), out.data_mut(), bs, m, k, n);
         let g = self.ng(a) || self.ng(b);
-        self.push(v, Op::Bmm(a, b), g)
+        self.push(out, Op::Bmm(a, b), g)
     }
 
     /// Batched `A[b,m,k]·B[b,n,k]ᵀ` (`Q·Kᵀ`).
     pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
-        let v = bmm_nt(self.value(a), self.value(b));
+        let (av, bv) = (self.value(a), self.value(b));
+        let (bs, m, k) = dims3(av, "bmm_nt lhs");
+        let (bs2, n, k2) = dims3(bv, "bmm_nt rhs");
+        assert_eq!(bs, bs2, "bmm_nt batch mismatch: {} vs {}", av.shape(), bv.shape());
+        assert_eq!(k, k2, "bmm_nt inner dim mismatch: {} vs {}", av.shape(), bv.shape());
+        let mut out = self.pooled_zeros(Shape::d3(bs, m, n));
+        let (av, bv) = (self.value(a), self.value(b));
+        bmm_nt_into(av.data(), bv.data(), out.data_mut(), bs, m, k, n);
         let g = self.ng(a) || self.ng(b);
-        self.push(v, Op::BmmNT(a, b), g)
+        self.push(out, Op::BmmNT(a, b), g)
     }
 
     /// Left-broadcast matmul `W[p,q]·X[b,q,d] → [b,p,d]`.
@@ -244,9 +377,10 @@ impl Graph {
         let (p, q) = (wv.shape().dim(0), wv.shape().dim(1));
         let (b, q2, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
         assert_eq!(q, q2, "lmatmul inner dim mismatch: {} vs {}", wv.shape(), xv.shape());
-        let mut out = Tensor::zeros(Shape::d3(b, p, d));
+        let mut out = self.pooled_zeros(Shape::d3(b, p, d));
+        let (wv, xv) = (self.value(w), self.value(x));
         for bi in 0..b {
-            seqfm_tensor::kernels::matmul::matmul_nn_into(
+            matmul_nn_into(
                 wv.data(),
                 &xv.data()[bi * q * d..(bi + 1) * q * d],
                 &mut out.data_mut()[bi * p * d..(bi + 1) * p * d],
@@ -272,26 +406,49 @@ impl Graph {
             av.shape(),
             bv.shape()
         );
-        let prod = ew::mul(av, bv);
-        let v = reduce::sum_lastdim(&prod);
+        let (b_rows, d) = (av.shape().dim(0), av.shape().dim(1));
+        let mut out = self.pooled_zeros(Shape::d1(b_rows));
+        let (av, bv) = (self.value(a), self.value(b));
+        for ((o, arow), brow) in
+            out.data_mut().iter_mut().zip(av.data().chunks_exact(d)).zip(bv.data().chunks_exact(d))
+        {
+            // Same accumulation order as the historical mul → sum_lastdim
+            // pair: products left to right, folded from 0.
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
         let g = self.ng(a) || self.ng(b);
-        self.push(v, Op::RowDot(a, b), g)
+        self.push(out, Op::RowDot(a, b), g)
     }
 
     // --- attention / normalisation / regularisation --------------------------
 
     /// Softmax over the last dim.
     pub fn softmax(&mut self, x: Var) -> Var {
-        let v = seqfm_tensor::softmax_lastdim(self.value(x));
-        let g = self.ng(x);
-        self.push(v, Op::Softmax { x }, g)
+        self.softmax_impl(x, None)
     }
 
     /// Masked softmax over the last dim; the mask is shared across the batch.
     pub fn softmax_masked(&mut self, x: Var, mask: Arc<AttnMask>) -> Var {
-        let v = seqfm_tensor::softmax_lastdim_masked(self.value(x), &mask);
+        self.softmax_impl(x, Some(&mask))
+    }
+
+    fn softmax_impl(&mut self, x: Var, mask: Option<&AttnMask>) -> Var {
+        let xv = self.value(x);
+        let m = xv.shape().last_dim();
+        let rows_per_slice = match xv.shape().rank() {
+            2 => xv.shape().dim(0),
+            3 => xv.shape().dim(1),
+            r => panic!("softmax expects rank 2 or 3, got rank {r} ({})", xv.shape()),
+        };
+        let mut out = self.pooled_zeros(xv.shape());
+        let xv = self.value(x);
+        softmax_rows_into(xv.data(), m, rows_per_slice, mask, out.data_mut());
         let g = self.ng(x);
-        self.push(v, Op::Softmax { x }, g)
+        self.push(out, Op::Softmax { x }, g)
     }
 
     /// LayerNorm over the last dimension with learned scale and bias
@@ -306,17 +463,21 @@ impl Graph {
         assert_eq!(self.value(scale).numel(), d, "layer_norm scale width mismatch");
         assert_eq!(self.value(bias).numel(), d, "layer_norm bias width mismatch");
         let rows = xv.shape().outer_rows();
-        let mut mean = Vec::with_capacity(rows);
-        let mut rstd = Vec::with_capacity(rows);
-        let mut out = Tensor::zeros(xv.shape());
-        let (sv, bv) = (self.value(scale).data().to_vec(), self.value(bias).data().to_vec());
-        for (row, orow) in xv.data().chunks_exact(d).zip(self_chunks_mut(&mut out, d)) {
+        let mut mean = self.ws.take_vec(rows);
+        let mut rstd = self.ws.take_vec(rows);
+        let mut out = self.pooled_zeros(xv.shape());
+        let (xv, sv, bv) = (self.value(x), self.value(scale), self.value(bias));
+        for (r, (row, orow)) in
+            xv.data().chunks_exact(d).zip(out.data_mut().chunks_exact_mut(d)).enumerate()
+        {
             let mu = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / d as f32;
             let rs = 1.0 / (var + eps).sqrt();
-            mean.push(mu);
-            rstd.push(rs);
-            for ((&xi, o), (sc, bi)) in row.iter().zip(orow.iter_mut()).zip(sv.iter().zip(&bv)) {
+            mean[r] = mu;
+            rstd[r] = rs;
+            for ((&xi, o), (&sc, &bi)) in
+                row.iter().zip(orow.iter_mut()).zip(sv.data().iter().zip(bv.data()))
+            {
                 *o = (xi - mu) * rs * sc + bi;
             }
         }
@@ -337,10 +498,12 @@ impl Graph {
         }
         let keep = 1.0 - p;
         let inv = 1.0 / keep;
-        let xv = self.value(x);
-        let mask: Vec<f32> =
-            (0..xv.numel()).map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 }).collect();
-        let mut v = xv.clone();
+        let n = self.value(x).numel();
+        let mut mask = self.ws.take_vec(n);
+        for m in mask.iter_mut() {
+            *m = if rng.gen::<f32>() < keep { inv } else { 0.0 };
+        }
+        let mut v = self.pooled_copy(self.value(x));
         for (o, &m) in v.data_mut().iter_mut().zip(&mask) {
             *o *= m;
         }
@@ -352,7 +515,9 @@ impl Graph {
 
     /// Reshape (same element count, zero-copy semantics for values).
     pub fn reshape(&mut self, x: Var, shape: Shape) -> Var {
-        let v = self.value(x).reshaped(shape);
+        let xv = self.value(x);
+        assert_eq!(xv.numel(), shape.numel(), "cannot reshape {} into {shape}", xv.shape());
+        let v = self.pooled_copy_shaped(xv.data(), shape);
         let g = self.ng(x);
         self.push(v, Op::Reshape(x), g)
     }
@@ -373,14 +538,15 @@ impl Graph {
             assert_eq!(s.dim(0), b, "concat_cols row count mismatch");
             total += s.dim(1);
         }
-        let mut out = Tensor::zeros(Shape::d2(b, total));
+        let mut out = self.pooled_zeros(Shape::d2(b, total));
         let mut col = 0;
         for &p in parts {
-            let pv = self.value(p).clone();
+            let pv = self.value(p);
             let w = pv.shape().dim(1);
+            let (pv_data, out_data) = (pv.data(), out.data_mut());
             for r in 0..b {
-                out.data_mut()[r * total + col..r * total + col + w]
-                    .copy_from_slice(&pv.data()[r * w..(r + 1) * w]);
+                out_data[r * total + col..r * total + col + w]
+                    .copy_from_slice(&pv_data[r * w..(r + 1) * w]);
             }
             col += w;
         }
@@ -402,7 +568,8 @@ impl Graph {
         assert_eq!(ba, bb, "concat_axis1 batch mismatch");
         assert_eq!(d, d2, "concat_axis1 width mismatch");
         let n = na + nb;
-        let mut out = Tensor::zeros(Shape::d3(ba, n, d));
+        let mut out = self.pooled_zeros(Shape::d3(ba, n, d));
+        let (av, bv) = (self.value(a), self.value(b));
         for bi in 0..ba {
             out.data_mut()[bi * n * d..bi * n * d + na * d]
                 .copy_from_slice(&av.data()[bi * na * d..(bi + 1) * na * d]);
@@ -422,7 +589,8 @@ impl Graph {
         assert_eq!(xv.shape().rank(), 3, "index_select_axis1 expects rank 3, got {}", xv.shape());
         let (b, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
         let p = idx.len();
-        let mut out = Tensor::zeros(Shape::d3(b, p, d));
+        let mut out = self.pooled_zeros(Shape::d3(b, p, d));
+        let xv = self.value(x);
         for bi in 0..b {
             for (pi, &r) in idx.iter().enumerate() {
                 assert!(r < n, "index_select_axis1 index {r} out of range ({n})");
@@ -443,7 +611,8 @@ impl Graph {
         assert_eq!(xv.shape().rank(), 3, "slice_axis1 expects rank 3, got {}", xv.shape());
         let (b, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
         assert!(start + len <= n, "slice_axis1 range {start}+{len} exceeds {n}");
-        let mut out = Tensor::zeros(Shape::d3(b, len, d));
+        let mut out = self.pooled_zeros(Shape::d3(b, len, d));
+        let xv = self.value(x);
         for bi in 0..b {
             let src = &xv.data()[(bi * n + start) * d..(bi * n + start + len) * d];
             out.data_mut()[bi * len * d..(bi + 1) * len * d].copy_from_slice(src);
@@ -459,9 +628,12 @@ impl Graph {
     pub fn expand_axis1(&mut self, x: Var, n: usize) -> Var {
         let xv = self.value(x);
         assert_eq!(xv.shape().rank(), 2, "expand_axis1 expects rank 2, got {}", xv.shape());
-        let v = reduce::broadcast_axis1(xv, n, 1.0);
+        let (b, d) = (xv.shape().dim(0), xv.shape().dim(1));
+        let mut out = self.pooled_zeros(Shape::d3(b, n, d));
+        let xv = self.value(x);
+        reduce::broadcast_axis1_into(xv.data(), out.data_mut(), b, n, d, 1.0);
         let g = self.ng(x);
-        self.push(v, Op::ExpandAxis1 { x }, g)
+        self.push(out, Op::ExpandAxis1 { x }, g)
     }
 
     /// `X[b,n,d] + P[n,d]`, broadcasting `P` over the batch (positional
@@ -475,7 +647,8 @@ impl Graph {
         assert_eq!(pv.shape().rank(), 2, "add_broadcast_batch p must be rank 2");
         let (b, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
         assert_eq!((pv.shape().dim(0), pv.shape().dim(1)), (n, d), "broadcast shape mismatch");
-        let mut out = xv.clone();
+        let mut out = self.pooled_copy(xv);
+        let pv = self.value(p);
         for bi in 0..b {
             for (o, &pvv) in out.data_mut()[bi * n * d..(bi + 1) * n * d].iter_mut().zip(pv.data())
             {
@@ -490,37 +663,58 @@ impl Graph {
 
     /// Mean over axis 1 (`[b,n,d] → [b,d]`) — intra-view pooling, Eq. 14.
     pub fn mean_axis1(&mut self, x: Var) -> Var {
-        let v = reduce::mean_axis1(self.value(x));
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 3, "mean_axis1 expects rank 3, got {}", xv.shape());
+        let (b, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        let mut out = self.pooled_zeros(Shape::d2(b, d));
+        let xv = self.value(x);
+        reduce::mean_axis1_into(xv.data(), out.data_mut(), b, n, d);
         let g = self.ng(x);
-        self.push(v, Op::MeanAxis1(x), g)
+        self.push(out, Op::MeanAxis1(x), g)
     }
 
     /// Sum over axis 1 (`[b,n,d] → [b,d]`).
     pub fn sum_axis1(&mut self, x: Var) -> Var {
-        let v = reduce::sum_axis1(self.value(x));
+        let xv = self.value(x);
+        assert_eq!(xv.shape().rank(), 3, "sum_axis1 expects rank 3, got {}", xv.shape());
+        let (b, n, d) = (xv.shape().dim(0), xv.shape().dim(1), xv.shape().dim(2));
+        let mut out = self.pooled_zeros(Shape::d2(b, d));
+        let xv = self.value(x);
+        reduce::sum_axis1_into(xv.data(), out.data_mut(), b, n, d);
         let g = self.ng(x);
-        self.push(v, Op::SumAxis1(x), g)
+        self.push(out, Op::SumAxis1(x), g)
     }
 
     /// Sum over the last dim (rank r → r−1).
     pub fn sum_lastdim(&mut self, x: Var) -> Var {
-        let v = reduce::sum_lastdim(self.value(x));
+        let xv = self.value(x);
+        let d = xv.shape().last_dim();
+        let out_shape = match xv.shape().rank() {
+            2 => Shape::d1(xv.shape().dim(0)),
+            3 => Shape::d2(xv.shape().dim(0), xv.shape().dim(1)),
+            r => panic!("sum_lastdim expects rank 2 or 3, got rank {r}"),
+        };
+        let mut out = self.pooled_zeros(out_shape);
+        let xv = self.value(x);
+        reduce::sum_lastdim_into(xv.data(), out.data_mut(), d);
         let g = self.ng(x);
-        self.push(v, Op::SumLast(x), g)
+        self.push(out, Op::SumLast(x), g)
     }
 
     /// Mean of all elements → `[1]`.
     pub fn mean_all(&mut self, x: Var) -> Var {
-        let v = reduce::mean_all(self.value(x));
+        let mut out = self.pooled_zeros(Shape::d1(1));
+        out.data_mut()[0] = self.value(x).mean();
         let g = self.ng(x);
-        self.push(v, Op::MeanAll(x), g)
+        self.push(out, Op::MeanAll(x), g)
     }
 
     /// Sum of all elements → `[1]`.
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let v = reduce::sum_all(self.value(x));
+        let mut out = self.pooled_zeros(Shape::d1(1));
+        out.data_mut()[0] = self.value(x).sum();
         let g = self.ng(x);
-        self.push(v, Op::SumAll(x), g)
+        self.push(out, Op::SumAll(x), g)
     }
 
     // --- losses ---------------------------------------------------------------
@@ -533,7 +727,8 @@ impl Graph {
     pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
         let lv = self.value(logits);
         assert_eq!(targets.len(), lv.numel(), "bce targets length mismatch");
-        let mut out = Tensor::zeros(lv.shape());
+        let mut out = self.pooled_zeros(lv.shape());
+        let lv = self.value(logits);
         for ((o, &z), &t) in out.data_mut().iter_mut().zip(lv.data()).zip(targets) {
             *o = z.max(0.0) - z * t + (-z.abs()).exp().ln_1p();
         }
@@ -542,8 +737,12 @@ impl Graph {
     }
 }
 
-/// Helper: mutable row chunks of a tensor (sidesteps a borrow conflict inside
-/// `layer_norm`).
-fn self_chunks_mut(t: &mut Tensor, d: usize) -> std::slice::ChunksExactMut<'_, f32> {
-    t.data_mut().chunks_exact_mut(d)
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().rank(), 2, "{what} must be rank 2, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+fn dims3(t: &Tensor, what: &str) -> (usize, usize, usize) {
+    assert_eq!(t.shape().rank(), 3, "{what} must be rank 3, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2))
 }

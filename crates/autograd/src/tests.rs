@@ -408,3 +408,49 @@ fn causal_softmax_blocks_future_gradient_flow() {
         }
     }
 }
+
+#[test]
+fn reset_graph_reuse_is_bit_identical_and_allocation_free() {
+    // One Graph reused across "mini-batches" via reset() must produce the
+    // same values, the same gradients, and — once its buffer pool is warm —
+    // build each tape without new heap traffic.
+    let mut ps = ParamStore::new();
+    let mut seed = 17;
+    let w = ps.add_dense("w", rand_tensor(Shape::d2(6, 6), &mut seed));
+    let x = rand_tensor(Shape::d2(4, 6), &mut seed);
+
+    let run = |g: &mut Graph, ps: &mut ParamStore| -> (Vec<f32>, Vec<f32>) {
+        ps.zero_grads();
+        let wv = g.param(ps, w);
+        let xv = g.input(Tensor::from_vec(Shape::d2(4, 6), x.data().to_vec()));
+        let y = g.matmul(xv, wv);
+        let act = g.relu(y);
+        let sq = g.square(act);
+        let loss = g.mean_all(sq);
+        let out = g.value(act).data().to_vec();
+        g.backward(loss, ps);
+        (out, ps.grad(w).data().to_vec())
+    };
+
+    // Fresh graph per run (the old pattern) = the reference.
+    let mut fresh = Graph::new();
+    let (want_val, want_grad) = run(&mut fresh, &mut ps);
+
+    // Reused graph: warm it, then assert bit-identical results and zero
+    // pool growth across many reset cycles.
+    let mut g = Graph::new();
+    for _ in 0..2 {
+        g.reset();
+        let (v, gr) = run(&mut g, &mut ps);
+        assert_eq!(v, want_val);
+        assert_eq!(gr, want_grad);
+    }
+    let warm = g.ws.heap_events();
+    for _ in 0..10 {
+        g.reset();
+        let (v, gr) = run(&mut g, &mut ps);
+        assert_eq!(v, want_val, "reset graph diverged");
+        assert_eq!(gr, want_grad, "reset graph gradients diverged");
+    }
+    assert_eq!(g.ws.heap_events(), warm, "warm reset cycles must not allocate from the pool");
+}

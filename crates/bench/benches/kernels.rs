@@ -1,60 +1,256 @@
 //! Criterion micro-benchmarks for the tensor kernels that dominate SeqFM's
-//! runtime: matrix multiplies, batched attention products, and masked
-//! softmax.
+//! runtime — now centred on the cache-blocked **tiled** matmul paths vs.
+//! their naive references — plus a hand-timed sweep persisted to
+//! `BENCH_kernels.json` at the repository root:
+//!
+//! * single-core naive vs. tiled matmul throughput (GFLOP/s) at the serving
+//!   shapes `d = 32` and `d = 64` (candidate-expansion row counts);
+//! * fused [`attention_into`] latency at serving geometry;
+//! * steady-state heap **allocations per scored request** through
+//!   `FrozenSeqFm::score_into`, counted by a global allocator wrapper
+//!   (expected: 0 — the workspace-arena guarantee).
+//!
+//! ```text
+//! cargo bench -p seqfm-bench --bench kernels
+//! ```
+//!
+//! `SEQFM_WORKERS` is pinned to 1 before the first kernel dispatch so every
+//! number is a **single-core** measurement (the tiled-vs-naive ratio is
+//! exactly what each pool worker gains).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use seqfm_tensor::{bmm_nt, matmul_nn, softmax_lastdim_masked, AttnMask, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::ParamStore;
+use seqfm_core::{FrozenSeqFm, Scorer, Scratch, SeqFm, SeqFmConfig};
+use seqfm_data::{build_instance, Batch, FeatureLayout};
+use seqfm_tensor::kernels::matmul::{naive, tiled};
+use seqfm_tensor::testutil::CountingAlloc;
+use seqfm_tensor::{attention_into, AttnMask, Shape, Tensor};
+use std::time::Instant;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Pins the kernel pool to one worker (read once per process, so this must
+/// run before the first dispatch).
+fn pin_single_core() {
+    std::env::set_var("SEQFM_WORKERS", "1");
+}
 
 fn rand(shape: Shape, seed: &mut u64) -> Tensor {
     seqfm_tensor::testutil::rand_tensor(shape, seed)
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul_nn");
+/// Serving-shape matmuls: `m` candidate-expansion rows, `d × d` weights.
+const SERVING_SHAPES: [(usize, usize); 2] = [(2048, 32), (2048, 64)];
+
+fn bench_matmul_naive_vs_tiled(c: &mut Criterion) {
+    pin_single_core();
+    let mut group = c.benchmark_group("matmul_nn_serving");
     group.sample_size(20);
-    for &n in &[32usize, 64, 128] {
+    for &(m, d) in &SERVING_SHAPES {
         let mut seed = 1;
-        let a = rand(Shape::d2(n, n), &mut seed);
-        let b = rand(Shape::d2(n, n), &mut seed);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| matmul_nn(std::hint::black_box(&a), std::hint::black_box(&b)));
+        let a = rand(Shape::d2(m, d), &mut seed);
+        let b = rand(Shape::d2(d, d), &mut seed);
+        let mut out = vec![0.0f32; m * d];
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |bench, _| {
+            bench.iter(|| {
+                out.fill(0.0);
+                naive::matmul_nn_into(a.data(), b.data(), &mut out, m, d, d);
+                std::hint::black_box(out[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", d), &d, |bench, _| {
+            bench.iter(|| {
+                out.fill(0.0);
+                tiled::matmul_nn_into(a.data(), b.data(), &mut out, m, d, d);
+                std::hint::black_box(out[0])
+            });
         });
     }
     group.finish();
 }
 
-fn bench_attention_scores(c: &mut Criterion) {
-    // Q·Kᵀ for a typical SeqFM batch: [batch, n°+n˙, d]
-    let mut group = c.benchmark_group("bmm_nt_attention_scores");
+fn bench_attention(c: &mut Criterion) {
+    pin_single_core();
+    // Fused attention for a typical SeqFM batch: [batch, n° + n˙, d].
+    let mut group = c.benchmark_group("attention_into");
     group.sample_size(20);
-    for &(batch, n, d) in &[(128usize, 22usize, 32usize), (128, 52, 32), (128, 22, 64)] {
+    for &(batch, n, d) in &[(128usize, 22usize, 32usize), (128, 22, 64)] {
         let mut seed = 2;
         let q = rand(Shape::d3(batch, n, d), &mut seed);
         let k = rand(Shape::d3(batch, n, d), &mut seed);
+        let v = rand(Shape::d3(batch, n, d), &mut seed);
+        let mask = AttnMask::causal(n);
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut scores = vec![0.0f32; batch * n * n];
+        let mut out = vec![0.0f32; batch * n * d];
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("b{batch}_n{n}_d{d}")),
             &n,
             |bench, _| {
-                bench.iter(|| bmm_nt(std::hint::black_box(&q), std::hint::black_box(&k)));
+                bench.iter(|| {
+                    attention_into(
+                        q.data(),
+                        k.data(),
+                        v.data(),
+                        Some(&mask),
+                        scale,
+                        batch,
+                        n,
+                        d,
+                        &mut scores,
+                        &mut out,
+                    );
+                    std::hint::black_box(out[0])
+                });
             },
         );
     }
     group.finish();
 }
 
-fn bench_masked_softmax(c: &mut Criterion) {
-    let mut group = c.benchmark_group("masked_softmax");
-    group.sample_size(20);
-    for &n in &[22usize, 52] {
-        let mut seed = 3;
-        let scores = rand(Shape::d3(128, n, n), &mut seed);
-        let mask = AttnMask::causal(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| softmax_lastdim_masked(std::hint::black_box(&scores), &mask));
-        });
+/// Median wall-clock of `f` over `iters` runs (after warm-up).
+fn p50_of(f: &mut dyn FnMut(), iters: usize) -> f64 {
+    for _ in 0..10 {
+        f();
     }
-    group.finish();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2].as_secs_f64()
 }
 
-criterion_group!(benches, bench_matmul, bench_attention_scores, bench_masked_softmax);
+/// GFLOP/s of one `m·k·n` matmul whose median call takes `secs`.
+fn gflops(m: usize, k: usize, n: usize, secs: f64) -> f64 {
+    (2.0 * m as f64 * k as f64 * n as f64) / secs / 1e9
+}
+
+/// Hand-timed measurements persisted to `BENCH_kernels.json`.
+///
+/// Skipped when a benchmark filter is passed (iterating on one criterion
+/// group should not overwrite the recorded numbers with a partial run).
+fn emit_kernels_json(_c: &mut Criterion) {
+    if std::env::args().skip(1).any(|a| !a.starts_with('-')) {
+        println!("benchmark filter given — skipping BENCH_kernels.json emission");
+        return;
+    }
+    pin_single_core();
+
+    // --- naive vs tiled matmul throughput at serving shapes ---------------
+    let mut fields = String::new();
+    for &(m, d) in &SERVING_SHAPES {
+        let mut seed = 5;
+        let a = rand(Shape::d2(m, d), &mut seed);
+        let b = rand(Shape::d2(d, d), &mut seed);
+        let bt = rand(Shape::d2(d, d), &mut seed);
+        let mut out = vec![0.0f32; m * d];
+        let mut time = |f: &mut dyn FnMut(&mut [f32])| {
+            let mut o = std::mem::take(&mut out);
+            let secs = {
+                let mut run = || f(&mut o);
+                p50_of(&mut run, 40)
+            };
+            out = o;
+            secs
+        };
+        let nn_naive = time(&mut |o| {
+            o.fill(0.0);
+            naive::matmul_nn_into(a.data(), b.data(), o, m, d, d);
+        });
+        let nn_tiled = time(&mut |o| {
+            o.fill(0.0);
+            tiled::matmul_nn_into(a.data(), b.data(), o, m, d, d);
+        });
+        let nt_naive = time(&mut |o| {
+            o.fill(0.0);
+            naive::matmul_nt_into(a.data(), bt.data(), o, m, d, d);
+        });
+        let nt_tiled = time(&mut |o| {
+            o.fill(0.0);
+            tiled::matmul_nt_into(a.data(), bt.data(), o, m, d, d);
+        });
+        fields.push_str(&format!(
+            "  \"matmul_nn_d{d}_gflops_naive\": {:.2},\n  \"matmul_nn_d{d}_gflops_tiled\": {:.2},\n  \"matmul_nn_d{d}_speedup_tiled_vs_naive\": {:.2},\n  \"matmul_nt_d{d}_gflops_naive\": {:.2},\n  \"matmul_nt_d{d}_gflops_tiled\": {:.2},\n  \"matmul_nt_d{d}_speedup_tiled_vs_naive\": {:.2},\n",
+            gflops(m, d, d, nn_naive),
+            gflops(m, d, d, nn_tiled),
+            nn_naive / nn_tiled,
+            gflops(m, d, d, nt_naive),
+            gflops(m, d, d, nt_tiled),
+            nt_naive / nt_tiled,
+        ));
+    }
+
+    // --- fused attention latency ------------------------------------------
+    for &(batch, n, d) in &[(128usize, 22usize, 32usize), (128, 22, 64)] {
+        let mut seed = 7;
+        let q = rand(Shape::d3(batch, n, d), &mut seed);
+        let k = rand(Shape::d3(batch, n, d), &mut seed);
+        let v = rand(Shape::d3(batch, n, d), &mut seed);
+        let mask = AttnMask::causal(n);
+        let scale = 1.0 / (d as f32).sqrt();
+        let mut scores = vec![0.0f32; batch * n * n];
+        let mut out_buf = vec![0.0f32; batch * n * d];
+        let secs = p50_of(
+            &mut || {
+                attention_into(
+                    q.data(),
+                    k.data(),
+                    v.data(),
+                    Some(&mask),
+                    scale,
+                    batch,
+                    n,
+                    d,
+                    &mut scores,
+                    &mut out_buf,
+                );
+                std::hint::black_box(out_buf[0]);
+            },
+            40,
+        );
+        fields.push_str(&format!("  \"attention_b{batch}_n{n}_d{d}_us\": {:.1},\n", secs * 1e6));
+    }
+
+    // --- steady-state allocations per scored request ----------------------
+    let layout = FeatureLayout { n_users: 64, n_items: 300 };
+    let cfg = SeqFmConfig { d: 32, max_seq: 20, dropout: 0.0, ..Default::default() };
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+    let frozen = FrozenSeqFm::freeze(&model, &ps);
+    let hist: Vec<u32> = (0..20).map(|j| (j * 7) % 300).collect();
+    let insts: Vec<_> =
+        (0..100).map(|c| build_instance(&layout, 3, (c * 5) % 300, &hist, 20, 0.0)).collect();
+    let batch = Batch::try_from_instances(&insts).expect("valid batch");
+    let mut scratch = Scratch::new();
+    let mut scores_out = Vec::with_capacity(batch.len);
+    for _ in 0..5 {
+        scores_out.clear();
+        frozen.score_into(&batch, &mut scratch, &mut scores_out);
+    }
+    let requests = 200u64;
+    let before = CountingAlloc::allocations();
+    for _ in 0..requests {
+        scores_out.clear();
+        frozen.score_into(&batch, &mut scratch, &mut scores_out);
+    }
+    let allocs = CountingAlloc::allocations() - before;
+    let allocs_per_request = allocs as f64 / requests as f64;
+
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"config\": {{ \"serving_rows\": 2048, \"widths\": [32, 64], \"workers\": 1 }},\n  \"host_cpus\": {host_cpus},\n{fields}  \"allocs_per_scored_request\": {allocs_per_request:.3}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("== BENCH_kernels.json ==\n{json}");
+}
+
+criterion_group!(benches, bench_matmul_naive_vs_tiled, bench_attention, emit_kernels_json);
 criterion_main!(benches);

@@ -1,9 +1,8 @@
 //! Experiment execution: train + evaluate one model on one dataset, with a
-//! crossbeam-based parallel job pool so a full paper table (8 models × 2
+//! `seqfm-parallel` scoped pool so a full paper table (8 models × 2
 //! datasets) uses the machine's cores.
 
 use crate::args::HarnessArgs;
-use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqfm_autograd::ParamStore;
@@ -14,6 +13,7 @@ use seqfm_core::{
     EvalSplit, RankingEvalConfig, SeqModel, TrainConfig,
 };
 use seqfm_data::{Dataset, FeatureLayout, LeaveOneOut, NegativeSampler};
+use seqfm_parallel::ThreadPool;
 
 /// One trained-and-evaluated model's result row.
 #[derive(Clone, Debug)]
@@ -315,8 +315,11 @@ pub fn run_one(kind: ModelKind, task: Task, prep: &Prepared, args: &HarnessArgs)
     }
 }
 
-/// Runs a list of independent jobs, optionally in parallel over a crossbeam
-/// work queue, preserving job order in the output.
+/// Runs a list of independent jobs, optionally in parallel over a
+/// [`seqfm_parallel::ThreadPool`] scope (work-stealing, so long-running
+/// models don't serialise behind each other), preserving job order in the
+/// output. A job panic propagates to the caller after every sibling has
+/// finished.
 pub fn run_jobs<T, F>(n_jobs: usize, serial: bool, job: F) -> Vec<T>
 where
     T: Send,
@@ -326,29 +329,16 @@ where
         return (0..n_jobs).map(job).collect();
     }
     let workers = std::thread::available_parallelism().map_or(4, |p| p.get()).min(n_jobs);
-    let (tx_idx, rx_idx) = channel::unbounded::<usize>();
-    for i in 0..n_jobs {
-        tx_idx.send(i).expect("queue open");
-    }
-    drop(tx_idx);
-    let (tx_out, rx_out) = channel::unbounded::<(usize, T)>();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            let rx_idx = rx_idx.clone();
-            let tx_out = tx_out.clone();
+    let pool = ThreadPool::new(workers);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(n_jobs, || None);
+    pool.scope(|s| {
+        for (i, slot) in slots.iter_mut().enumerate() {
             let job = &job;
-            s.spawn(move |_| {
-                while let Ok(i) = rx_idx.recv() {
-                    tx_out.send((i, job(i))).expect("collector open");
-                }
-            });
+            s.spawn(move || *slot = Some(job(i)));
         }
-        drop(tx_out);
-    })
-    .expect("worker panicked");
-    let mut results: Vec<(usize, T)> = rx_out.iter().collect();
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, t)| t).collect()
+    });
+    slots.into_iter().map(|t| t.expect("scope completed every job")).collect()
 }
 
 #[cfg(test)]

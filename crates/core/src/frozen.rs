@@ -10,7 +10,7 @@
 //! therefore match the graph path **bit for bit**, which the tests assert.
 
 use crate::config::SeqFmConfig;
-use crate::scorer::{Scorer, Scratch};
+use crate::scorer::{MaskCache, Scorer, Scratch};
 use crate::SeqFm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -254,30 +254,21 @@ impl Scorer for FrozenSeqFm {
         let ab = self.cfg.ablation;
         let views = ab.active_views();
         let scale = 1.0 / (d as f32).sqrt();
+        let nmax = ns + nd;
 
-        scratch.reserve_for(b, ns, nd, d, views);
+        // Disjoint field borrows: the arena hands out every kernel
+        // temporary below; `out` stays a plain buffer because the returned
+        // slice borrows it past the arena scopes' lifetime.
+        let Scratch { out, ws, pad_counts, masks, .. } = scratch;
         if ab.dynamic_view || ab.cross_view {
-            scratch.masks_for(ns, nd);
+            MaskCache::for_geometry(masks, ns, nd);
         }
-        let Scratch {
-            out,
-            e_s,
-            e_d,
-            e_x,
-            q,
-            k,
-            v,
-            qd,
-            scores,
-            ctx,
-            pool,
-            normed,
-            lin,
-            hagg,
-            pad_counts,
-            masks,
-            ..
-        } = scratch;
+        if out.len() < b {
+            out.resize(b, 0.0);
+        }
+        if pad_counts.len() < b {
+            pad_counts.resize(b, 0);
+        }
 
         // Serving fast path: a candidate-expansion batch repeats one user
         // history across every row, so everything derived from the dynamic
@@ -291,9 +282,26 @@ impl Scorer for FrozenSeqFm {
         // Rows of the dynamic block actually materialised.
         let db = if shared_hist { 1 } else { b };
 
+        // Workspace scopes, sized exactly for this batch (zero-filled on
+        // take; zero heap traffic once the arena has seen the shape).
+        let mut e_s = ws.take(b * ns * d);
+        let mut e_d = ws.take(db * nd * d);
+        let cross_stacked = ab.cross_view && !shared_hist;
+        let mut e_x = ws.take(if cross_stacked { b * nmax * d } else { 0 });
+        let mut q = ws.take(b * nmax * d);
+        let mut k = ws.take(b * nmax * d);
+        let mut v = ws.take(b * nmax * d);
+        let mut qd = ws.take(if ab.cross_view && shared_hist { nd * d } else { 0 });
+        let mut scores = ws.take(b * nmax * nmax);
+        let mut ctx = ws.take(b * nmax * d);
+        let mut pool = ws.take(b * d);
+        let mut normed = ws.take(b * d);
+        let mut lin = ws.take(b * d);
+        let mut hagg = ws.take(b * views * d);
+
         // Embedding layer (Eq. 5): PAD rows embed to exact zeros.
-        gather_rows(self.t(self.emb_static), &batch.static_idx, d, e_s);
-        gather_rows(self.t(self.emb_dynamic), &batch.dyn_idx[..db * nd], d, e_d);
+        gather_rows(self.t(self.emb_static), &batch.static_idx, d, &mut e_s);
+        gather_rows(self.t(self.emb_dynamic), &batch.dyn_idx[..db * nd], d, &mut e_d);
 
         // Per-sample padding lengths (masked-pooling extension).
         for (bi, slot) in pad_counts.iter_mut().enumerate().take(db) {
@@ -307,15 +315,15 @@ impl Scorer for FrozenSeqFm {
         // Multi-view attention → pooling → shared FFN, each view writing its
         // block of the aggregated representation (Eq. 17) directly.
         let mut bufs = ViewBufs {
-            q: q.as_mut_slice(),
-            k: k.as_mut_slice(),
-            v: v.as_mut_slice(),
-            scores: scores.as_mut_slice(),
-            ctx: ctx.as_mut_slice(),
-            pool: pool.as_mut_slice(),
-            normed: normed.as_mut_slice(),
-            lin: lin.as_mut_slice(),
-            hagg: hagg.as_mut_slice(),
+            q: &mut q,
+            k: &mut k,
+            v: &mut v,
+            scores: &mut scores,
+            ctx: &mut ctx,
+            pool: &mut pool,
+            normed: &mut normed,
+            lin: &mut lin,
+            hagg: &mut hagg,
         };
         let mut ffn_idx = 0usize;
         let mut view_col = 0usize;
@@ -374,7 +382,7 @@ impl Scorer for FrozenSeqFm {
                 let dsts = [&mut *bufs.q, &mut *bufs.k, &mut *bufs.v];
                 for (wid, dst) in w_ids.into_iter().zip(dsts) {
                     let w = self.t(wid);
-                    project(&e_d[..nd * d], w, nd, d, qd);
+                    project(&e_d[..nd * d], w, nd, d, &mut qd);
                     for bi in 0..b {
                         let base = bi * nx * d;
                         let stat = &mut dst[base..base + ns * d];

@@ -13,15 +13,18 @@
 //!   tensor kernel calls over an immutable parameter snapshot (the fast
 //!   path);
 //! * [`GraphScorer`] — an adapter that serves **any** [`SeqModel`] by
-//!   building a throwaway graph per call (the compatibility path; every
-//!   baseline in `seqfm-baselines` serves through it).
+//!   building a tape per call (the compatibility path; every baseline in
+//!   `seqfm-baselines` serves through it). The tape is *reused*: it lives
+//!   in the [`Scratch`] and is [`reset`](seqfm_autograd::Graph::reset)
+//!   between calls, so even the compatibility path stops allocating once
+//!   its buffer pool is warm.
 
 use crate::SeqModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqfm_autograd::{Graph, ParamStore};
 use seqfm_data::Batch;
-use seqfm_tensor::AttnMask;
+use seqfm_tensor::{AttnMask, Workspace};
 
 /// Maps a batch of (static features, dynamic sequence) instances to one
 /// score per instance without touching an autograd graph.
@@ -62,33 +65,44 @@ pub(crate) struct MaskCache {
     pub(crate) cross: AttnMask,
 }
 
+impl MaskCache {
+    /// The cached masks for a `(ns, nd)` geometry, rebuilding on change.
+    pub(crate) fn for_geometry(cache: &mut Option<MaskCache>, ns: usize, nd: usize) -> &MaskCache {
+        let stale = !matches!(&cache, Some(m) if m.ns == ns && m.nd == nd);
+        if stale {
+            *cache = Some(MaskCache {
+                ns,
+                nd,
+                causal: AttnMask::causal(nd),
+                cross: AttnMask::cross(ns, nd),
+            });
+        }
+        cache.as_ref().expect("just installed")
+    }
+}
+
 /// Reusable per-thread scoring workspace.
 ///
-/// One `Scratch` belongs to exactly one serving thread; creating it is cheap
-/// and every buffer grows to the high-water mark of the batches it has seen,
-/// after which [`Scorer::score`] calls allocate nothing.
+/// One `Scratch` belongs to exactly one serving thread. It owns a
+/// [`Workspace`] arena that hands the frozen forward pass its view buffers
+/// (embeddings, Q/K/V, attention scores, pooling and FFN temporaries) as
+/// RAII scopes sized exactly per call, plus the reused autograd tape of the
+/// [`GraphScorer`] compatibility path. Every buffer grows to the high-water
+/// mark of the batches it has seen, after which [`Scorer::score`] calls
+/// allocate nothing — a property pinned down by a counting-allocator test
+/// (`tests/score_zero_alloc.rs`).
 pub struct Scratch {
     /// RNG handed to `SeqModel::forward` by [`GraphScorer`]. Inference
     /// forwards are deterministic by contract, so its state never influences
     /// scores.
     pub(crate) rng: StdRng,
-    /// Final scores, `[batch.len]`.
+    /// Final scores, `[batch.len]` — the buffer the returned slice borrows.
     pub(crate) out: Vec<f32>,
-    // Frozen-forward workspaces (see `crate::frozen`).
-    pub(crate) e_s: Vec<f32>,
-    pub(crate) e_d: Vec<f32>,
-    pub(crate) e_x: Vec<f32>,
-    pub(crate) q: Vec<f32>,
-    pub(crate) k: Vec<f32>,
-    pub(crate) v: Vec<f32>,
-    /// Shared-history projection staging (one weight matrix at a time).
-    pub(crate) qd: Vec<f32>,
-    pub(crate) scores: Vec<f32>,
-    pub(crate) ctx: Vec<f32>,
-    pub(crate) pool: Vec<f32>,
-    pub(crate) normed: Vec<f32>,
-    pub(crate) lin: Vec<f32>,
-    pub(crate) hagg: Vec<f32>,
+    /// Arena for the frozen forward's kernel temporaries.
+    pub(crate) ws: Workspace,
+    /// Reused tape for [`GraphScorer`]; reset between calls.
+    pub(crate) graph: Graph,
+    /// Per-sample padding lengths (masked-pooling extension).
     pub(crate) pad_counts: Vec<usize>,
     pub(crate) masks: Option<MaskCache>,
 }
@@ -99,45 +113,10 @@ impl Scratch {
         Scratch {
             rng: StdRng::seed_from_u64(0),
             out: Vec::new(),
-            e_s: Vec::new(),
-            e_d: Vec::new(),
-            e_x: Vec::new(),
-            q: Vec::new(),
-            k: Vec::new(),
-            v: Vec::new(),
-            qd: Vec::new(),
-            scores: Vec::new(),
-            ctx: Vec::new(),
-            pool: Vec::new(),
-            normed: Vec::new(),
-            lin: Vec::new(),
-            hagg: Vec::new(),
+            ws: Workspace::new(),
+            graph: Graph::new(),
             pad_counts: Vec::new(),
             masks: None,
-        }
-    }
-
-    /// Grows every buffer to the sizes needed for a `[b, ns, nd]` batch at
-    /// width `d` with `views` active views. Never shrinks, so capacity
-    /// stabilises at the high-water mark.
-    pub(crate) fn reserve_for(&mut self, b: usize, ns: usize, nd: usize, d: usize, views: usize) {
-        let nmax = ns + nd;
-        grow(&mut self.out, b);
-        grow(&mut self.e_s, b * ns * d);
-        grow(&mut self.e_d, b * nd * d);
-        grow(&mut self.e_x, b * nmax * d);
-        grow(&mut self.q, b * nmax * d);
-        grow(&mut self.k, b * nmax * d);
-        grow(&mut self.v, b * nmax * d);
-        grow(&mut self.qd, nd * d);
-        grow(&mut self.scores, b * nmax * nmax);
-        grow(&mut self.ctx, b * nmax * d);
-        grow(&mut self.pool, b * d);
-        grow(&mut self.normed, b * d);
-        grow(&mut self.lin, b * d);
-        grow(&mut self.hagg, b * views * d);
-        if self.pad_counts.len() < b {
-            self.pad_counts.resize(b, 0);
         }
     }
 
@@ -150,20 +129,6 @@ impl Scratch {
         self.out.extend_from_slice(scores);
         &self.out
     }
-
-    /// The cached masks for a `(ns, nd)` geometry, rebuilding on change.
-    pub(crate) fn masks_for(&mut self, ns: usize, nd: usize) -> &MaskCache {
-        let stale = !matches!(&self.masks, Some(m) if m.ns == ns && m.nd == nd);
-        if stale {
-            self.masks = Some(MaskCache {
-                ns,
-                nd,
-                causal: AttnMask::causal(nd),
-                cross: AttnMask::cross(ns, nd),
-            });
-        }
-        self.masks.as_ref().expect("just installed")
-    }
 }
 
 impl Default for Scratch {
@@ -172,14 +137,8 @@ impl Default for Scratch {
     }
 }
 
-fn grow(buf: &mut Vec<f32>, len: usize) {
-    if buf.len() < len {
-        buf.resize(len, 0.0);
-    }
-}
-
 /// Serves any [`SeqModel`] through the [`Scorer`] interface by building a
-/// throwaway graph per call (`training = false`).
+/// tape per call (`training = false`) on the scratch's reused graph.
 ///
 /// This is the compatibility adapter: it keeps every baseline servable while
 /// paying the full tape cost per request, and it is the reference the
@@ -217,9 +176,9 @@ impl<M: SeqModel> Scorer for GraphScorer<M> {
     }
 
     fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
-        let mut g = Graph::new();
-        let y = self.model.forward(&mut g, &self.ps, batch, false, &mut scratch.rng);
-        let data = g.value(y).data();
+        scratch.graph.reset();
+        let y = self.model.forward(&mut scratch.graph, &self.ps, batch, false, &mut scratch.rng);
+        let data = scratch.graph.value(y).data();
         scratch.out.clear();
         scratch.out.extend_from_slice(data);
         &scratch.out
@@ -310,14 +269,34 @@ mod tests {
 
     #[test]
     fn mask_cache_rebuilds_only_on_geometry_change() {
-        let mut scratch = Scratch::new();
-        let m1 = scratch.masks_for(2, 4);
+        let mut cache = None;
+        let m1 = MaskCache::for_geometry(&mut cache, 2, 4);
         assert_eq!((m1.causal.rows(), m1.cross.rows()), (4, 6));
         // Same geometry: cache hit (no observable rebuild, same dims).
-        let m2 = scratch.masks_for(2, 4);
+        let m2 = MaskCache::for_geometry(&mut cache, 2, 4);
         assert_eq!(m2.nd, 4);
         // New geometry: rebuilt.
-        let m3 = scratch.masks_for(3, 5);
+        let m3 = MaskCache::for_geometry(&mut cache, 3, 5);
         assert_eq!((m3.causal.rows(), m3.cross.rows()), (5, 8));
+    }
+
+    #[test]
+    fn graph_scorer_reused_tape_is_deterministic_and_allocation_free() {
+        let (scorer, batch) = setup();
+        let mut scratch = Scratch::new();
+        let want = scorer.score(&batch, &mut scratch).to_vec();
+        // Warm the tape's buffer pool, then assert flat heap traffic.
+        for _ in 0..3 {
+            scorer.score(&batch, &mut scratch);
+        }
+        let warm = scratch.graph.workspace().heap_events();
+        for _ in 0..10 {
+            assert_eq!(scorer.score(&batch, &mut scratch), &want[..]);
+        }
+        assert_eq!(
+            scratch.graph.workspace().heap_events(),
+            warm,
+            "warm graph-scorer calls must not grow the tape pool"
+        );
     }
 }

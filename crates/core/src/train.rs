@@ -226,6 +226,9 @@ fn rating_shard_loss(
 /// Per-worker state of data-parallel training, allocated once per run.
 struct WorkerSlot {
     ps: ParamStore,
+    /// Reused tape: [`Graph::reset`] between steps keeps the worker's
+    /// forward/backward passes allocation-free once its pool is warm.
+    graph: Graph,
     loss: f64,
 }
 
@@ -244,7 +247,9 @@ impl ParTrainer {
         let w = cfg.workers.min(256);
         Some(ParTrainer {
             pool: ThreadPool::new(w),
-            slots: (0..w).map(|_| WorkerSlot { ps: master.worker_clone(), loss: 0.0 }).collect(),
+            slots: (0..w)
+                .map(|_| WorkerSlot { ps: master.worker_clone(), graph: Graph::new(), loss: 0.0 })
+                .collect(),
         })
     }
 
@@ -281,13 +286,14 @@ impl ParTrainer {
                 s.spawn(move || {
                     let mut rng =
                         StdRng::seed_from_u64(shard_seed(seed, step * streams + sidx as u64));
-                    slot.ps.copy_values_from(master_ref);
-                    slot.ps.zero_grads();
-                    let mut g = Graph::new();
-                    let loss = shard_loss(&mut g, &slot.ps, shard_pos, &mut rng);
+                    let WorkerSlot { ps: wps, graph: g, loss: wloss } = slot;
+                    wps.copy_values_from(master_ref);
+                    wps.zero_grads();
+                    g.reset();
+                    let loss = shard_loss(g, wps, shard_pos, &mut rng);
                     let scaled = g.scale(loss, frac);
-                    slot.loss = g.scalar_value(scaled) as f64;
-                    g.backward(scaled, &mut slot.ps);
+                    *wloss = g.scalar_value(scaled) as f64;
+                    g.backward(scaled, wps);
                 });
             }
         });
@@ -320,6 +326,10 @@ where
     let mut par = ParTrainer::new(ps, cfg);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut steps = 0usize;
+    // One tape reused across every serial mini-batch: `reset()` recycles the
+    // node buffers, so steady-state steps build their graphs without heap
+    // allocations (the parallel path keeps a graph per worker slot).
+    let mut graph = Graph::new();
 
     for _ in 0..cfg.epochs {
         positions.shuffle(&mut rng);
@@ -329,8 +339,9 @@ where
             let loss_val = match &mut par {
                 Some(par) => par.step(ps, chunk, steps as u64, cfg.seed, &shard_loss),
                 None => {
-                    let mut g = Graph::new();
-                    let loss = shard_loss(&mut g, ps, chunk, &mut rng);
+                    let g = &mut graph;
+                    g.reset();
+                    let loss = shard_loss(g, ps, chunk, &mut rng);
                     let v = g.scalar_value(loss) as f64;
                     ps.zero_grads();
                     g.backward(loss, ps);

@@ -4,8 +4,9 @@
 //!
 //! The workspace's parallelism subsystem — built entirely on `std`
 //! (`Mutex`/`Condvar`/atomics/threads), because the build environment is
-//! offline and the vendored crossbeam shim's single global
-//! `Mutex<VecDeque>` channel serializes every dispatch.
+//! offline. It replaced the vendored crossbeam shim (whose single global
+//! `Mutex<VecDeque>` channel serialized every dispatch) outright; the shim
+//! has since been deleted from the tree.
 //!
 //! Four facilities, layered bottom-up:
 //!

@@ -20,23 +20,26 @@
 //! `FrozenSeqFm: Send + Sync` is load-bearing.
 //!
 //! Replies travel through **reusable oneshot slots**
-//! ([`seqfm_parallel::Oneshot`]): after a response is consumed the slot is
-//! parked in a free list and re-armed by the next submit, so steady-state
-//! serving allocates nothing on the reply path. A [`PendingResponse`]
-//! dropped without [`wait`](PendingResponse::wait) recycles its slot too,
-//! provided the reply already arrived.
+//! ([`seqfm_parallel::Oneshot`]) parked **per caller thread**: consuming a
+//! response parks its slot in the calling thread's own stack, and the next
+//! submit from that thread re-arms it. There is no shared free list and no
+//! lock anywhere on the reply path (beyond the oneshot's own rendezvous),
+//! and steady-state serving allocates nothing for replies. A
+//! [`PendingResponse`] dropped without [`wait`](PendingResponse::wait)
+//! recycles its slot too, provided the reply already arrived.
 //!
 //! Worker panics are contained: a panic while scoring is drained into
 //! [`ServeError::WorkerPanicked`] for every request of that coalesced
 //! drain, and the worker keeps serving subsequent requests.
 
 use crate::error::ServeError;
-use crate::request::{score_requests, ScoreRequest, ScoreResponse};
+use crate::request::{score_requests_with, CoalesceScratch, ScoreRequest, ScoreResponse};
 use seqfm_core::{Scorer, Scratch};
 use seqfm_data::FeatureLayout;
 use seqfm_parallel::{Oneshot, WorkQueue};
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Engine sizing, admission, and ranking policy.
@@ -95,18 +98,45 @@ impl EngineConfig {
 
 type Reply = Result<ScoreResponse, ServeError>;
 type Slot = Arc<Oneshot<Reply>>;
-type FreeList = Arc<Mutex<Vec<Slot>>>;
 
-/// Parked reply slots awaiting reuse; bounded so a burst of one-off callers
-/// cannot pin memory forever.
-const MAX_PARKED_SLOTS: usize = 1024;
+/// Parked reply slots awaiting reuse, **per caller thread** — the
+/// ROADMAP's "per-caller reply-slot reuse". The previous design parked
+/// slots in an engine-wide `Arc<Mutex<Vec<Slot>>>` touched twice per round
+/// trip; keeping them with the caller makes arming and parking plain
+/// thread-local pushes/pops, lock-free end to end. A caller that fans out
+/// `k` submits before waiting simply parks `k` slots here.
+///
+/// Bounded so a burst of one-off callers cannot pin memory forever; a
+/// caller thread's slots are freed when the thread exits.
+const MAX_PARKED_SLOTS: usize = 256;
 
-/// Parks a slot for reuse by a later submit.
-fn park_slot(free: &FreeList, slot: Slot) {
-    let mut free = free.lock().expect("slot free list poisoned");
-    if free.len() < MAX_PARKED_SLOTS {
-        free.push(slot);
-    }
+thread_local! {
+    static PARKED_SLOTS: RefCell<Vec<Slot>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pops this thread's most recently parked slot (or allocates the first
+/// time) and re-arms it.
+fn arm_slot() -> Slot {
+    let slot =
+        PARKED_SLOTS.with(|p| p.borrow_mut().pop()).unwrap_or_else(|| Arc::new(Oneshot::new()));
+    slot.reset(); // re-arm (clears any stale close marker)
+    slot
+}
+
+/// Parks a slot on the current thread for reuse by a later submit.
+fn park_slot(slot: Slot) {
+    PARKED_SLOTS.with(|p| {
+        let mut parked = p.borrow_mut();
+        if parked.len() < MAX_PARKED_SLOTS {
+            parked.push(slot);
+        }
+    });
+}
+
+/// Number of slots parked on the current thread (test observability).
+#[cfg(test)]
+fn parked_slots() -> usize {
+    PARKED_SLOTS.with(|p| p.borrow().len())
 }
 
 struct Job {
@@ -132,14 +162,13 @@ impl Drop for Job {
 /// A handle to a submitted request; resolve it with
 /// [`PendingResponse::wait`].
 ///
-/// Dropping the handle without waiting abandons the request (the engine
-/// still scores it); if the reply had already arrived, the slot is recycled
-/// into the engine's free list on drop, so abandoned handles cannot leak
-/// the zero-allocation steady state away.
+/// The handle *is* the parked-slot carrier of the per-caller reuse scheme:
+/// waiting (or dropping after the reply arrived) parks the slot on the
+/// consuming thread for that thread's next submit, so abandoned handles
+/// cannot leak the zero-allocation steady state away.
 pub struct PendingResponse {
     /// `Some` until `wait` or `Drop` consumes the slot.
     slot: Option<Slot>,
-    free: FreeList,
 }
 
 impl PendingResponse {
@@ -164,7 +193,7 @@ impl PendingResponse {
         };
         // The producer is done with the slot on every branch (value taken,
         // or sticky close — cleared by the next re-arm); park it for reuse.
-        park_slot(&self.free, slot);
+        park_slot(slot);
         reply
     }
 }
@@ -181,7 +210,7 @@ impl Drop for PendingResponse {
         // lands in an Arc nobody reads, then the memory is freed).
         if slot.try_recv().is_some() {
             slot.reset(); // clear any sticky close marker before reuse
-            park_slot(&self.free, slot);
+            park_slot(slot);
         }
     }
 }
@@ -190,7 +219,6 @@ impl Drop for PendingResponse {
 pub struct Engine {
     queue: Option<WorkQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
-    free: FreeList,
 }
 
 impl Engine {
@@ -217,35 +245,54 @@ impl Engine {
                 let scorer = Arc::clone(&scorer);
                 std::thread::spawn(move || {
                     let mut scratch = Scratch::new();
+                    let mut coalesce = CoalesceScratch::new();
                     let mut jobs: Vec<Job> = Vec::new();
+                    let mut reqs: Vec<ScoreRequest> = Vec::new();
+                    let mut replies: Vec<Reply> = Vec::new();
                     // The coalescer: drain up to `coalesce_max` queued
                     // requests per wakeup and score them as grouped
                     // super-batches. Under light load the drain holds one
                     // request and this degenerates to per-request scoring.
+                    // Every buffer here (the drain, the request staging, the
+                    // coalesce scratch, the replies) is worker-owned and
+                    // reused across wakeups.
                     while handle.recv_many(cfg.coalesce_max, &mut jobs) {
-                        let refs: Vec<&ScoreRequest> = jobs.iter().map(|j| &j.req).collect();
+                        // Move the requests out of the jobs (the `Drop`
+                        // guard forbids destructuring) into the reused
+                        // staging buffer — no per-wakeup reference array.
+                        reqs.clear();
+                        for job in jobs.iter_mut() {
+                            reqs.push(std::mem::replace(
+                                &mut job.req,
+                                ScoreRequest {
+                                    user: 0,
+                                    history: Vec::new(),
+                                    candidates: Vec::new(),
+                                },
+                            ));
+                        }
                         // Contain panics: every caller in this drain gets
                         // the drained panic text, the worker keeps serving.
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            score_requests(
+                            score_requests_with(
                                 &*scorer,
                                 &layout,
                                 cfg.max_seq,
                                 cfg.top_k,
-                                &refs,
+                                &reqs,
                                 &mut scratch,
+                                &mut coalesce,
+                                &mut replies,
                             )
                         }));
-                        drop(refs);
-                        let replies = result.unwrap_or_else(|payload| {
+                        if let Err(payload) = result {
                             let message = panic_message(payload.as_ref());
-                            jobs.iter()
-                                .map(|_| {
-                                    Err(ServeError::WorkerPanicked { message: message.clone() })
-                                })
-                                .collect()
-                        });
-                        for (job, reply) in jobs.iter_mut().zip(replies) {
+                            replies.clear();
+                            replies.extend(jobs.iter().map(|_| {
+                                Err(ServeError::WorkerPanicked { message: message.clone() })
+                            }));
+                        }
+                        for (job, reply) in jobs.iter_mut().zip(replies.drain(..)) {
                             // A dropped reply receiver just means the caller
                             // gave up on this request; keep serving.
                             let _ = job.slot.send(reply);
@@ -256,24 +303,12 @@ impl Engine {
                 })
             })
             .collect();
-        Ok(Engine { queue: Some(queue), workers, free: Arc::new(Mutex::new(Vec::new())) })
+        Ok(Engine { queue: Some(queue), workers })
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
-    }
-
-    /// Pops a parked reply slot (or allocates the first time) and re-arms it.
-    fn arm_slot(&self) -> Slot {
-        let slot: Slot = self
-            .free
-            .lock()
-            .expect("slot free list poisoned")
-            .pop()
-            .unwrap_or_else(|| Arc::new(Oneshot::new()));
-        slot.reset(); // re-arm (clears any stale close marker)
-        slot
     }
 
     /// Non-blocking admission: enqueues the request and returns immediately,
@@ -282,15 +317,16 @@ impl Engine {
     /// acceptor, stream consumer) turns into "503 / retry later". Pair the
     /// handle with [`PendingResponse::wait`].
     ///
-    /// The reply slot comes from the engine's free list — no allocation
-    /// once the engine is warm, including on the shed path.
+    /// The reply slot comes from the calling thread's parked stack — no
+    /// allocation and no lock once the caller is warm, including on the
+    /// shed path.
     ///
     /// # Errors
     /// [`ServeError::Overloaded`] when the admission queue is full; the
     /// shed request is handed back inside the error, so retrying (or
     /// falling back to [`Engine::submit_wait`]) needs no defensive clone.
     pub fn submit(&self, req: ScoreRequest) -> Result<PendingResponse, ServeError> {
-        let slot = self.arm_slot();
+        let slot = arm_slot();
         match &self.queue {
             Some(q) => {
                 if let Err(mut job) =
@@ -306,7 +342,7 @@ impl Engine {
                     );
                     job.answered = true;
                     drop(job);
-                    park_slot(&self.free, slot);
+                    park_slot(slot);
                     return Err(ServeError::Overloaded {
                         capacity: q.capacity(),
                         req: Box::new(req),
@@ -316,7 +352,7 @@ impl Engine {
             // Unreachable while the engine is alive; keep `wait` total.
             None => slot.close(false),
         }
-        Ok(PendingResponse { slot: Some(slot), free: Arc::clone(&self.free) })
+        Ok(PendingResponse { slot: Some(slot) })
     }
 
     /// Blocking admission: like [`Engine::submit`], but parks the calling
@@ -324,12 +360,12 @@ impl Engine {
     /// backpressure for batch producers that should slow down rather than
     /// drop work.
     pub fn submit_wait(&self, req: ScoreRequest) -> PendingResponse {
-        let slot = self.arm_slot();
+        let slot = arm_slot();
         match &self.queue {
             Some(q) => q.push_wait(Job { req, slot: Arc::clone(&slot), answered: false }),
             None => slot.close(false),
         }
-        PendingResponse { slot: Some(slot), free: Arc::clone(&self.free) }
+        PendingResponse { slot: Some(slot) }
     }
 
     /// Scores one request, blocking until the response is ready (parking on
@@ -373,7 +409,7 @@ mod tests {
     use seqfm_autograd::ParamStore;
     use seqfm_core::{FrozenSeqFm, SeqFm, SeqFmConfig};
     use seqfm_data::Batch;
-    use std::sync::Condvar;
+    use std::sync::{Condvar, Mutex};
 
     fn frozen_model(layout: &FeatureLayout) -> FrozenSeqFm {
         let mut ps = ParamStore::new();
@@ -474,8 +510,9 @@ mod tests {
             let again = engine.score(req.clone()).expect("valid");
             assert_eq!(again, first, "reused slot corrupted a response");
         }
-        // Sequential round trips always reuse the single parked slot.
-        assert_eq!(engine.free.lock().unwrap().len(), 1, "free list should hold one parked slot");
+        // Sequential round trips always reuse the caller's single parked
+        // slot (each test runs on its own thread, so the count is exact).
+        assert_eq!(parked_slots(), 1, "caller thread should hold one parked slot");
     }
 
     #[test]
@@ -657,23 +694,17 @@ mod tests {
         let abandoned: Vec<PendingResponse> =
             (0..4).map(|_| engine.submit(req.clone()).expect("under capacity")).collect();
         engine.score(req.clone()).expect("valid");
-        // Pre-fix, only `wait()` parked slots back on the free list, so
-        // dropping these leaked all four slots permanently.
+        // Pre-fix (PR 4), only `wait()` parked slots, so dropping these
+        // leaked all four permanently; they now recycle onto the dropping
+        // thread's parked stack.
         drop(abandoned);
-        assert_eq!(
-            engine.free.lock().unwrap().len(),
-            5,
-            "dropped pendings must return their slots to the free list"
-        );
+        assert_eq!(parked_slots(), 5, "dropped pendings must park their slots for reuse");
         // The recycled slots serve fresh requests correctly.
         let want = engine.score(req.clone()).expect("valid");
         for _ in 0..8 {
             assert_eq!(engine.score(req.clone()).expect("valid"), want);
         }
-        assert!(
-            engine.free.lock().unwrap().len() <= 5,
-            "steady state must reuse, not grow, the free list"
-        );
+        assert!(parked_slots() <= 5, "steady state must reuse, not grow, the parked stack");
     }
 
     #[test]
@@ -690,8 +721,8 @@ mod tests {
             assert!(matches!(engine.submit(req(2)), Err(ServeError::Overloaded { .. })));
         }
         // All shed submits recycled their slot: at most one was allocated
-        // for the shed path, and it sits parked.
-        assert!(engine.free.lock().unwrap().len() <= 1);
+        // for the shed path, and it sits parked on this thread.
+        assert!(parked_slots() <= 1);
         open_gate(&gate);
         blocker.wait().expect("valid");
         filler.wait().expect("valid");
@@ -725,17 +756,17 @@ mod tests {
         // with jobs still inside (e.g. torn down with dead workers) drops
         // the jobs unanswered, and each waiting caller gets ShutDown — not
         // a hang and not a phantom response.
-        let free: FreeList = Arc::new(Mutex::new(Vec::new()));
         let slot: Slot = Arc::new(Oneshot::new());
         let job = Job {
             req: ScoreRequest { user: 0, history: vec![], candidates: vec![1] },
             slot: Arc::clone(&slot),
             answered: false,
         };
-        let pending = PendingResponse { slot: Some(slot), free: Arc::clone(&free) };
+        let pending = PendingResponse { slot: Some(slot) };
         drop(job); // queue destruction drops the job without a reply
         assert_eq!(pending.wait(), Err(ServeError::ShutDown));
-        // The closed slot was parked again — ShutDown does not leak it.
-        assert_eq!(free.lock().unwrap().len(), 1);
+        // The closed slot was parked on this thread — ShutDown does not
+        // leak it.
+        assert_eq!(parked_slots(), 1);
     }
 }

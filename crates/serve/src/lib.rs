@@ -27,8 +27,10 @@
 //!   async network front door turns into "retry later"), while
 //!   [`Engine::submit_wait`] parks on capacity. Each worker wakeup drains
 //!   up to `coalesce_max` queued requests and scores them as grouped
-//!   super-batches; replies ride reusable oneshot slots, so the
-//!   steady-state reply path allocates nothing.
+//!   super-batches through worker-owned [`CoalesceScratch`] buffers;
+//!   replies ride reusable oneshot slots parked **per caller thread** (no
+//!   shared free list, no lock on the reply path), so steady-state
+//!   submit/wait round trips allocate nothing.
 //!
 //! ## Example
 //!
@@ -83,5 +85,6 @@ mod request;
 pub use engine::{Engine, EngineConfig, PendingResponse};
 pub use error::ServeError;
 pub use request::{
-    expand_request, score_request, score_requests, ScoreRequest, ScoreResponse, ScoredCandidate,
+    expand_request, score_request, score_requests, score_requests_with, CoalesceScratch,
+    ScoreRequest, ScoreResponse, ScoredCandidate,
 };

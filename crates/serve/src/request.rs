@@ -85,22 +85,22 @@ fn effective_history(req: &ScoreRequest, max_seq: usize) -> &[u32] {
 /// all sharing one effective history) into `batch`, reusing its buffers.
 /// Row layout is identical to [`expand_request`]'s: every row carries
 /// `[user, candidate]` static features and the shared left-padded history.
-fn expand_group_into(
-    reqs: &[&ScoreRequest],
+fn expand_group_into_impl<R: std::borrow::Borrow<ScoreRequest>>(
+    reqs: &[R],
     group: &[usize],
     layout: &FeatureLayout,
     max_seq: usize,
     batch: &mut Batch,
 ) {
-    let hist = effective_history(reqs[group[0]], max_seq);
-    let total: usize = group.iter().map(|&i| reqs[i].candidates.len()).sum();
+    let hist = effective_history(reqs[group[0]].borrow(), max_seq);
+    let total: usize = group.iter().map(|&i| reqs[i].borrow().candidates.len()).sum();
     batch.len = total;
     batch.n_static = 2;
     batch.n_dynamic = max_seq;
     batch.static_idx.clear();
     batch.static_idx.reserve(total * 2);
     for &i in group {
-        let req = reqs[i];
+        let req = reqs[i].borrow();
         let user_feat = layout.user_feature(req.user);
         for &cand in &req.candidates {
             batch.static_idx.push(user_feat);
@@ -143,7 +143,7 @@ pub fn expand_request(
         dyn_idx: Vec::new(),
         targets: Vec::new(),
     };
-    expand_group_into(&[req], &[0], layout, max_seq, &mut batch);
+    expand_group_into_impl(&[req], &[0], layout, max_seq, &mut batch);
     Ok(batch)
 }
 
@@ -192,6 +192,66 @@ pub fn score_request<S: Scorer + ?Sized>(
     Ok(ScoreResponse { ranked: rank_candidates(&req.candidates, scores, top_k) })
 }
 
+/// Reusable buffers of the coalesced scoring path: group index lists, the
+/// expansion batch, the score accumulator, and the per-request result
+/// staging area. One `CoalesceScratch` belongs to one engine worker (or
+/// any other caller of [`score_requests_with`]); after a few drains every
+/// buffer has grown to its high-water mark and the grouping/expansion
+/// machinery performs no further heap allocation.
+pub struct CoalesceScratch {
+    /// Active groups (indices into the current request slice).
+    groups: Vec<Vec<usize>>,
+    /// Parked group index lists awaiting reuse.
+    spare_groups: Vec<Vec<usize>>,
+    /// Result staging, index-aligned with the request slice.
+    slots: Vec<Option<Result<ScoreResponse, ServeError>>>,
+    /// Reused candidate-expansion batch.
+    batch: Batch,
+    /// Reused per-group score accumulator.
+    scores: Vec<f32>,
+}
+
+impl Default for CoalesceScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoalesceScratch {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        CoalesceScratch {
+            groups: Vec::new(),
+            spare_groups: Vec::new(),
+            slots: Vec::new(),
+            batch: Batch {
+                len: 0,
+                n_static: 2,
+                n_dynamic: 0,
+                static_idx: Vec::new(),
+                dyn_idx: Vec::new(),
+                targets: Vec::new(),
+            },
+            scores: Vec::new(),
+        }
+    }
+
+    /// Parks every active group list for reuse and clears the staging area.
+    fn reset(&mut self, n: usize) {
+        for mut g in self.groups.drain(..) {
+            g.clear();
+            self.spare_groups.push(g);
+        }
+        self.slots.clear();
+        self.slots.resize_with(n, || None);
+    }
+
+    /// A cleared group list (recycled when possible).
+    fn fresh_group(&mut self) -> Vec<usize> {
+        self.spare_groups.pop().unwrap_or_default()
+    }
+}
+
 /// Serves many requests as coalesced super-batches: requests with the same
 /// `(user, effective history)` are grouped and scored through **one** batch
 /// whose rows all share the dynamic block — exactly the candidate-expansion
@@ -205,9 +265,9 @@ pub fn score_request<S: Scorer + ?Sized>(
 /// get their own [`ServeError`] without poisoning the rest. The returned
 /// vector is index-aligned with `reqs`.
 ///
-/// Scoring goes through [`Scorer::score_into`] with one reused expansion
-/// batch and score accumulator, so a warm caller performs no per-group
-/// allocation.
+/// This is a convenience wrapper over [`score_requests_with`] that builds
+/// throwaway buffers; repeat callers (the engine's workers) hold a
+/// [`CoalesceScratch`] instead.
 pub fn score_requests<S: Scorer + ?Sized>(
     scorer: &S,
     layout: &FeatureLayout,
@@ -216,52 +276,74 @@ pub fn score_requests<S: Scorer + ?Sized>(
     reqs: &[&ScoreRequest],
     scratch: &mut Scratch,
 ) -> Vec<Result<ScoreResponse, ServeError>> {
-    let mut out: Vec<Option<Result<ScoreResponse, ServeError>>> = vec![None; reqs.len()];
+    let mut cs = CoalesceScratch::new();
+    let mut out = Vec::with_capacity(reqs.len());
+    score_requests_with(scorer, layout, max_seq, top_k, reqs, scratch, &mut cs, &mut out);
+    out
+}
+
+/// [`score_requests`] over caller-owned buffers: the grouping lists, the
+/// expansion batch, and the score accumulator all live in `cs` and are
+/// reused across calls; results are appended to `out` (cleared first),
+/// index-aligned with `reqs`. `reqs` may hold requests by value or by
+/// reference — the engine's workers hand over drained requests directly
+/// without building a reference side-array per wakeup.
+#[allow(clippy::too_many_arguments)]
+pub fn score_requests_with<S: Scorer + ?Sized, R: std::borrow::Borrow<ScoreRequest>>(
+    scorer: &S,
+    layout: &FeatureLayout,
+    max_seq: usize,
+    top_k: usize,
+    reqs: &[R],
+    scratch: &mut Scratch,
+    cs: &mut CoalesceScratch,
+    out: &mut Vec<Result<ScoreResponse, ServeError>>,
+) {
+    cs.reset(reqs.len());
     // Group valid requests by (user, effective history), preserving first-
     // occurrence order. Linear key search: coalesced batches are small
     // (`coalesce_max`), so a hash map would cost more than it saves.
-    let mut groups: Vec<Vec<usize>> = Vec::new();
     for (i, req) in reqs.iter().enumerate() {
+        let req = req.borrow();
         if let Err(e) = validate_request(req, layout, max_seq) {
-            out[i] = Some(Err(e));
+            cs.slots[i] = Some(Err(e));
             continue;
         }
-        match groups.iter_mut().find(|g| {
-            let head = reqs[g[0]];
+        match cs.groups.iter_mut().find(|g| {
+            let head = reqs[g[0]].borrow();
             head.user == req.user
                 && effective_history(head, max_seq) == effective_history(req, max_seq)
         }) {
             Some(g) => g.push(i),
-            None => groups.push(vec![i]),
+            None => {
+                let mut g = cs.fresh_group();
+                g.push(i);
+                cs.groups.push(g);
+            }
         }
     }
 
     // One reusable expansion batch + score accumulator across all groups.
-    let mut batch = Batch {
-        len: 0,
-        n_static: 2,
-        n_dynamic: max_seq,
-        static_idx: Vec::new(),
-        dyn_idx: Vec::new(),
-        targets: Vec::new(),
-    };
-    let mut scores: Vec<f32> = Vec::new();
-    for group in &groups {
-        expand_group_into(reqs, group, layout, max_seq, &mut batch);
-        scores.clear();
-        scorer.score_into(&batch, scratch, &mut scores);
+    for group in &cs.groups {
+        expand_group_into_impl(reqs, group, layout, max_seq, &mut cs.batch);
+        cs.scores.clear();
+        scorer.score_into(&cs.batch, scratch, &mut cs.scores);
         let mut offset = 0usize;
         for &i in group {
-            let k = reqs[i].candidates.len();
-            out[i] = Some(Ok(ScoreResponse {
-                ranked: rank_candidates(&reqs[i].candidates, &scores[offset..offset + k], top_k),
+            let req = reqs[i].borrow();
+            let k = req.candidates.len();
+            cs.slots[i] = Some(Ok(ScoreResponse {
+                ranked: rank_candidates(&req.candidates, &cs.scores[offset..offset + k], top_k),
             }));
             offset += k;
         }
     }
-    out.into_iter()
-        .map(|r| r.expect("every request is either rejected by validation or scored in a group"))
-        .collect()
+    out.clear();
+    out.extend(
+        cs.slots.drain(..).map(|r| {
+            r.expect("every request is either rejected by validation or scored in a group")
+        }),
+    );
 }
 
 #[cfg(test)]

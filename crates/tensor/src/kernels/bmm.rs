@@ -75,18 +75,28 @@ pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(bs, bs2, "bmm_tn batch mismatch: {} vs {}", a.shape(), b.shape());
     assert_eq!(k, k2, "bmm_tn inner dim mismatch: {} vs {}", a.shape(), b.shape());
     let mut out = Tensor::zeros(Shape::d3(bs, m, n));
-    let (ad, bd) = (a.data(), b.data());
-    for_each_slice(out.data_mut(), bs, m * n, m * k * n, |i, c_slice| {
+    bmm_tn_into(a.data(), b.data(), out.data_mut(), bs, m, k, n);
+    out
+}
+
+/// Raw slice kernel: per-slice `c[i] += a[i]ᵀ · b[i]` over `bs` batch slices
+/// (`a: [bs,k,m]`, `b: [bs,k,n]`, `c: [bs,m,n]`). Accumulates into `c` — the
+/// backward pass's `dB = bmm_tn(A, dC)` writes straight into pooled gradient
+/// buffers through this.
+pub fn bmm_tn_into(a: &[f32], b: &[f32], c: &mut [f32], bs: usize, m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), bs * k * m);
+    debug_assert_eq!(b.len(), bs * k * n);
+    debug_assert_eq!(c.len(), bs * m * n);
+    for_each_slice(c, bs, m * n, m * k * n, |i, c_slice| {
         matmul_tn_into(
-            &ad[i * k * m..(i + 1) * k * m],
-            &bd[i * k * n..(i + 1) * k * n],
+            &a[i * k * m..(i + 1) * k * m],
+            &b[i * k * n..(i + 1) * k * n],
             c_slice,
             m,
             k,
             n,
         );
     });
-    out
 }
 
 /// Raw slice kernel: per-slice `c[i] += a[i] · b[i]` over `bs` batch slices

@@ -4,17 +4,49 @@
 //! all of them: for `C = A·B`, the backward pass computes `dA = dC·Bᵀ`
 //! ([`matmul_nt`]) and `dB = Aᵀ·dC` ([`matmul_tn`]).
 //!
-//! The `nn` and `tn` kernels use the `ikj` loop order so the innermost loop
-//! walks both `B` and `C` contiguously (auto-vectorises well); `nt` uses a
-//! dot-product inner loop since both operands are then walked contiguously.
+//! ## Two implementations, one bit pattern
 //!
-//! All three `_into` kernels are **row-partitioned** across the global
-//! thread pool above a size threshold (see `kernels::dispatch`): output rows
-//! are independent, each row's accumulation order is unchanged, so parallel
-//! results are bit-for-bit identical to serial ones.
+//! Each flavour exists twice: a [`naive`] reference kernel (simple loops,
+//! the semantic oracle) and a cache-blocked [`tiled`] kernel that packs a
+//! `k × NR` panel of `B` into the thread-local workspace arena
+//! ([`crate::workspace`]) and walks the output in `MR × NR` register tiles.
+//! The tiled kernels hold each output element in a register across the
+//! whole `k` loop instead of streaming it through memory once per `k` step,
+//! and the packed panel makes the inner loop a contiguous, branch-free
+//! multiply-add over `NR` lanes — that is where the single-core speedup
+//! comes from.
+//!
+//! **Bit-identity invariant**: for every output element `c[i,j]`, both
+//! implementations perform *exactly* the same sequence of f32 operations —
+//! the `k`-accumulation order is ascending `p`, the padding-row skip
+//! (`a == 0.0` in the `nn`/`tn` flavours) is preserved, and tiling only
+//! changes *which element is worked on when*, never the per-element op
+//! sequence. Tiled results are therefore bit-for-bit equal to naive ones
+//! for any input (asserted exhaustively in `tests/tiled_parity.rs`), which
+//! lets the dispatchers pick freely by shape without perturbing a single
+//! logit.
+//!
+//! The `_into` entry points are additionally **row-partitioned** across the
+//! global thread pool above a size threshold (see `kernels::dispatch`):
+//! output rows are independent and each row's accumulation order is
+//! unchanged, so parallel results are bit-for-bit identical to serial ones.
 
 use super::dispatch::should_par;
 use crate::{Shape, Tensor};
+
+/// Register-tile height: output rows processed per micro-kernel call.
+const MR: usize = 6;
+/// Register-tile width: output columns held in accumulators per call (also
+/// the packed panel width).
+const NR: usize = 16;
+
+/// `true` when the packed/tiled path is worth its panel-packing overhead:
+/// at least one full register tile of columns and enough total work to
+/// amortise the pack. Purely a performance heuristic — both paths produce
+/// identical bits.
+fn tiled_worthwhile(m: usize, k: usize, n: usize) -> bool {
+    n >= NR && m >= 2 && m * k * n >= 2048
+}
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 ///
@@ -56,60 +88,30 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Raw slice kernel: `c[m,n] += a[m,k] · b[k,n]`. Accumulates into `c`.
-/// Row-partitioned across the global pool above the dispatch threshold;
-/// results are bit-identical to the serial loop.
+/// Row-partitioned across the global pool above the dispatch threshold and
+/// cache-blocked above the tile threshold; results are bit-identical to the
+/// serial naive loop either way.
 pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     if should_par(m * k * n, m) {
-        par_rows(a, c, k, n, |a_rows, c_rows, rows| matmul_nn_rows(a_rows, b, c_rows, rows, k, n));
+        par_rows(a, c, k, n, |a_rows, c_rows, rows| nn_block(a_rows, b, c_rows, rows, k, n));
     } else {
-        matmul_nn_rows(a, b, c, m, k, n);
-    }
-}
-
-fn matmul_nn_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue; // embeddings of padding rows are exactly zero
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
-                *c_el += a_ip * b_el;
-            }
-        }
+        nn_block(a, b, c, m, k, n);
     }
 }
 
 /// Raw slice kernel: `c[m,n] += a[m,k] · b[n,k]ᵀ`. Accumulates into `c`.
-/// Row-partitioned like [`matmul_nn_into`].
+/// Partitioned and blocked like [`matmul_nn_into`].
 pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
     if should_par(m * k * n, m) {
-        par_rows(a, c, k, n, |a_rows, c_rows, rows| matmul_nt_rows(a_rows, b, c_rows, rows, k, n));
+        par_rows(a, c, k, n, |a_rows, c_rows, rows| nt_block(a_rows, b, c_rows, rows, k, n));
     } else {
-        matmul_nt_rows(a, b, c, m, k, n);
-    }
-}
-
-fn matmul_nt_rows(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (j, c_el) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *c_el += acc;
-        }
+        nt_block(a, b, c, m, k, n);
     }
 }
 
@@ -123,17 +125,35 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
     debug_assert_eq!(c.len(), m * n);
     if should_par(m * k * n, m) {
         seqfm_parallel::par_units(seqfm_parallel::global(), c, n, |i0, c_rows| {
-            matmul_tn_rows(a, b, c_rows, i0, c_rows.len() / n, m, k, n)
+            tn_block(a, b, c_rows, i0, c_rows.len() / n, m, k, n)
         });
     } else {
-        matmul_tn_rows(a, b, c, 0, m, m, k, n);
+        tn_block(a, b, c, 0, m, m, k, n);
     }
 }
 
-/// `tn` over output rows `[i0, i0 + rows)` only; `c` holds exactly those
-/// rows. The `p`-outer loop order of the full kernel is preserved.
+/// Serial `nn` over a row block: tiled when worthwhile, else naive.
+fn nn_block(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if tiled_worthwhile(m, k, n) {
+        tiled::matmul_nn_into(a, b, c, m, k, n);
+    } else {
+        naive::matmul_nn_into(a, b, c, m, k, n);
+    }
+}
+
+/// Serial `nt` over a row block: tiled when worthwhile, else naive.
+fn nt_block(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if tiled_worthwhile(m, k, n) {
+        tiled::matmul_nt_into(a, b, c, m, k, n);
+    } else {
+        naive::matmul_nt_into(a, b, c, m, k, n);
+    }
+}
+
+/// Serial `tn` over output rows `[i0, i0 + rows)` (with `c` holding exactly
+/// those rows): tiled when worthwhile, else naive.
 #[allow(clippy::too_many_arguments)]
-fn matmul_tn_rows(
+fn tn_block(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -143,17 +163,341 @@ fn matmul_tn_rows(
     k: usize,
     n: usize,
 ) {
-    for p in 0..k {
-        let a_row = &a[p * m..(p + 1) * m];
-        let b_row = &b[p * n..(p + 1) * n];
-        for (ri, &a_pi) in a_row[i0..i0 + rows].iter().enumerate() {
-            if a_pi == 0.0 {
-                continue;
+    if tiled_worthwhile(rows, k, n) {
+        tiled::matmul_tn_rows_into(a, b, c, i0, rows, m, k, n);
+    } else {
+        naive::matmul_tn_rows_into(a, b, c, i0, rows, m, k, n);
+    }
+}
+
+/// Naive reference kernels: the straight loops that define the bit-exact
+/// semantics of every matmul in this crate. The tiled kernels (and the
+/// parallel partitioning) must — and do — reproduce these bit for bit; the
+/// kernels bench measures the tiled speedup against them.
+pub mod naive {
+    /// Reference `c[m,n] += a[m,k] · b[k,n]` — `ikj` loop order with the
+    /// padding-row skip (`a == 0.0` contributes nothing and is skipped).
+    pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        nn_cols(a, b, c, m, k, n, 0);
+    }
+
+    /// [`matmul_nn_into`] restricted to output columns `[j_lo, n)` — the
+    /// tiled kernel's column-tail path. Per-element op order is identical
+    /// to the full kernel's.
+    pub(super) fn nn_cols(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        j_lo: usize,
+    ) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n + j_lo..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue; // embeddings of padding rows are exactly zero
+                }
+                let b_row = &b[p * n + j_lo..(p + 1) * n];
+                for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                    *c_el += a_ip * b_el;
+                }
             }
-            let c_row = &mut c[ri * n..(ri + 1) * n];
-            for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
-                *c_el += a_pi * b_el;
+        }
+    }
+
+    /// Reference `c[m,n] += a[m,k] · b[n,k]ᵀ` — a register dot product per
+    /// output element, added into `c` once.
+    pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        nt_cols(a, b, c, m, k, n, 0);
+    }
+
+    /// [`matmul_nt_into`] restricted to output columns `[j_lo, n)`.
+    pub(super) fn nt_cols(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        j_lo: usize,
+    ) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n + j_lo..(i + 1) * n];
+            for (jt, c_el) in c_row.iter_mut().enumerate() {
+                let j = j_lo + jt;
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in a_row.iter().zip(b_row) {
+                    acc += x * y;
+                }
+                *c_el += acc;
             }
+        }
+    }
+
+    /// Reference `c[m,n] += a[k,m]ᵀ · b[k,n]` — `p`-outer loop order with
+    /// the `a == 0.0` skip.
+    pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_tn_rows_into(a, b, c, 0, m, m, k, n);
+    }
+
+    /// Reference `tn` over output rows `[i0, i0 + rows)` only; `c` holds
+    /// exactly those rows. The `p`-outer loop order of the full kernel is
+    /// preserved.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_tn_rows_into(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        tn_cols(a, b, c, i0, rows, m, k, n, 0);
+    }
+
+    /// [`matmul_tn_rows_into`] restricted to output columns `[j_lo, n)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn tn_cols(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+        j_lo: usize,
+    ) {
+        for p in 0..k {
+            let a_row = &a[p * m..(p + 1) * m];
+            let b_row = &b[p * n + j_lo..(p + 1) * n];
+            for (ri, &a_pi) in a_row[i0..i0 + rows].iter().enumerate() {
+                if a_pi == 0.0 {
+                    continue;
+                }
+                let c_row = &mut c[ri * n + j_lo..(ri + 1) * n];
+                for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                    *c_el += a_pi * b_el;
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked, register-tiled kernels with `B` panels packed into the
+/// thread-local workspace arena. Bit-identical to [`naive`] — see the
+/// module docs for the invariant and `tests/tiled_parity.rs` for the proof.
+pub mod tiled {
+    use super::{naive, MR, NR};
+    use crate::workspace;
+
+    /// Packs columns `[j0, j0 + NR)` of the row-major `[k, n]` matrix `b`
+    /// into `panel` in `p`-major order: `panel[p·NR + t] = b[p·n + j0 + t]`.
+    fn pack_panel_cols(b: &[f32], panel: &mut [f32], k: usize, n: usize, j0: usize) {
+        for p in 0..k {
+            panel[p * NR..(p + 1) * NR].copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
+        }
+    }
+
+    /// Packs rows `[j0, j0 + NR)` of the row-major `[n, k]` matrix `b`
+    /// (i.e. columns of `bᵀ`) into `panel` in `p`-major order:
+    /// `panel[p·NR + t] = b[(j0 + t)·k + p]`.
+    fn pack_panel_rows(b: &[f32], panel: &mut [f32], k: usize, j0: usize) {
+        for t in 0..NR {
+            let src = &b[(j0 + t) * k..(j0 + t + 1) * k];
+            for (p, &v) in src.iter().enumerate() {
+                panel[p * NR + t] = v;
+            }
+        }
+    }
+
+    /// Tiled `c[m,n] += a[m,k] · b[k,n]`.
+    pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        workspace::with_thread(|ws| {
+            let mut panel = ws.take(k * NR);
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                pack_panel_cols(b, &mut panel, k, n, j0);
+                let mut i0 = 0;
+                while i0 < m {
+                    let rows = (m - i0).min(MR);
+                    nn_micro(a, &panel, c, i0, rows, j0, k, n);
+                    i0 += rows;
+                }
+                j0 += NR;
+            }
+            if j0 < n {
+                naive::nn_cols(a, b, c, m, k, n, j0);
+            }
+        });
+    }
+
+    /// `MR × NR` register tile of the `nn` kernel: loads the tile of `c`
+    /// into accumulators, replays the naive per-element `p`-ascending
+    /// multiply-adds (padding skip included), stores once.
+    #[allow(clippy::too_many_arguments)]
+    fn nn_micro(
+        a: &[f32],
+        panel: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
+            acc_r.copy_from_slice(&c[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR]);
+        }
+        for p in 0..k {
+            let bp = &panel[p * NR..(p + 1) * NR];
+            for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
+                let a_ip = a[(i0 + r) * k + p];
+                if a_ip == 0.0 {
+                    continue; // same padding-row skip as the naive kernel
+                }
+                for (o, &bv) in acc_r.iter_mut().zip(bp) {
+                    *o += a_ip * bv;
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate().take(rows) {
+            c[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR].copy_from_slice(acc_r);
+        }
+    }
+
+    /// Tiled `c[m,n] += a[m,k] · b[n,k]ᵀ`.
+    pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        workspace::with_thread(|ws| {
+            let mut panel = ws.take(k * NR);
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                pack_panel_rows(b, &mut panel, k, j0);
+                let mut i0 = 0;
+                while i0 < m {
+                    let rows = (m - i0).min(MR);
+                    nt_micro(a, &panel, c, i0, rows, j0, k, n);
+                    i0 += rows;
+                }
+                j0 += NR;
+            }
+            if j0 < n {
+                naive::nt_cols(a, b, c, m, k, n, j0);
+            }
+        });
+    }
+
+    /// `MR × NR` register tile of the `nt` kernel: per element, the same
+    /// zero-initialised `p`-ascending dot product as the naive kernel,
+    /// added into `c` once at the end.
+    #[allow(clippy::too_many_arguments)]
+    fn nt_micro(
+        a: &[f32],
+        panel: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for p in 0..k {
+            let bp = &panel[p * NR..(p + 1) * NR];
+            for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
+                let a_ip = a[(i0 + r) * k + p];
+                for (o, &bv) in acc_r.iter_mut().zip(bp) {
+                    *o += a_ip * bv;
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate().take(rows) {
+            let c_row = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR];
+            for (c_el, &v) in c_row.iter_mut().zip(acc_r) {
+                *c_el += v;
+            }
+        }
+    }
+
+    /// Tiled `c[m,n] += a[k,m]ᵀ · b[k,n]`.
+    pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_tn_rows_into(a, b, c, 0, m, m, k, n);
+    }
+
+    /// Tiled `tn` over output rows `[i0, i0 + rows)` only (`c` holds
+    /// exactly those rows) — the shape the row-partitioned parallel path
+    /// hands out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_tn_rows_into(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        workspace::with_thread(|ws| {
+            let mut panel = ws.take(k * NR);
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                pack_panel_cols(b, &mut panel, k, n, j0);
+                let mut r0 = 0;
+                while r0 < rows {
+                    let tile_rows = (rows - r0).min(MR);
+                    tn_micro(a, &panel, c, i0, r0, tile_rows, j0, m, n, k);
+                    r0 += tile_rows;
+                }
+                j0 += NR;
+            }
+            if j0 < n {
+                naive::tn_cols(a, b, c, i0, rows, m, k, n, j0);
+            }
+        });
+    }
+
+    /// `MR × NR` register tile of the `tn` kernel. `r0` indexes into the
+    /// local `c` block; `i0 + r0` is the global output row (the lhs column).
+    #[allow(clippy::too_many_arguments)]
+    fn tn_micro(
+        a: &[f32],
+        panel: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        r0: usize,
+        rows: usize,
+        j0: usize,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
+            acc_r.copy_from_slice(&c[(r0 + r) * n + j0..(r0 + r) * n + j0 + NR]);
+        }
+        for p in 0..k {
+            let bp = &panel[p * NR..(p + 1) * NR];
+            for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
+                let a_pi = a[p * m + i0 + r0 + r];
+                if a_pi == 0.0 {
+                    continue; // same skip as the naive p-outer kernel
+                }
+                for (o, &bv) in acc_r.iter_mut().zip(bp) {
+                    *o += a_pi * bv;
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate().take(rows) {
+            c[(r0 + r) * n + j0..(r0 + r) * n + j0 + NR].copy_from_slice(acc_r);
         }
     }
 }
@@ -182,7 +526,7 @@ fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::assert_close;
+    use crate::testutil::{assert_close, rand_tensor};
 
     fn t2(r: usize, c: usize, v: &[f32]) -> Tensor {
         Tensor::from_vec(Shape::d2(r, c), v.to_vec())
@@ -242,6 +586,51 @@ mod tests {
         }
         assert_close(matmul_nn(&a, &eye).data(), a.data(), 1e-6);
         assert_close(matmul_nn(&eye, &a).data(), a.data(), 1e-6);
+    }
+
+    #[test]
+    fn tiled_kernels_match_naive_bitwise_at_serving_shapes() {
+        // d = 32 and 64 with m around a candidate-expansion batch — the
+        // shapes the serving path actually runs (see benches/kernels.rs).
+        for &(m, k, n) in &[(100usize, 32usize, 32usize), (48, 64, 64), (37, 32, 50)] {
+            let mut seed = 91;
+            let a = rand_tensor(Shape::d2(m, k), &mut seed);
+            let b = rand_tensor(Shape::d2(k, n), &mut seed);
+            let bt = rand_tensor(Shape::d2(n, k), &mut seed);
+            let at = rand_tensor(Shape::d2(k, m), &mut seed);
+            let mut got = vec![0.5f32; m * n]; // non-zero: accumulation must match too
+            let mut want = vec![0.5f32; m * n];
+            tiled::matmul_nn_into(a.data(), b.data(), &mut got, m, k, n);
+            naive::matmul_nn_into(a.data(), b.data(), &mut want, m, k, n);
+            assert_eq!(got, want, "nn {m}x{k}x{n}");
+            got.fill(-1.25);
+            want.fill(-1.25);
+            tiled::matmul_nt_into(a.data(), bt.data(), &mut got, m, k, n);
+            naive::matmul_nt_into(a.data(), bt.data(), &mut want, m, k, n);
+            assert_eq!(got, want, "nt {m}x{k}x{n}");
+            got.fill(0.0);
+            want.fill(0.0);
+            tiled::matmul_tn_into(at.data(), b.data(), &mut got, m, k, n);
+            naive::matmul_tn_into(at.data(), b.data(), &mut want, m, k, n);
+            assert_eq!(got, want, "tn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tiled_preserves_the_padding_row_skip_semantics() {
+        // A zero row in `a` must be skipped, not multiplied — with an inf in
+        // `b`, skipping yields finite output while multiplying would give
+        // NaN. Bit-identity demands the tiled path skip exactly like naive.
+        let (m, k, n) = (8usize, 4usize, 16usize);
+        let a = vec![0.0f32; m * k]; // all padding rows
+        let mut b = vec![1.0f32; k * n];
+        b[5] = f32::INFINITY;
+        let mut got = vec![2.0f32; m * n];
+        let mut want = vec![2.0f32; m * n];
+        tiled::matmul_nn_into(&a, &b, &mut got, m, k, n);
+        naive::matmul_nn_into(&a, &b, &mut want, m, k, n);
+        assert_eq!(got, want);
+        assert!(got.iter().all(|v| v.is_finite()), "zero-skip lost: {got:?}");
     }
 
     #[test]

@@ -3,6 +3,11 @@
 //! The paper's intra-view pooling (Eq. 14) is `mean_axis1` over the stacked
 //! per-feature interaction vectors; the linear term and the loss heads need
 //! `sum_lastdim` / scalar reductions.
+//!
+//! Every reduction exists as a tensor-allocating wrapper **and** a raw-slice
+//! `_into` kernel. The wrappers are convenience for cold paths; hot callers
+//! (the autograd tape, whose output buffers come from its workspace pool)
+//! go through the `_into` kernels so reducing never allocates.
 
 use crate::{Shape, Tensor};
 
@@ -11,9 +16,23 @@ use crate::{Shape, Tensor};
 /// # Panics
 /// Panics if `x` is not rank 3.
 pub fn mean_axis1(x: &Tensor) -> Tensor {
-    let s = sum_axis1(x);
-    let n = x.shape().dim(1) as f32;
-    s.map(|v| v / n)
+    assert_eq!(x.shape().rank(), 3, "mean_axis1 expects rank 3, got {}", x.shape());
+    let (b, n, d) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
+    let mut out = Tensor::zeros(Shape::d2(b, d));
+    mean_axis1_into(x.data(), out.data_mut(), b, n, d);
+    out
+}
+
+/// Raw slice kernel of [`mean_axis1`]: `out[b, d] = mean over n of
+/// x[b, n, d]`. Overwrites `out`.
+pub fn mean_axis1_into(x: &[f32], out: &mut [f32], b: usize, n: usize, d: usize) {
+    sum_axis1_into(x, out, b, n, d);
+    // A division per element, not a multiply by the reciprocal — identical
+    // arithmetic to the historical `sum_axis1(x).map(|v| v / n)` wrapper.
+    let n = n as f32;
+    for o in out[..b * d].iter_mut() {
+        *o /= n;
+    }
 }
 
 /// Sum over axis 1 of a rank-3 tensor: `[b, n, d] → [b, d]`.
@@ -24,16 +43,25 @@ pub fn sum_axis1(x: &Tensor) -> Tensor {
     assert_eq!(x.shape().rank(), 3, "sum_axis1 expects rank 3, got {}", x.shape());
     let (b, n, d) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2));
     let mut out = Tensor::zeros(Shape::d2(b, d));
+    sum_axis1_into(x.data(), out.data_mut(), b, n, d);
+    out
+}
+
+/// Raw slice kernel of [`sum_axis1`]: `out[b, d] = Σₙ x[b, n, d]`.
+/// Overwrites `out` (zeroes it first).
+pub fn sum_axis1_into(x: &[f32], out: &mut [f32], b: usize, n: usize, d: usize) {
+    debug_assert!(x.len() >= b * n * d);
+    let out = &mut out[..b * d];
+    out.fill(0.0);
     for bi in 0..b {
-        let o = &mut out.data_mut()[bi * d..(bi + 1) * d];
+        let o = &mut out[bi * d..(bi + 1) * d];
         for r in 0..n {
-            let row = &x.data()[(bi * n + r) * d..(bi * n + r + 1) * d];
+            let row = &x[(bi * n + r) * d..(bi * n + r + 1) * d];
             for (ov, &v) in o.iter_mut().zip(row) {
                 *ov += v;
             }
         }
     }
-    out
 }
 
 /// Adjoint of [`sum_axis1`]: broadcasts `dy [b, d]` back to `[b, n, d]`,
@@ -45,16 +73,24 @@ pub fn broadcast_axis1(dy: &Tensor, n: usize, scale: f32) -> Tensor {
     assert_eq!(dy.shape().rank(), 2, "broadcast_axis1 expects rank 2, got {}", dy.shape());
     let (b, d) = (dy.shape().dim(0), dy.shape().dim(1));
     let mut out = Tensor::zeros(Shape::d3(b, n, d));
+    broadcast_axis1_into(dy.data(), out.data_mut(), b, n, d, scale);
+    out
+}
+
+/// Raw slice kernel of [`broadcast_axis1`]: expands `dy [b, d]` into
+/// `out [b, n, d]`, scaling each copy. Overwrites `out`.
+pub fn broadcast_axis1_into(dy: &[f32], out: &mut [f32], b: usize, n: usize, d: usize, scale: f32) {
+    debug_assert!(dy.len() >= b * d);
+    debug_assert!(out.len() >= b * n * d);
     for bi in 0..b {
-        let src = &dy.data()[bi * d..(bi + 1) * d];
+        let src = &dy[bi * d..(bi + 1) * d];
         for r in 0..n {
-            let dst = &mut out.data_mut()[(bi * n + r) * d..(bi * n + r + 1) * d];
+            let dst = &mut out[(bi * n + r) * d..(bi * n + r + 1) * d];
             for (o, &v) in dst.iter_mut().zip(src) {
                 *o = v * scale;
             }
         }
     }
-    out
 }
 
 /// Sum over the last dimension, reducing rank by one:
@@ -70,10 +106,17 @@ pub fn sum_lastdim(x: &Tensor) -> Tensor {
         r => panic!("sum_lastdim expects rank 2 or 3, got rank {r}"),
     };
     let mut out = Tensor::zeros(out_shape);
-    for (o, row) in out.data_mut().iter_mut().zip(x.data().chunks_exact(d)) {
+    sum_lastdim_into(x.data(), out.data_mut(), d);
+    out
+}
+
+/// Raw slice kernel of [`sum_lastdim`]: each length-`d` row of `x` sums
+/// into one slot of `out` (`out.len() · d == x.len()`). Overwrites `out`.
+pub fn sum_lastdim_into(x: &[f32], out: &mut [f32], d: usize) {
+    debug_assert_eq!(out.len() * d, x.len());
+    for (o, row) in out.iter_mut().zip(x.chunks_exact(d)) {
         *o = row.iter().sum();
     }
-    out
 }
 
 /// Adjoint of [`sum_lastdim`]: expands `dy` (rank r−1) back to `shape`
@@ -90,10 +133,17 @@ pub fn expand_lastdim(dy: &Tensor, shape: Shape) -> Tensor {
         dy.shape()
     );
     let mut out = Tensor::zeros(shape);
-    for (row, &v) in out.data_mut().chunks_exact_mut(d).zip(dy.data()) {
+    expand_lastdim_into(dy.data(), out.data_mut(), d);
+    out
+}
+
+/// Raw slice kernel of [`expand_lastdim`]: repeats each `dy` entry over a
+/// length-`d` row of `out`. Overwrites `out`.
+pub fn expand_lastdim_into(dy: &[f32], out: &mut [f32], d: usize) {
+    debug_assert_eq!(dy.len() * d, out.len());
+    for (row, &v) in out.chunks_exact_mut(d).zip(dy) {
         row.fill(v);
     }
-    out
 }
 
 /// Scalar mean of all elements, as a `[1]` tensor.
@@ -148,6 +198,24 @@ mod tests {
             expand_lastdim(&dy, shape).data().iter().zip(x.data()).map(|(&a, &b)| a * b).sum();
         let rhs: f32 = dy.data().iter().zip(sum_lastdim(&x).data()).map(|(&a, &b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_buffers() {
+        // The _into kernels are fed recycled workspace buffers; leftover
+        // values must never survive.
+        let x = Tensor::from_vec(Shape::d3(1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let mut out = vec![9.0f32; 4];
+        sum_axis1_into(x.data(), &mut out[..2], 1, 2, 2);
+        assert_close(&out[..2], &[4.0, 6.0], 1e-6);
+        mean_axis1_into(x.data(), &mut out[..2], 1, 2, 2);
+        assert_close(&out[..2], &[2.0, 3.0], 1e-6);
+        broadcast_axis1_into(&[1.0, 2.0], &mut out, 1, 2, 2, 0.5);
+        assert_close(&out, &[0.5, 1.0, 0.5, 1.0], 1e-6);
+        sum_lastdim_into(&[1.0, 2.0, 3.0, 4.0], &mut out[..2], 2);
+        assert_close(&out[..2], &[3.0, 7.0], 1e-6);
+        expand_lastdim_into(&[2.0, -1.0], &mut out, 2);
+        assert_close(&out, &[2.0, 2.0, -1.0, -1.0], 1e-6);
     }
 
     #[test]

@@ -272,20 +272,22 @@ pub fn softmax_backward_lastdim(y: &Tensor, dy: &Tensor) -> Tensor {
         y.shape(),
         dy.shape()
     );
-    let m = y.shape().last_dim();
     let mut out = Tensor::zeros(y.shape());
-    for ((yr, dyr), or) in y
-        .data()
-        .chunks_exact(m)
-        .zip(dy.data().chunks_exact(m))
-        .zip(out.data_mut().chunks_exact_mut(m))
-    {
+    softmax_backward_into(y.data(), dy.data(), out.data_mut(), y.shape().last_dim());
+    out
+}
+
+/// Raw slice kernel of [`softmax_backward_lastdim`]: rows of width `m`.
+/// Overwrites `out` — the autograd tape feeds it pooled gradient buffers.
+pub fn softmax_backward_into(y: &[f32], dy: &[f32], out: &mut [f32], m: usize) {
+    debug_assert_eq!(y.len(), dy.len());
+    debug_assert_eq!(y.len(), out.len());
+    for ((yr, dyr), or) in y.chunks_exact(m).zip(dy.chunks_exact(m)).zip(out.chunks_exact_mut(m)) {
         let dot: f32 = yr.iter().zip(dyr).map(|(&a, &b)| a * b).sum();
         for ((&yv, &dyv), o) in yr.iter().zip(dyr).zip(or.iter_mut()) {
             *o = yv * (dyv - dot);
         }
     }
-    out
 }
 
 #[cfg(test)]

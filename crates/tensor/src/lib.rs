@@ -20,6 +20,10 @@
 //! * Allocation-free `_into` variants of the hot kernels plus a fused
 //!   [`attention_into`] — the building blocks of the graph-free inference
 //!   path (`seqfm_core`'s `Scorer`/`FrozenSeqFm`).
+//! * A thread-local [`workspace`] arena ([`Workspace`]) owning all kernel
+//!   temporaries, and cache-blocked packed matmul kernels
+//!   ([`kernels::matmul::tiled`]) that are **bit-identical** to the naive
+//!   references ([`kernels::matmul::naive`]) — see the matmul module docs.
 //!
 //! All shape errors are programming errors and panic with a descriptive
 //! message; the panic contract is documented on each function.
@@ -29,16 +33,19 @@ mod tensor;
 
 pub mod kernels;
 pub mod testutil;
+pub mod workspace;
 
 pub use kernels::attention::attention_into;
-pub use kernels::bmm::{bmm_nn, bmm_nn_into, bmm_nt, bmm_nt_into, bmm_tn};
+pub use kernels::bmm::{bmm_nn, bmm_nn_into, bmm_nt, bmm_nt_into, bmm_tn, bmm_tn_into};
 pub use kernels::elementwise as ew;
 pub use kernels::matmul::{
     matmul_nn, matmul_nn_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into,
 };
 pub use kernels::reduce;
 pub use kernels::softmax::{
-    softmax_backward_lastdim, softmax_lastdim, softmax_lastdim_masked, softmax_rows_into, AttnMask,
+    softmax_backward_into, softmax_backward_lastdim, softmax_lastdim, softmax_lastdim_masked,
+    softmax_rows_into, AttnMask,
 };
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{Workspace, WsBuf};

@@ -33,6 +33,66 @@ pub fn rand_tensor(shape: Shape, seed: &mut u64) -> Tensor {
     Tensor::from_vec(shape, data)
 }
 
+/// A counting global-allocator wrapper for zero-allocation assertions.
+///
+/// Counts every `alloc`/`alloc_zeroed`/`realloc` routed through the global
+/// allocator (deallocations are free — returning memory is not
+/// "allocating") and delegates verbatim to [`std::alloc::System`]. It is
+/// inert unless a **binary** installs it:
+///
+/// ```ignore
+/// use seqfm_tensor::testutil::CountingAlloc;
+///
+/// #[global_allocator]
+/// static GLOBAL: CountingAlloc = CountingAlloc;
+///
+/// let before = CountingAlloc::allocations();
+/// // ... hot path ...
+/// assert_eq!(CountingAlloc::allocations() - before, 0);
+/// ```
+///
+/// One definition shared by the core zero-allocation test and the kernels
+/// bench, so the counting policy behind the published
+/// `allocs_per_scored_request` number and the test's guarantee can never
+/// drift apart.
+pub struct CountingAlloc;
+
+static ALLOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl CountingAlloc {
+    /// Total allocations counted so far in this process.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn count() {
+        ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+// SAFETY: delegates every operation verbatim to `System`; the counter has
+// no effect on the returned memory.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        Self::count();
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        Self::count();
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        Self::count();
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+}
+
 /// Next uniform sample in `[0, 1)` from a splitmix64 stream.
 pub fn next_uniform(seed: &mut u64) -> f32 {
     *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);

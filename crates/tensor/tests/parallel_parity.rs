@@ -5,6 +5,14 @@
 //! shapes large enough to clear the fan-out threshold, comparing against
 //! naive reference loops with the **same per-element accumulation order**.
 //! Equality is exact: row/slice partitioning must not change a single bit.
+//!
+//! Since the kernels grew their cache-blocked tiled paths, these shapes do
+//! double duty: every row-partitioned chunk below is large enough (rows ≥ 2,
+//! `n` ≥ one register tile, work over the tile threshold) that each parallel
+//! task runs the **tiled** kernel with its packed workspace panels — so the
+//! assertions prove naive == tiled == parallel-tiled, all to the bit. The
+//! serial tiled-vs-naive sweep at adversarial shapes lives in
+//! `tests/tiled_parity.rs`.
 
 use seqfm_tensor::testutil::rand_tensor;
 use seqfm_tensor::{
@@ -177,4 +185,19 @@ fn parallel_kernel_paths_match_serial_references_bitwise() {
         &mut out,
     );
     assert_eq!(out, want.data(), "fused parallel attention diverges");
+
+    // Per-worker workspace arenas: the fan-outs above ran tiled kernels on
+    // pool workers, each packing panels into its own thread-local arena.
+    // The caller's own arena must be balanced (no scope leaked), and the
+    // same parallel+tiled dispatch re-run must stay allocation-free on this
+    // thread once warm.
+    seqfm_tensor::workspace::with_thread(|ws| {
+        assert_eq!(ws.live(), 0, "a kernel leaked a workspace scope");
+    });
+    let warm = seqfm_tensor::workspace::with_thread(|ws| ws.heap_events());
+    let again = matmul_nn(&a, &b);
+    assert_eq!(again.data(), refer_nn(&a, &b, M, K, N), "tiled re-run diverges");
+    seqfm_tensor::workspace::with_thread(|ws| {
+        assert_eq!(ws.heap_events(), warm, "warm tiled dispatch allocated on the caller thread");
+    });
 }
