@@ -38,11 +38,11 @@ fn build_model() -> (SeqFm, ParamStore) {
 }
 
 fn request(i: usize, l: &FeatureLayout) -> ScoreRequest {
-    ScoreRequest {
-        user: (i % l.n_users) as u32,
-        history: (0..MAX_SEQ).map(|j| ((i * 7 + j) % l.n_items) as u32).collect(),
-        candidates: (0..CANDIDATES).map(|c| ((c * 3 + i) % l.n_items) as u32).collect(),
-    }
+    ScoreRequest::inline(
+        (i % l.n_users) as u32,
+        (0..MAX_SEQ).map(|j| ((i * 7 + j) % l.n_items) as u32).collect::<Vec<u32>>(),
+        (0..CANDIDATES).map(|c| ((c * 3 + i) % l.n_items) as u32).collect::<Vec<u32>>(),
+    )
 }
 
 /// Candidates per request in the coalescing workload. Deliberately
@@ -57,15 +57,39 @@ const COALESCE_CANDIDATES: usize = 8;
 /// candidate-set requests — the shape the engine's same-`(user, history)`
 /// grouping turns into cross-request super-batches.
 fn shared_history_request(i: usize, l: &FeatureLayout) -> ScoreRequest {
-    ScoreRequest {
-        user: 7,
-        history: (0..MAX_SEQ).map(|j| ((j * 11) % l.n_items) as u32).collect(),
-        candidates: (0..COALESCE_CANDIDATES).map(|c| ((c * 3 + i) % l.n_items) as u32).collect(),
-    }
+    ScoreRequest::inline(
+        7,
+        (0..MAX_SEQ).map(|j| ((j * 11) % l.n_items) as u32).collect::<Vec<u32>>(),
+        (0..COALESCE_CANDIDATES).map(|c| ((c * 3 + i) % l.n_items) as u32).collect::<Vec<u32>>(),
+    )
 }
 
 fn engine_cfg(threads: usize, coalesce_max: usize) -> EngineConfig {
-    EngineConfig { threads, max_seq: MAX_SEQ, top_k: 10, queue_capacity: 1024, coalesce_max }
+    EngineConfig::builder()
+        .threads(threads)
+        .max_seq(MAX_SEQ)
+        .top_k(10)
+        .queue_capacity(1024)
+        .coalesce_max(coalesce_max)
+        .build()
+        .expect("valid config")
+}
+
+/// Users in the stateful (stored-history) scenario. Small enough that the
+/// round-robin re-visits every user several times per measurement — the
+/// view-cache's steady state — and far under `cache_entries`.
+const STORED_USERS: usize = 64;
+
+/// The per-user history the stateful scenario stores (and the inline
+/// baseline carries on every request).
+fn user_history(u: usize, l: &FeatureLayout) -> Vec<u32> {
+    (0..MAX_SEQ).map(|j| ((u * 7 + j) % l.n_items) as u32).collect()
+}
+
+/// Candidate slate for stateful-scenario request `i` (same shape as the
+/// classic workload's slates).
+fn stored_candidates(i: usize, l: &FeatureLayout) -> Vec<u32> {
+    (0..CANDIDATES).map(|c| ((c * 3 + i) % l.n_items) as u32).collect()
 }
 
 fn request_batch(l: &FeatureLayout) -> Batch {
@@ -233,12 +257,40 @@ fn emit_serving_json(_c: &mut Criterion) {
     };
     let rps_coalesce_off = rps_shared_at(1);
     let rps_coalesced = rps_shared_at(32);
+    // The stateful scenario: the same traffic twice — once as stored
+    // `(user, candidates)` requests against a warmed store (view cache
+    // hot after the first visit per user), once with the identical
+    // histories inlined in every request. One worker, coalescing off, so
+    // the delta isolates what the store + view cache buy per request.
+    let stored_engine =
+        Engine::new(Arc::clone(&frozen_shared), l, engine_cfg(1, 1)).expect("valid");
+    let n_append = STORED_USERS * MAX_SEQ;
+    let t = Instant::now();
+    for u in 0..STORED_USERS {
+        for item in user_history(u, &l) {
+            stored_engine.append_event(u as u32, item).expect("valid ids");
+        }
+    }
+    let store_append_rps = n_append as f64 / t.elapsed().as_secs_f64();
+    let rps_stored_cached = run(&stored_engine, &|i| {
+        ScoreRequest::stored((i % STORED_USERS) as u32, stored_candidates(i % 8, &l))
+    });
+    let cache_stats = stored_engine.cache_stats();
+    let inline_engine =
+        Engine::new(Arc::clone(&frozen_shared), l, engine_cfg(1, 1)).expect("valid");
+    let rps_stored_inline = run(&inline_engine, &|i| {
+        ScoreRequest::inline(
+            (i % STORED_USERS) as u32,
+            user_history(i % STORED_USERS, &l),
+            stored_candidates(i % 8, &l),
+        )
+    });
     // Scaling numbers are only meaningful relative to the host: a 1-CPU
     // container physically cannot show multi-thread speedup.
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let json = format!(
-        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256, \"coalesce_max\": 32, \"coalesce_candidates_per_request\": {COALESCE_CANDIDATES} }},\n  \"host_cpus\": {host_cpus},\n  \"frozen_p50_latency_us\": {:.1},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0},\n  \"engine_rps_coalesce_off\": {:.0},\n  \"engine_rps_coalesced\": {:.0}\n}}\n",
+        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256, \"coalesce_max\": 32, \"coalesce_candidates_per_request\": {COALESCE_CANDIDATES}, \"stored_users\": {STORED_USERS} }},\n  \"host_cpus\": {host_cpus},\n  \"frozen_p50_latency_us\": {:.1},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0},\n  \"engine_rps_coalesce_off\": {:.0},\n  \"engine_rps_coalesced\": {:.0},\n  \"engine_rps_stored_cached\": {:.0},\n  \"engine_rps_stored_inline_baseline\": {:.0},\n  \"view_cache_hit_rate\": {:.3},\n  \"store_append_rps\": {:.0}\n}}\n",
         frozen_p50.as_secs_f64() * 1e6,
         graph_p50.as_secs_f64() * 1e6,
         speedup,
@@ -246,6 +298,10 @@ fn emit_serving_json(_c: &mut Criterion) {
         rps4,
         rps_coalesce_off,
         rps_coalesced,
+        rps_stored_cached,
+        rps_stored_inline,
+        cache_stats.hit_rate(),
+        store_append_rps,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     std::fs::write(path, &json).expect("write BENCH_serving.json");

@@ -11,6 +11,7 @@
 
 use crate::config::SeqFmConfig;
 use crate::scorer::{MaskCache, Scorer, Scratch};
+use crate::view::HistoryView;
 use crate::SeqFm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -243,12 +244,127 @@ struct ViewBufs<'a> {
     hagg: &'a mut [f32],
 }
 
-impl Scorer for FrozenSeqFm {
-    fn name(&self) -> &str {
-        "SeqFM[frozen]"
+impl FrozenSeqFm {
+    /// Precomputes the history-side half of the forward pass for one
+    /// left-padded dynamic index row: the dynamic view's pooled output, the
+    /// cross view's history-row Q/K/V projections, the lin˙ term, and the
+    /// padding length — everything a candidate-expansion batch over this
+    /// history would recompute identically on every request.
+    ///
+    /// The cached values are produced by the very same kernel calls the
+    /// plain forward runs, so scoring through
+    /// [`FrozenSeqFm::score_with_view`] is **bit-identical** to
+    /// [`Scorer::score`] on an inline batch carrying the same row.
+    ///
+    /// # Panics
+    /// Panics if an index in `dyn_row` is out of the embedding table's
+    /// range (callers validate ids against the feature layout first).
+    pub fn history_view(&self, dyn_row: &[i64], scratch: &mut Scratch) -> HistoryView {
+        let nd = dyn_row.len();
+        let d = self.cfg.d;
+        let ab = self.cfg.ablation;
+        let scale = 1.0 / (d as f32).sqrt();
+        let Scratch { ws, masks, .. } = scratch;
+
+        let pad = dyn_row.iter().take_while(|&&i| i == PAD).count();
+        let mut view = HistoryView { dyn_idx: dyn_row.to_vec(), d, pad, ..HistoryView::default() };
+
+        // lin˙ (Eq. 4), in `sum_dyn`'s exact accumulation order.
+        let wd = self.t(self.w_dynamic).data();
+        for &i in dyn_row {
+            if i >= 0 {
+                view.lin_d += wd[i as usize];
+            }
+        }
+        if !(ab.dynamic_view || ab.cross_view) || nd == 0 {
+            return view;
+        }
+
+        let mut e_d = ws.take(nd * d);
+        gather_rows(self.t(self.emb_dynamic), dyn_row, d, &mut e_d);
+
+        if ab.cross_view {
+            // The cross view's history rows are projected row-locally, so
+            // the per-request shared path can splice these under each
+            // row's per-candidate static projections (same `project` call
+            // as the non-cached path).
+            let ids = &self.attn[2];
+            let dsts = [&mut view.hist_q, &mut view.hist_k, &mut view.hist_v];
+            for (wid, dst) in [ids.wq, ids.wk, ids.wv].into_iter().zip(dsts) {
+                dst.resize(nd * d, 0.0);
+                project(&e_d[..nd * d], self.t(wid), nd, d, dst);
+            }
+        }
+        if ab.dynamic_view {
+            // The whole dynamic view collapses to one pooled `d`-vector per
+            // history. Serving expansion batches carry ns == 2 static
+            // features; the causal mask itself depends only on nd.
+            let causal = &MaskCache::for_geometry(masks, 2, nd).causal;
+            let mut q = ws.take(nd * d);
+            let mut k = ws.take(nd * d);
+            let mut v = ws.take(nd * d);
+            let mut scores = ws.take(nd * nd);
+            let mut ctx = ws.take(nd * d);
+            let mut pool = ws.take(d);
+            let mut normed = ws.take(d);
+            let mut lin = ws.take(d);
+            let mut hagg = ws.take(d);
+            let mut bufs = ViewBufs {
+                q: &mut q,
+                k: &mut k,
+                v: &mut v,
+                scores: &mut scores,
+                ctx: &mut ctx,
+                pool: &mut pool,
+                normed: &mut normed,
+                lin: &mut lin,
+                hagg: &mut hagg,
+            };
+            // The dynamic view's FFN slot mirrors the forward pass's
+            // ffn_idx bookkeeping: 1 when the static view precedes it.
+            let ffn_idx = usize::from(ab.static_view);
+            self.run_view(
+                1,
+                ffn_idx,
+                &e_d[..nd * d],
+                1,
+                nd,
+                d,
+                scale,
+                Some(causal),
+                Some((&[pad], 0)),
+                0,
+                1,
+                &mut bufs,
+            );
+            view.dyn_pooled = bufs.pool[..d].to_vec();
+        }
+        view
     }
 
-    fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
+    /// Scores a candidate-expansion batch against a cached
+    /// [`HistoryView`], skipping every history-side computation the view
+    /// already holds. Bit-identical to [`Scorer::score`] on the same batch.
+    ///
+    /// # Panics
+    /// Panics if `view` was not built for exactly this batch's dynamic
+    /// block (stale or mismatched views must fail loudly, not serve wrong
+    /// scores).
+    pub fn score_with_view<'s>(
+        &self,
+        batch: &Batch,
+        view: &HistoryView,
+        scratch: &'s mut Scratch,
+    ) -> &'s [f32] {
+        self.forward_split(batch, scratch, Some(view));
+        &scratch.out[..batch.len]
+    }
+
+    /// The forward pass, with the history-side work either computed in
+    /// place (`cached == None` — the classic path, including the
+    /// shared-history fast path) or spliced in from a cached
+    /// [`HistoryView`].
+    fn forward_split(&self, batch: &Batch, scratch: &mut Scratch, cached: Option<&HistoryView>) {
         let (b, ns, nd) = (batch.len, batch.n_static, batch.n_dynamic);
         let d = self.cfg.d;
         let ab = self.cfg.ablation;
@@ -256,9 +372,20 @@ impl Scorer for FrozenSeqFm {
         let scale = 1.0 / (d as f32).sqrt();
         let nmax = ns + nd;
 
+        if let Some(view) = cached {
+            // A view is tied to one exact dynamic row; serving stale
+            // history silently would be the worst possible failure mode.
+            assert_eq!(view.d, d, "history view built at width {} but model is {d}", view.d);
+            assert_eq!(view.nd(), nd, "history view covers nd={} but batch has {nd}", view.nd());
+            assert!(
+                nd == 0 || batch.dyn_idx.chunks_exact(nd).all(|row| row == view.dyn_idx()),
+                "history view does not match the batch's dynamic block"
+            );
+        }
+
         // Disjoint field borrows: the arena hands out every kernel
-        // temporary below; `out` stays a plain buffer because the returned
-        // slice borrows it past the arena scopes' lifetime.
+        // temporary below; `out` stays a plain buffer because the caller's
+        // returned slice borrows it past the arena scopes' lifetime.
         let Scratch { out, ws, pad_counts, masks, .. } = scratch;
         if ab.dynamic_view || ab.cross_view {
             MaskCache::for_geometry(masks, ns, nd);
@@ -275,23 +402,28 @@ impl Scorer for FrozenSeqFm {
         // block alone — its embeddings, the whole dynamic view, the cross
         // view's history-row projections, the lin˙ term — is computed once
         // and reused. Per-row arithmetic is untouched, so logits stay
-        // bit-identical to the per-row path (and to the graph).
-        let shared_hist = b > 1
-            && nd > 0
-            && batch.dyn_idx.chunks_exact(nd).skip(1).all(|row| row == &batch.dyn_idx[..nd]);
-        // Rows of the dynamic block actually materialised.
+        // bit-identical to the per-row path (and to the graph). A cached
+        // view is that same once-per-batch work memoised across requests,
+        // so it rides the identical branch.
+        let shared_hist = (cached.is_some() && nd > 0)
+            || (b > 1
+                && nd > 0
+                && batch.dyn_idx.chunks_exact(nd).skip(1).all(|row| row == &batch.dyn_idx[..nd]));
+        // Rows of the dynamic block actually materialised; a cached view
+        // skips materialising the dynamic embeddings entirely.
         let db = if shared_hist { 1 } else { b };
+        let need_e_d = cached.is_none();
 
         // Workspace scopes, sized exactly for this batch (zero-filled on
         // take; zero heap traffic once the arena has seen the shape).
         let mut e_s = ws.take(b * ns * d);
-        let mut e_d = ws.take(db * nd * d);
+        let mut e_d = ws.take(if need_e_d { db * nd * d } else { 0 });
         let cross_stacked = ab.cross_view && !shared_hist;
         let mut e_x = ws.take(if cross_stacked { b * nmax * d } else { 0 });
         let mut q = ws.take(b * nmax * d);
         let mut k = ws.take(b * nmax * d);
         let mut v = ws.take(b * nmax * d);
-        let mut qd = ws.take(if ab.cross_view && shared_hist { nd * d } else { 0 });
+        let mut qd = ws.take(if ab.cross_view && shared_hist && need_e_d { nd * d } else { 0 });
         let mut scores = ws.take(b * nmax * nmax);
         let mut ctx = ws.take(b * nmax * d);
         let mut pool = ws.take(b * d);
@@ -301,15 +433,22 @@ impl Scorer for FrozenSeqFm {
 
         // Embedding layer (Eq. 5): PAD rows embed to exact zeros.
         gather_rows(self.t(self.emb_static), &batch.static_idx, d, &mut e_s);
-        gather_rows(self.t(self.emb_dynamic), &batch.dyn_idx[..db * nd], d, &mut e_d);
+        if need_e_d {
+            gather_rows(self.t(self.emb_dynamic), &batch.dyn_idx[..db * nd], d, &mut e_d);
+        }
 
         // Per-sample padding lengths (masked-pooling extension).
-        for (bi, slot) in pad_counts.iter_mut().enumerate().take(db) {
-            *slot = batch.dyn_idx[bi * nd..(bi + 1) * nd].iter().take_while(|&&i| i == PAD).count();
-        }
-        if shared_hist {
-            let pad0 = pad_counts[0];
-            pad_counts[1..b].fill(pad0);
+        if let Some(view) = cached {
+            pad_counts[..b].fill(view.pad);
+        } else {
+            for (bi, slot) in pad_counts.iter_mut().enumerate().take(db) {
+                *slot =
+                    batch.dyn_idx[bi * nd..(bi + 1) * nd].iter().take_while(|&&i| i == PAD).count();
+            }
+            if shared_hist {
+                let pad0 = pad_counts[0];
+                pad_counts[1..b].fill(pad0);
+            }
         }
 
         // Multi-view attention → pooling → shared FFN, each view writing its
@@ -346,25 +485,35 @@ impl Scorer for FrozenSeqFm {
             view_col += d;
         }
         if ab.dynamic_view {
-            let causal = &masks.as_ref().expect("mask cache installed").causal;
-            // With a shared history the dynamic view is identical for every
-            // row: run it once (db == 1) and broadcast the pooled result.
-            self.run_view(
-                1,
-                ffn_idx,
-                &e_d[..db * nd * d],
-                db,
-                nd,
-                d,
-                scale,
-                Some(causal),
-                Some((&pad_counts[..db], 0)),
-                view_col,
-                views,
-                &mut bufs,
-            );
-            if shared_hist {
+            if let Some(view) = cached.filter(|_| shared_hist) {
+                // The cached pooled vector *is* this history's dynamic-view
+                // output (produced by the same `run_view` call): splice it
+                // into row 0's column block and broadcast, exactly like the
+                // computed shared path below.
+                bufs.hagg[view_col..view_col + d].copy_from_slice(&view.dyn_pooled);
                 broadcast_hagg_block(bufs.hagg, b, views * d, view_col, d);
+            } else {
+                let causal = &masks.as_ref().expect("mask cache installed").causal;
+                // With a shared history the dynamic view is identical for
+                // every row: run it once (db == 1) and broadcast the pooled
+                // result.
+                self.run_view(
+                    1,
+                    ffn_idx,
+                    &e_d[..db * nd * d],
+                    db,
+                    nd,
+                    d,
+                    scale,
+                    Some(causal),
+                    Some((&pad_counts[..db], 0)),
+                    view_col,
+                    views,
+                    &mut bufs,
+                );
+                if shared_hist {
+                    broadcast_hagg_block(bufs.hagg, b, views * d, view_col, d);
+                }
             }
             ffn_idx += 1;
             view_col += d;
@@ -379,10 +528,21 @@ impl Scorer for FrozenSeqFm {
                 // projections; attention itself still runs per row (the
                 // cross mask mixes static and dynamic positions).
                 let w_ids = [self.attn[2].wq, self.attn[2].wk, self.attn[2].wv];
+                // A cached view already holds the three history projections
+                // (built by the identical `project` call); otherwise project
+                // the shared history once per weight matrix into `qd`.
+                let cached_hist =
+                    cached.map(|v| [v.hist_q.as_slice(), v.hist_k.as_slice(), v.hist_v.as_slice()]);
                 let dsts = [&mut *bufs.q, &mut *bufs.k, &mut *bufs.v];
-                for (wid, dst) in w_ids.into_iter().zip(dsts) {
+                for (wi, (wid, dst)) in w_ids.into_iter().zip(dsts).enumerate() {
                     let w = self.t(wid);
-                    project(&e_d[..nd * d], w, nd, d, &mut qd);
+                    let hist: &[f32] = match &cached_hist {
+                        Some(h) => h[wi],
+                        None => {
+                            project(&e_d[..nd * d], w, nd, d, &mut qd);
+                            &qd
+                        }
+                    };
                     for bi in 0..b {
                         let base = bi * nx * d;
                         let stat = &mut dst[base..base + ns * d];
@@ -395,7 +555,7 @@ impl Scorer for FrozenSeqFm {
                             d,
                             d,
                         );
-                        dst[base + ns * d..base + nx * d].copy_from_slice(&qd[..nd * d]);
+                        dst[base + ns * d..base + nx * d].copy_from_slice(&hist[..nd * d]);
                     }
                 }
                 self.finish_view(
@@ -455,7 +615,12 @@ impl Scorer for FrozenSeqFm {
             }
             lin_d
         };
-        let shared_lin_d = shared_hist.then(|| sum_dyn(0));
+        // A cached view carries lin˙ accumulated in `sum_dyn`'s exact order,
+        // so the cached and computed values are the same bits.
+        let shared_lin_d = match cached {
+            Some(view) => Some(view.lin_d),
+            None => shared_hist.then(|| sum_dyn(0)),
+        };
         for (bi, f) in fout.iter_mut().enumerate() {
             let mut lin_s = 0.0f32;
             for &i in &batch.static_idx[bi * ns..(bi + 1) * ns] {
@@ -466,7 +631,36 @@ impl Scorer for FrozenSeqFm {
             let lin_d = shared_lin_d.unwrap_or_else(|| sum_dyn(bi));
             *f = (*f + (lin_s + lin_d)) + w0;
         }
-        &out[..b]
+    }
+}
+
+impl Scorer for FrozenSeqFm {
+    fn name(&self) -> &str {
+        "SeqFM[frozen]"
+    }
+
+    fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
+        self.forward_split(batch, scratch, None);
+        &scratch.out[..batch.len]
+    }
+
+    fn supports_history_view(&self) -> bool {
+        true
+    }
+
+    fn build_history_view(&self, dyn_row: &[i64], scratch: &mut Scratch) -> Option<HistoryView> {
+        Some(self.history_view(dyn_row, scratch))
+    }
+
+    fn score_with_view_into(
+        &self,
+        batch: &Batch,
+        view: &HistoryView,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        self.forward_split(batch, scratch, Some(view));
+        out.extend_from_slice(&scratch.out[..batch.len]);
     }
 }
 

@@ -49,6 +49,7 @@ pub mod frozen;
 pub mod model;
 pub mod scorer;
 pub mod train;
+pub mod view;
 
 pub use config::{Ablation, SeqFmConfig};
 pub use eval::{
@@ -62,6 +63,7 @@ pub use train::{
     train_ctr, train_ctr_with_hook, train_ranking, train_ranking_with_hook, train_rating,
     train_rating_with_hook, TrainConfig, TrainReport,
 };
+pub use view::HistoryView;
 
 use rand::rngs::StdRng;
 use seqfm_autograd::{Graph, ParamStore, Var};

@@ -19,6 +19,7 @@
 //!   between calls, so even the compatibility path stops allocating once
 //!   its buffer pool is warm.
 
+use crate::view::HistoryView;
 use crate::SeqModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,6 +54,50 @@ pub trait Scorer {
     fn score_into(&self, batch: &Batch, scratch: &mut Scratch, out: &mut Vec<f32>) {
         let scores = self.score(batch, scratch);
         out.extend_from_slice(scores);
+    }
+
+    /// Whether this scorer can split its forward pass into cacheable
+    /// history-side work ([`HistoryView`]) and per-candidate work.
+    ///
+    /// `false` (the default) tells stateful serving layers not to bother
+    /// building or caching views for this scorer — [`GraphScorer`] and other
+    /// compatibility paths recompute everything per call.
+    fn supports_history_view(&self) -> bool {
+        false
+    }
+
+    /// Precomputes the history-side intermediates for one left-padded
+    /// dynamic index row (`dyn_row`, as a candidate-expansion batch would
+    /// carry in every row), for later reuse via
+    /// [`Scorer::score_with_view_into`].
+    ///
+    /// Returns `None` when the scorer does not support views (the default);
+    /// a `Some` view scores **bit-identically** to recomputing from
+    /// `dyn_row` — that is the contract caching layers rely on.
+    fn build_history_view(&self, dyn_row: &[i64], scratch: &mut Scratch) -> Option<HistoryView> {
+        let _ = (dyn_row, scratch);
+        None
+    }
+
+    /// Scores a candidate-expansion batch whose every row carries the
+    /// dynamic block `view` was built from, reusing the view's cached
+    /// history-side work, and **appends** the `batch.len` scores to `out`.
+    ///
+    /// The default implementation ignores the view and recomputes through
+    /// [`Scorer::score_into`] — still correct (view-based scoring is
+    /// bit-identical by contract), just without the saving. Implementations
+    /// overriding this must reject a view whose
+    /// [`dyn_idx`](HistoryView::dyn_idx) does not match the batch rather
+    /// than serve stale history.
+    fn score_with_view_into(
+        &self,
+        batch: &Batch,
+        view: &HistoryView,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        let _ = view;
+        self.score_into(batch, scratch, out);
     }
 }
 

@@ -1,0 +1,73 @@
+//! Cached history-side work of a frozen forward pass: [`HistoryView`].
+//!
+//! SeqFM's split structure makes serving-side caching unusually cheap: in a
+//! candidate-expansion batch every row shares the user's dynamic sequence,
+//! and everything the frozen forward derives from that sequence *alone* —
+//! the dynamic-view pooled representation, the cross view's history-row
+//! Q/K/V projections, the dynamic linear term, the padding length — is
+//! independent of the candidates being scored. A [`HistoryView`] packages
+//! exactly those intermediates so a stateful serving layer can compute them
+//! **once per history version** and reuse them across requests, instead of
+//! once per request.
+//!
+//! Views are produced by
+//! [`Scorer::build_history_view`](crate::Scorer::build_history_view) and
+//! consumed by
+//! [`Scorer::score_with_view_into`](crate::Scorer::score_with_view_into);
+//! for [`FrozenSeqFm`](crate::FrozenSeqFm) the cached values are bitwise
+//! the ones the plain forward would recompute, so view-based scoring is
+//! **bit-identical** to scoring the same history inline.
+
+/// The frozen forward's history-side intermediates for one dynamic
+/// sequence (left-padded to the serving window), versioned and cached by
+/// the serving layer.
+///
+/// A view is tied to the exact padded index row it was built from
+/// ([`HistoryView::dyn_idx`]); scoring it against a batch with a different
+/// dynamic block is a serving-layer bug and is rejected loudly rather than
+/// silently producing stale scores.
+///
+/// Depending on the model's ablation switches some fields may be empty
+/// (e.g. no `dyn_pooled` without the dynamic view); the scorer that built
+/// the view knows which parts it filled.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistoryView {
+    /// The left-padded dynamic index row this view caches (`nd` entries).
+    pub(crate) dyn_idx: Vec<i64>,
+    /// Embedding width the view was built at.
+    pub(crate) d: usize,
+    /// Number of leading padding slots in `dyn_idx`.
+    pub(crate) pad: usize,
+    /// Dynamic-side linear term Σ w˙\[i\] over non-pad history items.
+    pub(crate) lin_d: f32,
+    /// Pooled output of the dynamic view's attention + FFN stack, `[d]`
+    /// (empty when the dynamic view is ablated away).
+    pub(crate) dyn_pooled: Vec<f32>,
+    /// Cross-view Q projections of the history rows, `[nd, d]` row-major
+    /// (empty when the cross view is ablated away).
+    pub(crate) hist_q: Vec<f32>,
+    /// Cross-view K projections of the history rows, `[nd, d]`.
+    pub(crate) hist_k: Vec<f32>,
+    /// Cross-view V projections of the history rows, `[nd, d]`.
+    pub(crate) hist_v: Vec<f32>,
+}
+
+impl HistoryView {
+    /// The padded dynamic index row this view was built from.
+    pub fn dyn_idx(&self) -> &[i64] {
+        &self.dyn_idx
+    }
+
+    /// Width of the dynamic window (`nd`) the view covers.
+    pub fn nd(&self) -> usize {
+        self.dyn_idx.len()
+    }
+
+    /// Approximate heap footprint in bytes — what a bounded view cache
+    /// budgets per entry.
+    pub fn approx_bytes(&self) -> usize {
+        self.dyn_idx.len() * std::mem::size_of::<i64>()
+            + (self.dyn_pooled.len() + self.hist_q.len() + self.hist_k.len() + self.hist_v.len())
+                * std::mem::size_of::<f32>()
+    }
+}

@@ -1,14 +1,26 @@
-//! The multi-threaded, batch-coalescing scoring engine.
+//! The multi-threaded, batch-coalescing, **stateful** scoring engine.
 //!
 //! An [`Engine`] owns a pool of worker threads fed by a **bounded**
 //! [`WorkQueue`](seqfm_parallel::WorkQueue): requests are admitted
 //! round-robin onto per-worker sharded queues, an idle worker steals from
 //! its siblings, and — the throughput lever — each worker wakeup **drains up
 //! to [`EngineConfig::coalesce_max`] queued requests at once**, groups the
-//! ones sharing a `(user, history)` pair, and scores every group as one
-//! super-batch through [`score_requests`](crate::score_requests). The frozen
-//! scorer's shared-history fast path then fires *across* requests, so
-//! throughput rises with load, not only with threads.
+//! ones sharing a canonical history window (regardless of user), and scores
+//! every group as one super-batch through
+//! [`score_requests_stateful`](crate::score_requests_stateful). The frozen
+//! scorer's shared-history fast path then fires *across* requests and
+//! *across users*, so throughput rises with load, not only with threads.
+//!
+//! Since the stateful-serving redesign the engine also **owns the
+//! sequences**: a sharded [`HistoryStore`](crate::HistoryStore) sized
+//! `layout.n_users × history_capacity`, warmed from a dataset
+//! ([`Engine::warm_histories`]) and kept current by
+//! [`Engine::append_event`]. A [`HistorySource::Stored`](crate::HistorySource)
+//! request is just `(user, candidates)`; workers snapshot the window under
+//! one shard read lock and — when [`EngineConfig::cache_entries`] > 0 —
+//! memoise the scorer's history-side panel in a versioned
+//! [`ViewCache`](crate::ViewCache), so a cache hit skips the history half
+//! of the forward entirely. All of it is bit-identical to inline scoring.
 //!
 //! Admission is explicit: the non-blocking [`Engine::submit`] sheds load
 //! with [`ServeError::Overloaded`] once
@@ -33,17 +45,23 @@
 //! drain, and the worker keeps serving subsequent requests.
 
 use crate::error::ServeError;
-use crate::request::{score_requests_with, CoalesceScratch, ScoreRequest, ScoreResponse};
+use crate::request::{score_requests_stateful, CoalesceScratch, ScoreRequest, ScoreResponse};
+use crate::store::{CacheStats, HistoryBackend, HistoryStore, ViewCache};
 use seqfm_core::{Scorer, Scratch};
-use seqfm_data::FeatureLayout;
+use seqfm_data::{Dataset, FeatureLayout};
 use seqfm_parallel::{Oneshot, WorkQueue};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Engine sizing, admission, and ranking policy.
+/// Engine sizing, admission, ranking, and history-store policy.
+///
+/// `#[non_exhaustive]`: construct it with [`EngineConfig::builder`] (new
+/// knobs must not break downstream builds). Inside this crate, struct
+/// literals remain available to tests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Worker threads (clamped to at least 1).
     pub threads: usize,
@@ -56,10 +74,16 @@ pub struct EngineConfig {
     /// [`ServeError::Overloaded`]. Must be ≥ 1.
     pub queue_capacity: usize,
     /// Requests a worker drains per wakeup and scores as coalesced
-    /// same-`(user, history)` super-batches. `1` disables coalescing;
-    /// larger values trade per-request latency for throughput under load.
-    /// Must be ≥ 1.
+    /// same-history super-batches. `1` disables coalescing; larger values
+    /// trade per-request latency for throughput under load. Must be ≥ 1.
     pub coalesce_max: usize,
+    /// Per-user [`HistoryStore`](crate::HistoryStore) ring capacity; `0`
+    /// (the default) means "use `max_seq`" — the window the model can see
+    /// anyway.
+    pub history_capacity: usize,
+    /// Bound on the [`ViewCache`](crate::ViewCache) memoising history-side
+    /// panels for stored-history requests; `0` disables caching.
+    pub cache_entries: usize,
 }
 
 impl Default for EngineConfig {
@@ -68,12 +92,29 @@ impl Default for EngineConfig {
         // caller opts into more. The admission queue absorbs a healthy burst
         // before shedding; modest coalescing is on by default — it only
         // batches requests that are *already* waiting, so an unloaded engine
-        // keeps single-request latency.
-        EngineConfig { threads: 1, max_seq: 20, top_k: 0, queue_capacity: 1024, coalesce_max: 16 }
+        // keeps single-request latency. The view cache defaults on: a cached
+        // panel is bit-identical to a rebuilt one, so it is purely a
+        // throughput lever.
+        EngineConfig {
+            threads: 1,
+            max_seq: 20,
+            top_k: 0,
+            queue_capacity: 1024,
+            coalesce_max: 16,
+            history_capacity: 0,
+            cache_entries: 1024,
+        }
     }
 }
 
 impl EngineConfig {
+    /// A builder starting from [`EngineConfig::default`] — the only way to
+    /// construct an `EngineConfig` outside this crate (the struct is
+    /// `#[non_exhaustive]`).
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { cfg: EngineConfig::default() }
+    }
+
     /// Checks the configuration, mirroring
     /// [`SeqFmConfig::validate`](seqfm_core::SeqFmConfig::validate) but as a
     /// value instead of a panic — a misconfigured window would otherwise
@@ -93,6 +134,87 @@ impl EngineConfig {
             return bad("coalesce_max must be >= 1 (each worker wakeup must drain a request)");
         }
         Ok(())
+    }
+
+    /// The resolved per-user store capacity (`history_capacity`, defaulting
+    /// to `max_seq` when 0).
+    fn resolved_history_capacity(&self) -> usize {
+        if self.history_capacity == 0 {
+            self.max_seq
+        } else {
+            self.history_capacity
+        }
+    }
+}
+
+/// Fluent constructor for [`EngineConfig`] (which is `#[non_exhaustive]`).
+///
+/// ```
+/// use seqfm_serve::EngineConfig;
+/// let cfg = EngineConfig::builder()
+///     .threads(2)
+///     .max_seq(5)
+///     .top_k(3)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!((cfg.threads, cfg.top_k), (2, 3));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Worker threads. See [`EngineConfig::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Dynamic window width. See [`EngineConfig::max_seq`].
+    pub fn max_seq(mut self, max_seq: usize) -> Self {
+        self.cfg.max_seq = max_seq;
+        self
+    }
+
+    /// Ranking truncation. See [`EngineConfig::top_k`].
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.cfg.top_k = top_k;
+        self
+    }
+
+    /// Admission bound. See [`EngineConfig::queue_capacity`].
+    pub fn queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.cfg.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Per-wakeup drain bound. See [`EngineConfig::coalesce_max`].
+    pub fn coalesce_max(mut self, coalesce_max: usize) -> Self {
+        self.cfg.coalesce_max = coalesce_max;
+        self
+    }
+
+    /// Per-user history ring capacity. See
+    /// [`EngineConfig::history_capacity`].
+    pub fn history_capacity(mut self, history_capacity: usize) -> Self {
+        self.cfg.history_capacity = history_capacity;
+        self
+    }
+
+    /// View-cache bound. See [`EngineConfig::cache_entries`].
+    pub fn cache_entries(mut self, cache_entries: usize) -> Self {
+        self.cfg.cache_entries = cache_entries;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    /// [`ServeError::BadConfig`] — see [`EngineConfig::validate`].
+    pub fn build(self) -> Result<EngineConfig, ServeError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -215,14 +337,21 @@ impl Drop for PendingResponse {
     }
 }
 
-/// Multi-threaded batch-coalescing scoring engine. See the module docs.
+/// Multi-threaded batch-coalescing scoring engine that owns the user
+/// histories. See the module docs.
 pub struct Engine {
     queue: Option<WorkQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
+    layout: FeatureLayout,
+    store: Arc<HistoryStore>,
+    cache: Option<Arc<ViewCache>>,
 }
 
 impl Engine {
-    /// Spawns `cfg.threads` workers sharing `scorer`.
+    /// Spawns `cfg.threads` workers sharing `scorer`, plus a
+    /// [`HistoryStore`](crate::HistoryStore) sized
+    /// `layout.n_users × history_capacity` and (when
+    /// `cfg.cache_entries > 0`) a [`ViewCache`](crate::ViewCache).
     ///
     /// The scorer is typically a
     /// [`FrozenSeqFm`](seqfm_core::FrozenSeqFm) (graph-free fast path) or a
@@ -232,23 +361,28 @@ impl Engine {
     /// # Errors
     /// [`ServeError::BadConfig`] when [`EngineConfig::validate`] rejects
     /// `cfg` — failing fast here instead of on the first request.
-    pub fn new<S: Scorer + Send + Sync + 'static>(
+    pub fn new<S: Scorer + Send + Sync + ?Sized + 'static>(
         scorer: Arc<S>,
         layout: FeatureLayout,
         cfg: EngineConfig,
     ) -> Result<Self, ServeError> {
         cfg.validate()?;
+        let store = Arc::new(HistoryStore::new(layout.n_users, cfg.resolved_history_capacity()));
+        let cache = (cfg.cache_entries > 0).then(|| Arc::new(ViewCache::new(cfg.cache_entries)));
         let (queue, handles) = WorkQueue::<Job>::bounded(cfg.threads.max(1), cfg.queue_capacity);
         let workers = handles
             .into_iter()
             .map(|handle| {
                 let scorer = Arc::clone(&scorer);
+                let store = Arc::clone(&store);
+                let cache = cache.clone();
                 std::thread::spawn(move || {
                     let mut scratch = Scratch::new();
                     let mut coalesce = CoalesceScratch::new();
                     let mut jobs: Vec<Job> = Vec::new();
                     let mut reqs: Vec<ScoreRequest> = Vec::new();
                     let mut replies: Vec<Reply> = Vec::new();
+                    let backend = HistoryBackend { store: &store, cache: cache.as_deref() };
                     // The coalescer: drain up to `coalesce_max` queued
                     // requests per wakeup and score them as grouped
                     // super-batches. Under light load the drain holds one
@@ -262,24 +396,18 @@ impl Engine {
                         // staging buffer — no per-wakeup reference array.
                         reqs.clear();
                         for job in jobs.iter_mut() {
-                            reqs.push(std::mem::replace(
-                                &mut job.req,
-                                ScoreRequest {
-                                    user: 0,
-                                    history: Vec::new(),
-                                    candidates: Vec::new(),
-                                },
-                            ));
+                            reqs.push(std::mem::take(&mut job.req));
                         }
                         // Contain panics: every caller in this drain gets
                         // the drained panic text, the worker keeps serving.
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            score_requests_with(
+                            score_requests_stateful(
                                 &*scorer,
                                 &layout,
                                 cfg.max_seq,
                                 cfg.top_k,
                                 &reqs,
+                                Some(&backend),
                                 &mut scratch,
                                 &mut coalesce,
                                 &mut replies,
@@ -303,12 +431,77 @@ impl Engine {
                 })
             })
             .collect();
-        Ok(Engine { queue: Some(queue), workers })
+        Ok(Engine { queue: Some(queue), workers, layout, store, cache })
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The engine's history store (e.g. for direct snapshot reads or load
+    /// tooling). Appends should go through [`Engine::append_event`], which
+    /// validates item ids first.
+    pub fn store(&self) -> &HistoryStore {
+        &self.store
+    }
+
+    /// Records one interaction at the end of `user`'s stored history and
+    /// returns the new history version. The next
+    /// [`HistorySource::Stored`](crate::HistorySource) request for `user`
+    /// sees the updated window — the version bump lazily invalidates any
+    /// cached history view.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownUser`] / [`ServeError::UnknownItem`] when the
+    /// ids fall outside the model's feature layout. (Pre-fix, unvalidated
+    /// appends let out-of-vocabulary items into the store and the
+    /// embedding gather panicked at *scoring* time, far from the bad
+    /// write.)
+    pub fn append_event(&self, user: u32, item: u32) -> Result<u64, ServeError> {
+        if user as usize >= self.layout.n_users {
+            return Err(ServeError::UnknownUser { user, n_users: self.layout.n_users });
+        }
+        if item as usize >= self.layout.n_items {
+            return Err(ServeError::UnknownItem { item, n_items: self.layout.n_items });
+        }
+        Ok(self.store.append(user, item))
+    }
+
+    /// Bulk-loads a dataset's per-user sequences into the history store
+    /// (warm-up before serving). Returns the number of events loaded.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownItem`] if the dataset mentions an item outside
+    /// the model's layout (nothing is loaded in that case).
+    pub fn warm_histories(&self, ds: &Dataset) -> Result<usize, ServeError> {
+        for events in ds.per_user.iter().take(self.layout.n_users) {
+            for e in events {
+                if e.item as usize >= self.layout.n_items {
+                    return Err(ServeError::UnknownItem {
+                        item: e.item,
+                        n_items: self.layout.n_items,
+                    });
+                }
+            }
+        }
+        Ok(self.store.load_dataset(ds))
+    }
+
+    /// `user`'s current stored window (chronological, oldest first).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownUser`] when `user` is outside the layout.
+    pub fn history(&self, user: u32) -> Result<Vec<u32>, ServeError> {
+        if user as usize >= self.layout.n_users {
+            return Err(ServeError::UnknownUser { user, n_users: self.layout.n_users });
+        }
+        Ok(self.store.snapshot(user).0)
+    }
+
+    /// View-cache counters (all zero when `cache_entries == 0`).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Non-blocking admission: enqueues the request and returns immediately,
@@ -336,10 +529,7 @@ impl Engine {
                     // the `Drop` guard forbids destructuring), disarm the
                     // guard (nobody is waiting on this slot), and park the
                     // slot for the next submit.
-                    let req = std::mem::replace(
-                        &mut job.req,
-                        ScoreRequest { user: 0, history: Vec::new(), candidates: Vec::new() },
-                    );
+                    let req = std::mem::take(&mut job.req);
                     job.answered = true;
                     drop(job);
                     park_slot(slot);
@@ -353,6 +543,20 @@ impl Engine {
             None => slot.close(false),
         }
         Ok(PendingResponse { slot: Some(slot) })
+    }
+
+    /// [`Engine::submit`] for a stored-history request: just
+    /// `(user, candidates)` — the workers resolve the history from the
+    /// engine's store.
+    ///
+    /// # Errors
+    /// See [`Engine::submit`].
+    pub fn submit_stored(
+        &self,
+        user: u32,
+        candidates: impl Into<Vec<u32>>,
+    ) -> Result<PendingResponse, ServeError> {
+        self.submit(ScoreRequest::stored(user, candidates))
     }
 
     /// Blocking admission: like [`Engine::submit`], but parks the calling
@@ -375,6 +579,18 @@ impl Engine {
     /// See [`PendingResponse::wait`].
     pub fn score(&self, req: ScoreRequest) -> Result<ScoreResponse, ServeError> {
         self.submit_wait(req).wait()
+    }
+
+    /// [`Engine::score`] for a stored-history request.
+    ///
+    /// # Errors
+    /// See [`PendingResponse::wait`].
+    pub fn score_stored(
+        &self,
+        user: u32,
+        candidates: impl Into<Vec<u32>>,
+    ) -> Result<ScoreResponse, ServeError> {
+        self.score(ScoreRequest::stored(user, candidates))
     }
 }
 
@@ -408,7 +624,7 @@ mod tests {
     use rand::SeedableRng;
     use seqfm_autograd::ParamStore;
     use seqfm_core::{FrozenSeqFm, SeqFm, SeqFmConfig};
-    use seqfm_data::Batch;
+    use seqfm_data::{Batch, Event};
     use std::sync::{Condvar, Mutex};
 
     fn frozen_model(layout: &FeatureLayout) -> FrozenSeqFm {
@@ -431,10 +647,12 @@ mod tests {
         assert_eq!(engine.threads(), 3);
 
         let requests: Vec<ScoreRequest> = (0..24)
-            .map(|i| ScoreRequest {
-                user: (i % 8) as u32,
-                history: (0..(i % 5)).map(|j| ((i + j) % 20) as u32).collect(),
-                candidates: (0..20).map(|c| ((c + i) % 20) as u32).collect(),
+            .map(|i| {
+                ScoreRequest::inline(
+                    (i % 8) as u32,
+                    (0..(i % 5)).map(|j| ((i + j) % 20) as u32).collect::<Vec<u32>>(),
+                    (0..20).map(|c| ((c + i) % 20) as u32).collect::<Vec<u32>>(),
+                )
             })
             .collect();
 
@@ -456,11 +674,95 @@ mod tests {
         let layout = FeatureLayout { n_users: 8, n_items: 20 };
         let engine =
             Engine::new(Arc::new(frozen_model(&layout)), layout, engine_cfg(1, 0)).expect("valid");
-        let bad = ScoreRequest { user: 99, history: vec![], candidates: vec![1] };
+        let bad = ScoreRequest::inline(99, vec![], vec![1]);
         assert_eq!(engine.score(bad), Err(ServeError::UnknownUser { user: 99, n_users: 8 }));
         // The worker survives a bad request.
-        let ok = ScoreRequest { user: 1, history: vec![2], candidates: vec![1, 2, 3] };
+        let ok = ScoreRequest::inline(1, vec![2], vec![1, 2, 3]);
         assert_eq!(engine.score(ok).expect("valid").ranked.len(), 3);
+    }
+
+    #[test]
+    fn stored_requests_resolve_from_the_engines_store_bit_identically() {
+        let layout = FeatureLayout { n_users: 8, n_items: 20 };
+        let frozen = Arc::new(frozen_model(&layout));
+        let engine = Engine::new(Arc::clone(&frozen), layout, engine_cfg(2, 0)).expect("valid cfg");
+        for item in [3u32, 9, 14] {
+            engine.append_event(5, item).expect("valid ids");
+        }
+        assert_eq!(engine.history(5).expect("known user"), vec![3, 9, 14]);
+        let got = engine.score_stored(5, vec![0, 7, 19, 2]).expect("valid");
+        let mut scratch = Scratch::new();
+        let want = score_request(
+            &*frozen,
+            &layout,
+            6,
+            0,
+            &ScoreRequest::inline(5, vec![3, 9, 14], vec![0, 7, 19, 2]),
+            &mut scratch,
+        )
+        .expect("valid");
+        assert_eq!(got.ranked.len(), want.ranked.len());
+        for (g, w) in got.ranked.iter().zip(&want.ranked) {
+            assert_eq!(
+                (g.item, g.score.to_bits()),
+                (w.item, w.score.to_bits()),
+                "stored-history engine path must be bit-identical to inline"
+            );
+        }
+        // A second identical request hits the view cache; same bits.
+        let again = engine.score_stored(5, vec![0, 7, 19, 2]).expect("valid");
+        assert_eq!(again, got);
+        let stats = engine.cache_stats();
+        assert!(stats.hits >= 1, "second stored request must hit the view cache: {stats:?}");
+    }
+
+    #[test]
+    fn append_event_validates_ids_before_touching_the_store() {
+        let layout = FeatureLayout { n_users: 4, n_items: 10 };
+        let engine =
+            Engine::new(Arc::new(frozen_model(&layout)), layout, engine_cfg(1, 0)).expect("valid");
+        assert_eq!(engine.append_event(4, 1), Err(ServeError::UnknownUser { user: 4, n_users: 4 }));
+        assert_eq!(
+            engine.append_event(1, 10),
+            Err(ServeError::UnknownItem { item: 10, n_items: 10 })
+        );
+        assert_eq!(engine.history(1).expect("known user"), Vec::<u32>::new());
+        assert_eq!(engine.history(9), Err(ServeError::UnknownUser { user: 9, n_users: 4 }));
+        assert_eq!(engine.append_event(1, 9), Ok(1));
+        assert_eq!(engine.append_event(1, 3), Ok(2));
+        assert_eq!(engine.history(1).expect("known user"), vec![9, 3]);
+    }
+
+    #[test]
+    fn warm_histories_bulk_loads_and_validates() {
+        let layout = FeatureLayout { n_users: 4, n_items: 10 };
+        let engine = Engine::new(
+            Arc::new(frozen_model(&layout)),
+            layout,
+            EngineConfig { threads: 1, max_seq: 6, history_capacity: 3, ..Default::default() },
+        )
+        .expect("valid");
+        let ev = |item: u32, time: u32| Event { item, time, rating: 1.0 };
+        let mut ds = Dataset {
+            name: "warmup".into(),
+            n_users: 2,
+            n_items: 10,
+            item_cluster: vec![0; 10],
+            per_user: vec![vec![ev(1, 0), ev(2, 1), ev(3, 2), ev(4, 3), ev(5, 4)], vec![ev(7, 0)]],
+        };
+        assert_eq!(engine.warm_histories(&ds).expect("in-layout items"), 6);
+        // Ring capacity 3: only the tail survives.
+        assert_eq!(engine.history(0).expect("known"), vec![3, 4, 5]);
+        assert_eq!(engine.history(1).expect("known"), vec![7]);
+        // Live appends continue the warmed sequence.
+        engine.append_event(0, 9).expect("valid");
+        assert_eq!(engine.history(0).expect("known"), vec![4, 5, 9]);
+        // An out-of-vocabulary item anywhere rejects the load.
+        ds.per_user[1].push(ev(10, 1));
+        assert!(matches!(
+            engine.warm_histories(&ds),
+            Err(ServeError::UnknownItem { item: 10, n_items: 10 })
+        ));
     }
 
     /// A scorer that panics on a poison candidate — for panic containment
@@ -487,7 +789,7 @@ mod tests {
             Engine::new(Arc::new(Grenade(frozen_model(&layout))), layout, engine_cfg(1, 0))
                 .expect("valid");
         // 13 candidates → the scorer panics mid-request.
-        let boom = ScoreRequest { user: 1, history: vec![2], candidates: (0..13).collect() };
+        let boom = ScoreRequest::inline(1, vec![2], (0..13).collect::<Vec<u32>>());
         match engine.score(boom) {
             Err(ServeError::WorkerPanicked { message }) => {
                 assert!(message.contains("grenade went off"), "panic text not drained: {message}");
@@ -495,7 +797,7 @@ mod tests {
             other => panic!("expected WorkerPanicked, got {other:?}"),
         }
         // The same (sole) worker keeps serving afterwards.
-        let ok = ScoreRequest { user: 1, history: vec![2], candidates: vec![1, 2, 3] };
+        let ok = ScoreRequest::inline(1, vec![2], vec![1, 2, 3]);
         assert_eq!(engine.score(ok).expect("valid").ranked.len(), 3);
     }
 
@@ -504,7 +806,7 @@ mod tests {
         let layout = FeatureLayout { n_users: 8, n_items: 20 };
         let engine =
             Engine::new(Arc::new(frozen_model(&layout)), layout, engine_cfg(2, 2)).expect("valid");
-        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![2, 3, 4] };
+        let req = ScoreRequest::inline(0, vec![1], vec![2, 3, 4]);
         let first = engine.score(req.clone()).expect("valid");
         for _ in 0..50 {
             let again = engine.score(req.clone()).expect("valid");
@@ -534,6 +836,44 @@ mod tests {
         }
         // The default configuration itself must of course be valid.
         EngineConfig::default().validate().expect("default config valid");
+    }
+
+    #[test]
+    fn builder_mirrors_literal_construction_and_validates() {
+        let built = EngineConfig::builder()
+            .threads(3)
+            .max_seq(7)
+            .top_k(5)
+            .queue_capacity(99)
+            .coalesce_max(4)
+            .history_capacity(50)
+            .cache_entries(0)
+            .build()
+            .expect("valid");
+        let literal = EngineConfig {
+            threads: 3,
+            max_seq: 7,
+            top_k: 5,
+            queue_capacity: 99,
+            coalesce_max: 4,
+            history_capacity: 50,
+            cache_entries: 0,
+        };
+        assert_eq!(built, literal);
+        assert_eq!(built.resolved_history_capacity(), 50);
+        assert_eq!(EngineConfig::default().resolved_history_capacity(), 20);
+        assert!(matches!(
+            EngineConfig::builder().max_seq(0).build(),
+            Err(ServeError::BadConfig { .. })
+        ));
+        // cache_entries == 0 disables the cache rather than breaking it.
+        let layout = FeatureLayout { n_users: 4, n_items: 10 };
+        let cfg = EngineConfig { max_seq: 6, cache_entries: 0, ..Default::default() };
+        let engine = Engine::new(Arc::new(frozen_model(&layout)), layout, cfg).expect("valid");
+        engine.append_event(1, 2).expect("valid");
+        engine.score_stored(1, vec![0, 3]).expect("valid");
+        engine.score_stored(1, vec![0, 3]).expect("valid");
+        assert_eq!(engine.cache_stats(), CacheStats::default());
     }
 
     /// Shared gate state: (worker entered, gate open).
@@ -593,7 +933,7 @@ mod tests {
         let (gated, gate) = Gated::new(frozen_model(&layout));
         let cfg = EngineConfig { threads: 1, max_seq: 6, queue_capacity: 2, ..Default::default() };
         let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
-        let req = |u: u32| ScoreRequest { user: u, history: vec![2], candidates: vec![1, 3] };
+        let req = |u: u32| ScoreRequest::inline(u, vec![2], vec![1, 3]);
 
         // The worker picks up the first request and parks inside the scorer,
         // leaving the admission queue empty...
@@ -626,7 +966,7 @@ mod tests {
         let (gated, gate) = Gated::new(frozen_model(&layout));
         let cfg = EngineConfig { threads: 1, max_seq: 6, queue_capacity: 1, ..Default::default() };
         let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
-        let req = |u: u32| ScoreRequest { user: u, history: vec![2], candidates: vec![1, 3] };
+        let req = |u: u32| ScoreRequest::inline(u, vec![2], vec![1, 3]);
 
         let blocker = engine.submit(req(0)).expect("queue empty");
         await_entered(&gate);
@@ -647,21 +987,28 @@ mod tests {
         let layout = FeatureLayout { n_users: 8, n_items: 20 };
         let reference = frozen_model(&layout);
         let (gated, gate) = Gated::new(frozen_model(&layout));
-        let cfg =
-            EngineConfig { threads: 1, max_seq: 6, top_k: 0, queue_capacity: 64, coalesce_max: 8 };
+        let cfg = EngineConfig {
+            threads: 1,
+            max_seq: 6,
+            top_k: 0,
+            queue_capacity: 64,
+            coalesce_max: 8,
+            ..Default::default()
+        };
         let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
-        // Park the worker, then pile up a mixed backlog: two share a
-        // (user, history), others don't — one wakeup drains and groups all.
-        let blocker = engine
-            .submit(ScoreRequest { user: 7, history: vec![1], candidates: vec![2] })
-            .expect("queue empty");
+        // Park the worker, then pile up a mixed backlog: several share a
+        // canonical history (including across users), others don't — one
+        // wakeup drains and groups all.
+        let blocker =
+            engine.submit(ScoreRequest::inline(7, vec![1], vec![2])).expect("queue empty");
         await_entered(&gate);
         let backlog: Vec<ScoreRequest> = vec![
-            ScoreRequest { user: 1, history: vec![2, 5], candidates: vec![0, 3, 9] },
-            ScoreRequest { user: 1, history: vec![2, 5], candidates: vec![4] },
-            ScoreRequest { user: 2, history: vec![], candidates: vec![7, 8] },
-            ScoreRequest { user: 1, history: vec![5, 2], candidates: vec![0] },
-            ScoreRequest { user: 1, history: vec![2, 5], candidates: vec![11, 0] },
+            ScoreRequest::inline(1, vec![2, 5], vec![0, 3, 9]),
+            ScoreRequest::inline(1, vec![2, 5], vec![4]),
+            ScoreRequest::inline(2, vec![], vec![7, 8]),
+            ScoreRequest::inline(1, vec![5, 2], vec![0]),
+            // Different user, same history — coalesces cross-user now.
+            ScoreRequest::inline(3, vec![2, 5], vec![11, 0]),
         ];
         let pending: Vec<_> =
             backlog.iter().map(|r| engine.submit(r.clone()).expect("under capacity")).collect();
@@ -688,7 +1035,7 @@ mod tests {
         let layout = FeatureLayout { n_users: 8, n_items: 20 };
         let engine =
             Engine::new(Arc::new(frozen_model(&layout)), layout, engine_cfg(1, 0)).expect("valid");
-        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![2, 3] };
+        let req = ScoreRequest::inline(0, vec![1], vec![2, 3]);
         // With one FIFO worker, waiting on a *later* request guarantees the
         // earlier replies have been delivered into their slots.
         let abandoned: Vec<PendingResponse> =
@@ -713,7 +1060,7 @@ mod tests {
         let (gated, gate) = Gated::new(frozen_model(&layout));
         let cfg = EngineConfig { threads: 1, max_seq: 6, queue_capacity: 1, ..Default::default() };
         let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
-        let req = |u: u32| ScoreRequest { user: u, history: vec![2], candidates: vec![1] };
+        let req = |u: u32| ScoreRequest::inline(u, vec![2], vec![1]);
         let blocker = engine.submit(req(0)).expect("queue empty");
         await_entered(&gate);
         let filler = engine.submit(req(1)).expect("fills the queue");
@@ -734,7 +1081,7 @@ mod tests {
         let (gated, gate) = Gated::new(frozen_model(&layout));
         let cfg = EngineConfig { threads: 2, max_seq: 6, ..Default::default() };
         let engine = Engine::new(Arc::new(gated), layout, cfg).expect("valid");
-        let req = |u: u32| ScoreRequest { user: u, history: vec![1], candidates: vec![2, 3] };
+        let req = |u: u32| ScoreRequest::inline(u, vec![1], vec![2, 3]);
         let blocker = engine.submit(req(0)).expect("queue empty");
         await_entered(&gate);
         // Queue a backlog behind the parked worker, then tear down while
@@ -758,7 +1105,7 @@ mod tests {
         // a hang and not a phantom response.
         let slot: Slot = Arc::new(Oneshot::new());
         let job = Job {
-            req: ScoreRequest { user: 0, history: vec![], candidates: vec![1] },
+            req: ScoreRequest::inline(0, vec![], vec![1]),
             slot: Arc::clone(&slot),
             answered: false,
         };

@@ -4,10 +4,21 @@ use crate::request::ScoreRequest;
 use std::fmt;
 
 /// Why a score request could not be served.
+///
+/// `#[non_exhaustive]`: the serving layer grows failure modes (the stored-
+/// history store added [`ServeError::NoHistoryStore`]); downstream matches
+/// must keep a wildcard arm so new variants are not a breaking change.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// A request must carry at least one candidate item to score.
     NoCandidates,
+    /// The request asked for [`HistorySource::Stored`](crate::HistorySource)
+    /// resolution, but this scoring path has no [`crate::HistoryStore`]
+    /// attached (e.g. the standalone [`crate::score_requests`] helpers).
+    /// Route stored-history requests through an [`Engine`](crate::Engine),
+    /// which always owns a store.
+    NoHistoryStore,
     /// The user id is outside the model's feature layout.
     UnknownUser {
         /// Requested user id.
@@ -60,6 +71,9 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::NoCandidates => write!(f, "score request carries no candidate items"),
+            Self::NoHistoryStore => {
+                write!(f, "stored-history request on a scoring path without a history store")
+            }
             Self::UnknownUser { user, n_users } => {
                 write!(f, "unknown user {user} (model has {n_users} users)")
             }

@@ -7,20 +7,31 @@
 //! train-with-`forward` / serve-with-`score` split.
 //!
 //! Sequence-aware recommenders are overwhelmingly served as *"score K
-//! candidate items for one user history"*, so that request shape is
-//! first-class here:
+//! candidate items for one user"*, so that request shape is first-class
+//! here:
 //!
 //! * [`ScoreRequest`] — `{ user, history, candidates }`, validated against
-//!   the model's [`FeatureLayout`](seqfm_data::FeatureLayout);
+//!   the model's [`FeatureLayout`](seqfm_data::FeatureLayout). The history
+//!   is a [`HistorySource`]: carried [`Inline`](HistorySource::Inline), or
+//!   [`Stored`](HistorySource::Stored) — the engine owns the sequence and
+//!   the request is just `(user, candidates)`;
+//! * [`HistoryStore`] — the stateful half: a sharded, concurrent,
+//!   bounded-per-user ring store of every user's recent events, warmed from
+//!   a dataset ([`Engine::warm_histories`]) and kept current by
+//!   [`Engine::append_event`]. A [`ViewCache`] memoises the scorer's
+//!   history-side panel ([`HistoryView`](seqfm_core::HistoryView)) per
+//!   `(user, version)`, so repeat stored-history requests skip the history
+//!   half of the forward — bit-identically;
 //! * [`expand_request`] — the candidate-expansion layer: one request becomes
 //!   one scoring [`Batch`](seqfm_data::Batch) in which every row shares the
 //!   user/history features and only the candidate column varies;
 //! * [`score_request`] — expansion + scoring + NaN-safe top-K ranking in one
 //!   synchronous call;
 //! * [`score_requests`] — the **coalesced** path: many requests scored at
-//!   once, with same-`(user, history)` requests grouped into one super-batch
-//!   so the frozen scorer's shared-history fast path fires *across*
-//!   requests (bit-identical to the serial path, per request);
+//!   once, with requests sharing a canonical history window — regardless of
+//!   user — grouped into one super-batch so the frozen scorer's
+//!   shared-history fast path fires *across* requests and *across users*
+//!   (bit-identical to the serial path, per request);
 //! * [`Engine`] — a multi-threaded, batch-coalescing scoring engine with
 //!   **bounded admission**: the non-blocking [`Engine::submit`] sheds load
 //!   with [`ServeError::Overloaded`] once the queue is full (the signal an
@@ -55,16 +66,27 @@
 //! let engine = Engine::new(
 //!     frozen,
 //!     layout,
-//!     EngineConfig { threads: 2, max_seq: 5, top_k: 3, ..Default::default() },
+//!     EngineConfig::builder().threads(2).max_seq(5).top_k(3).build().expect("valid config"),
 //! )
 //! .expect("valid engine config");
-//! let resp = engine
-//!     .score(ScoreRequest { user: 3, history: vec![1, 4, 2], candidates: vec![7, 9, 11, 0] })
-//!     .expect("valid request");
+//!
+//! // The engine owns the histories: feed it events, then requests are just
+//! // (user, candidates).
+//! engine.append_event(3, 1).expect("known ids");
+//! engine.append_event(3, 4).expect("known ids");
+//! engine.append_event(3, 2).expect("known ids");
+//! let resp = engine.score_stored(3, vec![7, 9, 11, 0]).expect("valid request");
 //! assert_eq!(resp.ranked.len(), 3); // top-3 of 4 candidates
 //!
+//! // Inline histories still work (stateless callers, replay tooling) and
+//! // score bit-identically to the stored path:
+//! let inline = engine
+//!     .score(ScoreRequest::inline(3, vec![1, 4, 2], vec![7, 9, 11, 0]))
+//!     .expect("valid request");
+//! assert_eq!(inline, resp);
+//!
 //! // The non-blocking front door either admits or sheds explicitly:
-//! match engine.submit(ScoreRequest { user: 1, history: vec![2], candidates: vec![5, 6] }) {
+//! match engine.submit(ScoreRequest::inline(1, vec![2], vec![5, 6])) {
 //!     Ok(pending) => {
 //!         let resp = pending.wait().expect("valid request");
 //!         assert_eq!(resp.ranked.len(), 2);
@@ -81,10 +103,12 @@
 mod engine;
 mod error;
 mod request;
+mod store;
 
-pub use engine::{Engine, EngineConfig, PendingResponse};
+pub use engine::{Engine, EngineConfig, EngineConfigBuilder, PendingResponse};
 pub use error::ServeError;
 pub use request::{
-    expand_request, score_request, score_requests, score_requests_with, CoalesceScratch,
-    ScoreRequest, ScoreResponse, ScoredCandidate,
+    expand_request, score_request, score_requests, score_requests_stateful, score_requests_with,
+    CoalesceScratch, HistorySource, ScoreRequest, ScoreResponse, ScoredCandidate,
 };
+pub use store::{CacheStats, HistoryBackend, HistoryStore, ViewCache};

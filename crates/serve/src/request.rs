@@ -1,21 +1,105 @@
 //! Typed score requests, candidate expansion, top-K ranking — and the
 //! coalesced multi-request scoring path the batching engine is built on.
+//!
+//! Since the stateful-serving redesign a request names its history through
+//! a [`HistorySource`]: carried inline (the classic shape) or resolved
+//! from the engine's [`HistoryStore`](crate::HistoryStore) (`(user,
+//! candidates)` requests). The coalescer groups requests by **canonical
+//! history content alone** — not `(user, history)` — so identical
+//! trending/anonymous traffic coalesces *across users*, bit-identically to
+//! serial scoring.
 
 use crate::error::ServeError;
-use seqfm_core::{Scorer, Scratch};
+use crate::store::HistoryBackend;
+use seqfm_core::{HistoryView, Scorer, Scratch};
 use seqfm_data::{Batch, FeatureLayout, PAD};
+use std::sync::Arc;
 
-/// "Score these candidate items for this user, given their history" — the
-/// canonical serving request of a sequence-aware recommender.
+/// Where a request's interaction history comes from.
 #[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistorySource {
+    /// The request carries its own history, chronological, oldest first.
+    /// May be empty (cold start): the dynamic block is then all padding.
+    /// `Vec<u32>` converts [`Into`] this variant, so existing literals
+    /// migrate as `history: vec![1, 2].into()`.
+    Inline(Vec<u32>),
+    /// The engine resolves the history from its
+    /// [`HistoryStore`](crate::HistoryStore) — the request is just
+    /// `(user, candidates)`, and appends via
+    /// [`Engine::append_event`](crate::Engine::append_event) keep the
+    /// stored sequence current between requests.
+    Stored,
+}
+
+impl Default for HistorySource {
+    fn default() -> Self {
+        HistorySource::Inline(Vec::new())
+    }
+}
+
+impl From<Vec<u32>> for HistorySource {
+    fn from(history: Vec<u32>) -> Self {
+        HistorySource::Inline(history)
+    }
+}
+
+impl From<&[u32]> for HistorySource {
+    fn from(history: &[u32]) -> Self {
+        HistorySource::Inline(history.to_vec())
+    }
+}
+
+/// "Score these candidate items for this user" — the canonical serving
+/// request of a sequence-aware recommender, with the history either
+/// attached ([`HistorySource::Inline`]) or owned by the engine
+/// ([`HistorySource::Stored`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ScoreRequest {
     /// User id in `0..n_users`.
     pub user: u32,
-    /// The user's interaction history, chronological, oldest first. May be
-    /// empty (cold start): the dynamic block is then all padding.
-    pub history: Vec<u32>,
+    /// Where the user's interaction history comes from.
+    pub history: HistorySource,
     /// Candidate items to score, each in `0..n_items`.
     pub candidates: Vec<u32>,
+}
+
+impl ScoreRequest {
+    /// A request carrying its own history (the pre-store request shape).
+    pub fn inline(
+        user: u32,
+        history: impl Into<Vec<u32>>,
+        candidates: impl Into<Vec<u32>>,
+    ) -> Self {
+        ScoreRequest {
+            user,
+            history: HistorySource::Inline(history.into()),
+            candidates: candidates.into(),
+        }
+    }
+
+    /// A `(user, candidates)` request whose history lives in the engine's
+    /// [`HistoryStore`](crate::HistoryStore).
+    pub fn stored(user: u32, candidates: impl Into<Vec<u32>>) -> Self {
+        ScoreRequest { user, history: HistorySource::Stored, candidates: candidates.into() }
+    }
+
+    /// Pre-redesign constructor shim: `history` was a plain `Vec<u32>`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "history is now a `HistorySource`; use `ScoreRequest::inline` (or \
+                `ScoreRequest::stored` for engine-resolved histories)"
+    )]
+    pub fn new(user: u32, history: Vec<u32>, candidates: Vec<u32>) -> Self {
+        Self::inline(user, history, candidates)
+    }
+
+    /// The inline history, if this request carries one.
+    pub fn inline_history(&self) -> Option<&[u32]> {
+        match &self.history {
+            HistorySource::Inline(h) => Some(h),
+            HistorySource::Stored => None,
+        }
+    }
 }
 
 /// One candidate with its model score.
@@ -42,14 +126,30 @@ impl ScoreResponse {
     }
 }
 
-/// Checks one request against the model's layout and window.
-///
-/// # Errors
-/// [`ServeError::BadConfig`] for `max_seq == 0` (a zero-width dynamic block
-/// the attention kernels were never trained for),
-/// [`ServeError::NoCandidates`], [`ServeError::UnknownUser`], or
-/// [`ServeError::UnknownItem`].
-fn validate_request(
+/// The most recent `max_seq` items of a history — the window that actually
+/// enters the dynamic block. Two requests with equal canonical windows
+/// expand to identical dynamic rows and can share one super-batch.
+fn effective_window(history: &[u32], max_seq: usize) -> &[u32] {
+    let take = history.len().min(max_seq);
+    &history[history.len() - take..]
+}
+
+/// Per-request outcome of history resolution: where the canonical window
+/// sits in [`CoalesceScratch::hist_buf`], plus (for stored requests) the
+/// cache identity and any cached view found for it.
+#[derive(Default)]
+struct ResolvedSlot {
+    start: usize,
+    end: usize,
+    /// Cached history-side panel, when the view cache held a current one.
+    view: Option<Arc<HistoryView>>,
+    /// `(user, version)` under which a freshly built view may be cached.
+    cache_key: Option<(u32, u64)>,
+}
+
+/// Shape/range checks shared by every path, in the fixed error order the
+/// tests pin: window config, candidates present, user known, items known.
+fn validate_common(
     req: &ScoreRequest,
     layout: &FeatureLayout,
     max_seq: usize,
@@ -65,7 +165,8 @@ fn validate_request(
     if req.user as usize >= layout.n_users {
         return Err(ServeError::UnknownUser { user: req.user, n_users: layout.n_users });
     }
-    for &item in req.history.iter().chain(&req.candidates) {
+    let inline = req.inline_history().unwrap_or(&[]);
+    for &item in inline.iter().chain(&req.candidates) {
         if item as usize >= layout.n_items {
             return Err(ServeError::UnknownItem { item, n_items: layout.n_items });
         }
@@ -73,26 +174,53 @@ fn validate_request(
     Ok(())
 }
 
-/// The window of `req.history` that actually enters the dynamic block: the
-/// most recent `max_seq` items. Two requests with equal effective histories
-/// expand to identical dynamic rows and can share one super-batch.
-fn effective_history(req: &ScoreRequest, max_seq: usize) -> &[u32] {
-    let take = req.history.len().min(max_seq);
-    &req.history[req.history.len() - take..]
+/// Validates `req` and appends its canonical history window to `hist_buf`,
+/// resolving [`HistorySource::Stored`] through `backend` (snapshot under
+/// one shard read lock + versioned view-cache lookup).
+fn resolve_request(
+    req: &ScoreRequest,
+    layout: &FeatureLayout,
+    max_seq: usize,
+    backend: Option<&HistoryBackend<'_>>,
+    snap_buf: &mut Vec<u32>,
+    hist_buf: &mut Vec<u32>,
+    slot: &mut ResolvedSlot,
+) -> Result<(), ServeError> {
+    validate_common(req, layout, max_seq)?;
+    match &req.history {
+        HistorySource::Inline(h) => {
+            hist_buf.extend_from_slice(effective_window(h, max_seq));
+        }
+        HistorySource::Stored => {
+            let Some(be) = backend else {
+                return Err(ServeError::NoHistoryStore);
+            };
+            // Store items were validated on append; the snapshot and its
+            // version are atomic w.r.t. concurrent appends.
+            let version = be.store.snapshot_into(req.user, snap_buf);
+            hist_buf.extend_from_slice(effective_window(snap_buf, max_seq));
+            slot.cache_key = Some((req.user, version));
+            if let Some(cache) = be.cache {
+                slot.view = cache.get(req.user, version);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Writes the candidate-expansion rows of `group` (indices into `reqs`,
-/// all sharing one effective history) into `batch`, reusing its buffers.
-/// Row layout is identical to [`expand_request`]'s: every row carries
-/// `[user, candidate]` static features and the shared left-padded history.
+/// all sharing the canonical window `hist`) into `batch`, reusing its
+/// buffers. Row layout is identical to [`expand_request`]'s: every row
+/// carries `[user, candidate]` static features and the shared left-padded
+/// history.
 fn expand_group_into_impl<R: std::borrow::Borrow<ScoreRequest>>(
     reqs: &[R],
     group: &[usize],
+    hist: &[u32],
     layout: &FeatureLayout,
     max_seq: usize,
     batch: &mut Batch,
 ) {
-    let hist = effective_history(reqs[group[0]].borrow(), max_seq);
     let total: usize = group.iter().map(|&i| reqs[i].borrow().candidates.len()).sum();
     batch.len = total;
     batch.n_static = 2;
@@ -127,14 +255,20 @@ fn expand_group_into_impl<R: std::borrow::Borrow<ScoreRequest>>(
 ///
 /// # Errors
 /// [`ServeError::BadConfig`] (for `max_seq == 0`),
-/// [`ServeError::NoCandidates`], [`ServeError::UnknownUser`], or
-/// [`ServeError::UnknownItem`] when the request does not fit the layout.
+/// [`ServeError::NoCandidates`], [`ServeError::UnknownUser`],
+/// [`ServeError::UnknownItem`] when the request does not fit the layout, or
+/// [`ServeError::NoHistoryStore`] for a [`HistorySource::Stored`] request
+/// (this store-less helper cannot resolve it — use the
+/// [`Engine`](crate::Engine)).
 pub fn expand_request(
     req: &ScoreRequest,
     layout: &FeatureLayout,
     max_seq: usize,
 ) -> Result<Batch, ServeError> {
-    validate_request(req, layout, max_seq)?;
+    validate_common(req, layout, max_seq)?;
+    let Some(history) = req.inline_history() else {
+        return Err(ServeError::NoHistoryStore);
+    };
     let mut batch = Batch {
         len: 0,
         n_static: 2,
@@ -143,7 +277,14 @@ pub fn expand_request(
         dyn_idx: Vec::new(),
         targets: Vec::new(),
     };
-    expand_group_into_impl(&[req], &[0], layout, max_seq, &mut batch);
+    expand_group_into_impl(
+        &[req],
+        &[0],
+        effective_window(history, max_seq),
+        layout,
+        max_seq,
+        &mut batch,
+    );
     Ok(batch)
 }
 
@@ -192,12 +333,13 @@ pub fn score_request<S: Scorer + ?Sized>(
     Ok(ScoreResponse { ranked: rank_candidates(&req.candidates, scores, top_k) })
 }
 
-/// Reusable buffers of the coalesced scoring path: group index lists, the
-/// expansion batch, the score accumulator, and the per-request result
-/// staging area. One `CoalesceScratch` belongs to one engine worker (or
-/// any other caller of [`score_requests_with`]); after a few drains every
-/// buffer has grown to its high-water mark and the grouping/expansion
-/// machinery performs no further heap allocation.
+/// Reusable buffers of the coalesced scoring path: group index lists,
+/// resolved canonical histories, the expansion batch, the score
+/// accumulator, and the per-request result staging area. One
+/// `CoalesceScratch` belongs to one engine worker (or any other caller of
+/// [`score_requests_with`]); after a few drains every buffer has grown to
+/// its high-water mark and the grouping/expansion machinery performs no
+/// further heap allocation.
 pub struct CoalesceScratch {
     /// Active groups (indices into the current request slice).
     groups: Vec<Vec<usize>>,
@@ -205,6 +347,13 @@ pub struct CoalesceScratch {
     spare_groups: Vec<Vec<usize>>,
     /// Result staging, index-aligned with the request slice.
     slots: Vec<Option<Result<ScoreResponse, ServeError>>>,
+    /// Per-request resolution results, index-aligned with the request
+    /// slice.
+    resolved: Vec<ResolvedSlot>,
+    /// Concatenated canonical history windows (sliced by `resolved`).
+    hist_buf: Vec<u32>,
+    /// Store snapshot staging for stored-history resolution.
+    snap_buf: Vec<u32>,
     /// Reused candidate-expansion batch.
     batch: Batch,
     /// Reused per-group score accumulator.
@@ -224,6 +373,9 @@ impl CoalesceScratch {
             groups: Vec::new(),
             spare_groups: Vec::new(),
             slots: Vec::new(),
+            resolved: Vec::new(),
+            hist_buf: Vec::new(),
+            snap_buf: Vec::new(),
             batch: Batch {
                 len: 0,
                 n_static: 2,
@@ -244,30 +396,32 @@ impl CoalesceScratch {
         }
         self.slots.clear();
         self.slots.resize_with(n, || None);
-    }
-
-    /// A cleared group list (recycled when possible).
-    fn fresh_group(&mut self) -> Vec<usize> {
-        self.spare_groups.pop().unwrap_or_default()
+        self.resolved.clear();
+        self.hist_buf.clear();
     }
 }
 
 /// Serves many requests as coalesced super-batches: requests with the same
-/// `(user, effective history)` are grouped and scored through **one** batch
-/// whose rows all share the dynamic block — exactly the candidate-expansion
-/// shape the frozen scorer's shared-history fast path accelerates, now
-/// firing *across* requests instead of only within one.
+/// **canonical history window** — regardless of user — are grouped and
+/// scored through **one** batch whose rows all share the dynamic block,
+/// exactly the candidate-expansion shape the frozen scorer's
+/// shared-history fast path accelerates, now firing *across* requests and
+/// *across users* instead of only within one request.
 ///
 /// Grouping is by first occurrence, scores are split back per request, and
 /// each response is ranked exactly like [`score_request`] — per-request
 /// results are **bit-identical** to the serial path (per-row arithmetic is
-/// untouched; the fast path's reuse is itself bit-exact). Invalid requests
-/// get their own [`ServeError`] without poisoning the rest. The returned
+/// untouched; the fast path's reuse is itself bit-exact, and the user only
+/// enters through each row's own static features). Invalid requests get
+/// their own [`ServeError`] without poisoning the rest. The returned
 /// vector is index-aligned with `reqs`.
 ///
 /// This is a convenience wrapper over [`score_requests_with`] that builds
 /// throwaway buffers; repeat callers (the engine's workers) hold a
-/// [`CoalesceScratch`] instead.
+/// [`CoalesceScratch`] instead. [`HistorySource::Stored`] requests error
+/// with [`ServeError::NoHistoryStore`] here — resolution needs a store,
+/// which the [`Engine`](crate::Engine) owns
+/// (or pass a [`HistoryBackend`] to [`score_requests_stateful`]).
 pub fn score_requests<S: Scorer + ?Sized>(
     scorer: &S,
     layout: &FeatureLayout,
@@ -299,48 +453,129 @@ pub fn score_requests_with<S: Scorer + ?Sized, R: std::borrow::Borrow<ScoreReque
     cs: &mut CoalesceScratch,
     out: &mut Vec<Result<ScoreResponse, ServeError>>,
 ) {
+    score_requests_stateful(scorer, layout, max_seq, top_k, reqs, None, scratch, cs, out);
+}
+
+/// The full stateful scoring path: [`score_requests_with`] plus
+/// stored-history resolution and incremental view caching through a
+/// [`HistoryBackend`]. This is what [`Engine`](crate::Engine) workers run
+/// per drain.
+///
+/// Per group (one canonical history window), the scorer's history-side
+/// panel comes from, in order: a member's cached
+/// [`HistoryView`](seqfm_core::HistoryView) (current-version hit), a view
+/// built **once** for the group when the scorer supports it and a stored
+/// member can cache it (installed for every such member), or — for purely
+/// inline groups or view-less scorers — the plain scoring path. All three
+/// produce bit-identical logits
+/// (`score_with_view` ≡ `score`, proven at the core layer), so caching is
+/// purely a throughput lever.
+#[allow(clippy::too_many_arguments)]
+pub fn score_requests_stateful<S: Scorer + ?Sized, R: std::borrow::Borrow<ScoreRequest>>(
+    scorer: &S,
+    layout: &FeatureLayout,
+    max_seq: usize,
+    top_k: usize,
+    reqs: &[R],
+    backend: Option<&HistoryBackend<'_>>,
+    scratch: &mut Scratch,
+    cs: &mut CoalesceScratch,
+    out: &mut Vec<Result<ScoreResponse, ServeError>>,
+) {
     cs.reset(reqs.len());
-    // Group valid requests by (user, effective history), preserving first-
-    // occurrence order. Linear key search: coalesced batches are small
+    // Resolve every request to its canonical history window (validating on
+    // the way), then group by window content, preserving first-occurrence
+    // order. Linear key search: coalesced batches are small
     // (`coalesce_max`), so a hash map would cost more than it saves.
+    let CoalesceScratch {
+        groups,
+        spare_groups,
+        slots,
+        resolved,
+        hist_buf,
+        snap_buf,
+        batch,
+        scores,
+    } = cs;
     for (i, req) in reqs.iter().enumerate() {
         let req = req.borrow();
-        if let Err(e) = validate_request(req, layout, max_seq) {
-            cs.slots[i] = Some(Err(e));
-            continue;
-        }
-        match cs.groups.iter_mut().find(|g| {
-            let head = reqs[g[0]].borrow();
-            head.user == req.user
-                && effective_history(head, max_seq) == effective_history(req, max_seq)
-        }) {
-            Some(g) => g.push(i),
-            None => {
-                let mut g = cs.fresh_group();
-                g.push(i);
-                cs.groups.push(g);
+        let start = hist_buf.len();
+        let mut slot = ResolvedSlot { start, end: start, ..ResolvedSlot::default() };
+        match resolve_request(req, layout, max_seq, backend, snap_buf, hist_buf, &mut slot) {
+            Ok(()) => {
+                slot.end = hist_buf.len();
+                let key = &hist_buf[slot.start..slot.end];
+                match groups
+                    .iter_mut()
+                    .find(|g| &hist_buf[resolved[g[0]].start..resolved[g[0]].end] == key)
+                {
+                    Some(g) => g.push(i),
+                    None => {
+                        let mut g = spare_groups.pop().unwrap_or_default();
+                        g.push(i);
+                        groups.push(g);
+                    }
+                }
+            }
+            Err(e) => {
+                hist_buf.truncate(start);
+                slots[i] = Some(Err(e));
             }
         }
+        resolved.push(slot);
     }
 
     // One reusable expansion batch + score accumulator across all groups.
-    for group in &cs.groups {
-        expand_group_into_impl(reqs, group, layout, max_seq, &mut cs.batch);
-        cs.scores.clear();
-        scorer.score_into(&cs.batch, scratch, &mut cs.scores);
+    for group in groups.iter() {
+        let head = &resolved[group[0]];
+        expand_group_into_impl(
+            reqs,
+            group,
+            &hist_buf[head.start..head.end],
+            layout,
+            max_seq,
+            batch,
+        );
+
+        // The group's history-side panel: any member's cached view works
+        // (the group key *is* the view's identity — history content), and
+        // a freshly built one is installed for every stored member so the
+        // next request from any of them hits.
+        let mut view = group.iter().find_map(|&i| resolved[i].view.clone());
+        if view.is_none()
+            && scorer.supports_history_view()
+            && group.iter().any(|&i| resolved[i].cache_key.is_some())
+        {
+            view = scorer.build_history_view(&batch.dyn_idx[..max_seq], scratch).map(Arc::new);
+        }
+        if let (Some(v), Some(cache)) = (&view, backend.and_then(|b| b.cache)) {
+            for &i in group.iter() {
+                if resolved[i].view.is_none() {
+                    if let Some((user, version)) = resolved[i].cache_key {
+                        cache.insert(user, version, Arc::clone(v));
+                    }
+                }
+            }
+        }
+
+        scores.clear();
+        match &view {
+            Some(v) => scorer.score_with_view_into(batch, v, scratch, scores),
+            None => scorer.score_into(batch, scratch, scores),
+        }
         let mut offset = 0usize;
-        for &i in group {
+        for &i in group.iter() {
             let req = reqs[i].borrow();
             let k = req.candidates.len();
-            cs.slots[i] = Some(Ok(ScoreResponse {
-                ranked: rank_candidates(&req.candidates, &cs.scores[offset..offset + k], top_k),
+            slots[i] = Some(Ok(ScoreResponse {
+                ranked: rank_candidates(&req.candidates, &scores[offset..offset + k], top_k),
             }));
             offset += k;
         }
     }
     out.clear();
     out.extend(
-        cs.slots.drain(..).map(|r| {
+        slots.drain(..).map(|r| {
             r.expect("every request is either rejected by validation or scored in a group")
         }),
     );
@@ -349,6 +584,7 @@ pub fn score_requests_with<S: Scorer + ?Sized, R: std::borrow::Borrow<ScoreReque
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::{HistoryStore, ViewCache};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use seqfm_autograd::ParamStore;
@@ -368,7 +604,7 @@ mod tests {
 
     #[test]
     fn expansion_shares_history_and_varies_candidates() {
-        let req = ScoreRequest { user: 2, history: vec![1, 5, 3], candidates: vec![7, 0, 9] };
+        let req = ScoreRequest::inline(2, vec![1, 5, 3], vec![7, 0, 9]);
         let b = expand_request(&req, &layout(), 5).expect("valid");
         assert_eq!((b.len, b.n_static, b.n_dynamic), (3, 2, 5));
         let l = layout();
@@ -382,13 +618,13 @@ mod tests {
 
     #[test]
     fn expansion_truncates_long_histories_like_build_instance() {
-        let req = ScoreRequest { user: 0, history: vec![0, 1, 2, 3, 4, 5], candidates: vec![1] };
+        let req = ScoreRequest::inline(0, vec![0, 1, 2, 3, 4, 5], vec![1]);
         let b = expand_request(&req, &layout(), 4).expect("valid");
         let direct = Batch::try_from_instances(&[seqfm_data::build_instance(
             &layout(),
             0,
             1,
-            &req.history,
+            req.inline_history().unwrap(),
             4,
             0.0,
         )])
@@ -400,7 +636,7 @@ mod tests {
     #[test]
     fn invalid_requests_are_rejected() {
         let l = layout();
-        let base = ScoreRequest { user: 0, history: vec![], candidates: vec![1] };
+        let base = ScoreRequest::inline(0, vec![], vec![1]);
         assert_eq!(
             expand_request(&ScoreRequest { candidates: vec![], ..base.clone() }, &l, 5),
             Err(ServeError::NoCandidates)
@@ -410,7 +646,7 @@ mod tests {
             Err(ServeError::UnknownUser { user: 4, n_users: 4 })
         );
         assert_eq!(
-            expand_request(&ScoreRequest { history: vec![12], ..base.clone() }, &l, 5),
+            expand_request(&ScoreRequest { history: vec![12].into(), ..base.clone() }, &l, 5),
             Err(ServeError::UnknownItem { item: 12, n_items: 12 })
         );
         assert_eq!(
@@ -420,9 +656,37 @@ mod tests {
     }
 
     #[test]
+    fn stored_requests_error_without_a_backend() {
+        let l = layout();
+        let req = ScoreRequest::stored(1, vec![2, 3]);
+        assert_eq!(expand_request(&req, &l, 5), Err(ServeError::NoHistoryStore));
+        let mut scratch = Scratch::new();
+        assert_eq!(
+            score_request(&frozen(3), &l, 5, 0, &req, &mut scratch),
+            Err(ServeError::NoHistoryStore)
+        );
+        let got = score_requests(&frozen(3), &l, 5, 0, &[&req], &mut scratch);
+        assert_eq!(got, vec![Err(ServeError::NoHistoryStore)]);
+    }
+
+    #[test]
+    fn request_constructors_and_deprecated_shim_agree() {
+        let a = ScoreRequest::inline(1, vec![2, 3], vec![4]);
+        #[allow(deprecated)]
+        let b = ScoreRequest::new(1, vec![2, 3], vec![4]);
+        assert_eq!(a, b);
+        assert_eq!(a.inline_history(), Some([2, 3].as_slice()));
+        assert_eq!(ScoreRequest::stored(1, vec![4]).inline_history(), None);
+        // `Vec<u32>` still slots straight into the literal field.
+        let c = ScoreRequest { user: 1, history: vec![2, 3].into(), candidates: vec![4] };
+        assert_eq!(a, c);
+        assert_eq!(ScoreRequest::default().history, HistorySource::Inline(vec![]));
+    }
+
+    #[test]
     fn zero_max_seq_is_a_config_error_not_a_zero_width_batch() {
         let l = layout();
-        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![2] };
+        let req = ScoreRequest::inline(0, vec![1], vec![2]);
         // Pre-fix, this built a Batch with n_dynamic == 0 and let the
         // attention kernels run on a shape the model was never trained for.
         let err = expand_request(&req, &l, 0).expect_err("must reject");
@@ -439,7 +703,7 @@ mod tests {
         let l = layout();
         let frozen = frozen(11);
         let mut scratch = Scratch::new();
-        let req = ScoreRequest { user: 1, history: vec![2, 8], candidates: (0..12).collect() };
+        let req = ScoreRequest::inline(1, vec![2, 8], (0..12).collect::<Vec<u32>>());
         let all = score_request(&frozen, &l, 5, 0, &req, &mut scratch).expect("valid");
         assert_eq!(all.ranked.len(), 12);
         for w in all.ranked.windows(2) {
@@ -468,7 +732,7 @@ mod tests {
     fn nan_scores_rank_last_and_deterministically() {
         let l = layout();
         let stub = Preset(vec![1.0, f32::NAN, 0.5, f32::NAN, 2.0]);
-        let req = ScoreRequest { user: 0, history: vec![1], candidates: vec![10, 11, 2, 3, 4] };
+        let req = ScoreRequest::inline(0, vec![1], vec![10, 11, 2, 3, 4]);
         let mut scratch = Scratch::new();
         let first = score_request(&stub, &l, 5, 0, &req, &mut scratch).expect("valid");
         // Finite scores descending, then the NaN-scored candidates in
@@ -495,19 +759,20 @@ mod tests {
     fn coalesced_scoring_is_bit_identical_to_serial_per_request() {
         let l = layout();
         let model = frozen(21);
-        // A deliberately messy mix: shared (user, history) pairs, a history
-        // equal only after truncation, different candidate counts, a cold
-        // start, and two invalid requests in the middle.
+        // A deliberately messy mix: shared histories (including across
+        // users), a history equal only after truncation, different
+        // candidate counts, a cold start, and two invalid requests in the
+        // middle.
         let reqs = [
-            ScoreRequest { user: 1, history: vec![2, 8, 3], candidates: vec![0, 5, 7] },
-            ScoreRequest { user: 0, history: vec![], candidates: vec![1] },
-            ScoreRequest { user: 1, history: vec![2, 8, 3], candidates: vec![9] },
-            ScoreRequest { user: 9, history: vec![], candidates: vec![1] }, // unknown user
-            // Truncation-equivalent to the user-1 history above (max_seq 3).
-            ScoreRequest { user: 1, history: vec![11, 2, 8, 3], candidates: vec![4, 4, 6] },
-            ScoreRequest { user: 2, history: vec![2, 8, 3], candidates: vec![0, 5] },
-            ScoreRequest { user: 1, history: vec![3, 2], candidates: vec![] }, // no candidates
-            ScoreRequest { user: 3, history: vec![1, 1, 1], candidates: (0..12).collect() },
+            ScoreRequest::inline(1, vec![2, 8, 3], vec![0, 5, 7]),
+            ScoreRequest::inline(0, vec![], vec![1]),
+            ScoreRequest::inline(1, vec![2, 8, 3], vec![9]),
+            ScoreRequest::inline(9, vec![], vec![1]), // unknown user
+            // Truncation-equivalent to the history above (max_seq 3).
+            ScoreRequest::inline(1, vec![11, 2, 8, 3], vec![4, 4, 6]),
+            ScoreRequest::inline(2, vec![2, 8, 3], vec![0, 5]), // other user, same hist
+            ScoreRequest::inline(1, vec![3, 2], vec![]),        // no candidates
+            ScoreRequest::inline(3, vec![1, 1, 1], (0..12).collect::<Vec<u32>>()),
         ];
         let refs: Vec<&ScoreRequest> = reqs.iter().collect();
         for (max_seq, top_k) in [(3usize, 0usize), (3, 2), (5, 4)] {
@@ -538,7 +803,7 @@ mod tests {
     }
 
     #[test]
-    fn coalesced_groups_form_by_user_and_effective_history() {
+    fn coalesced_groups_form_by_canonical_history_across_users() {
         // Observable through a counting scorer: each group is one score
         // call with all member candidates in one batch.
         use std::cell::Cell;
@@ -558,19 +823,144 @@ mod tests {
         }
         let l = layout();
         let reqs = [
-            ScoreRequest { user: 1, history: vec![2, 8], candidates: vec![0, 5] },
-            ScoreRequest { user: 1, history: vec![2, 8], candidates: vec![7] },
-            ScoreRequest { user: 2, history: vec![2, 8], candidates: vec![1] }, // other user
-            ScoreRequest { user: 1, history: vec![8, 2], candidates: vec![1] }, // other order
-            ScoreRequest { user: 1, history: vec![2, 8], candidates: vec![3] },
+            ScoreRequest::inline(1, vec![2, 8], vec![0, 5]),
+            ScoreRequest::inline(1, vec![2, 8], vec![7]),
+            // Different user, same history: coalesces since the key is the
+            // canonical history alone (pre-redesign this was its own
+            // group).
+            ScoreRequest::inline(2, vec![2, 8], vec![1]),
+            ScoreRequest::inline(1, vec![8, 2], vec![1]), // other order
+            ScoreRequest::inline(1, vec![2, 8], vec![3]),
         ];
         let refs: Vec<&ScoreRequest> = reqs.iter().collect();
         let counter = Counting { calls: Cell::new(0), rows: Cell::new(0) };
         let mut scratch = Scratch::new();
         let out = score_requests(&counter, &l, 5, 0, &refs, &mut scratch);
         assert!(out.iter().all(Result::is_ok));
-        // Three groups: {0, 1, 4} (same user+history), {2}, {3}.
-        assert_eq!(counter.calls.get(), 3, "expected 3 coalesced groups");
+        // Two groups: {0, 1, 2, 4} (same canonical history) and {3}.
+        assert_eq!(counter.calls.get(), 2, "expected 2 cross-user coalesced groups");
         assert_eq!(counter.rows.get(), 6, "all candidate rows scored exactly once");
+    }
+
+    #[test]
+    fn stateful_path_resolves_stores_and_caches_bit_identically() {
+        let l = layout();
+        let model = frozen(33);
+        let store = HistoryStore::new(l.n_users, 5);
+        let cache = ViewCache::new(64);
+        let backend = HistoryBackend { store: &store, cache: Some(&cache) };
+        for &item in &[2u32, 8, 3] {
+            store.append(1, item);
+        }
+        let stored = ScoreRequest::stored(1, vec![0, 5, 7]);
+        let inline = ScoreRequest::inline(1, vec![2, 8, 3], vec![0, 5, 7]);
+        let mut scratch = Scratch::new();
+        let mut cs = CoalesceScratch::new();
+        let mut out = Vec::new();
+        // First pass: cache cold (miss), view built and installed.
+        score_requests_stateful(
+            &model,
+            &l,
+            5,
+            0,
+            &[&stored],
+            Some(&backend),
+            &mut scratch,
+            &mut cs,
+            &mut out,
+        );
+        let first = out[0].clone().expect("valid");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+        // Second pass: cache hit, same bits.
+        score_requests_stateful(
+            &model,
+            &l,
+            5,
+            0,
+            &[&stored],
+            Some(&backend),
+            &mut scratch,
+            &mut cs,
+            &mut out,
+        );
+        let second = out[0].clone().expect("valid");
+        assert_eq!(cache.stats().hits, 1);
+        // Reference: the same request scored inline, serially.
+        let want = score_request(&model, &l, 5, 0, &inline, &mut scratch).expect("valid");
+        for got in [&first, &second] {
+            assert_eq!(got.ranked.len(), want.ranked.len());
+            for (g, w) in got.ranked.iter().zip(&want.ranked) {
+                assert_eq!(g.item, w.item);
+                assert_eq!(g.score.to_bits(), w.score.to_bits(), "stored path not bit-identical");
+            }
+        }
+        // Append → version bump → lazy invalidation: next lookup misses,
+        // and the re-scored result matches a fresh inline request exactly.
+        store.append(1, 6);
+        score_requests_stateful(
+            &model,
+            &l,
+            5,
+            0,
+            &[&stored],
+            Some(&backend),
+            &mut scratch,
+            &mut cs,
+            &mut out,
+        );
+        let after = out[0].clone().expect("valid");
+        let inline_after = ScoreRequest::inline(1, vec![2, 8, 3, 6], vec![0, 5, 7]);
+        let want_after =
+            score_request(&model, &l, 5, 0, &inline_after, &mut scratch).expect("valid");
+        for (g, w) in after.ranked.iter().zip(&want_after.ranked) {
+            assert_eq!(g.item, w.item);
+            assert_eq!(g.score.to_bits(), w.score.to_bits(), "post-append score stale");
+        }
+        assert_eq!(cache.stats().misses, 2, "append must invalidate (stale-version miss)");
+    }
+
+    #[test]
+    fn stored_and_inline_requests_coalesce_into_one_group() {
+        let l = layout();
+        let model = frozen(39);
+        let store = HistoryStore::new(l.n_users, 5);
+        for &item in &[2u32, 8] {
+            store.append(3, item);
+        }
+        let backend = HistoryBackend { store: &store, cache: None };
+        // User 3's stored history equals user 1's inline history: one group.
+        let reqs =
+            [ScoreRequest::stored(3, vec![0, 5]), ScoreRequest::inline(1, vec![2, 8], vec![7])];
+        let refs: Vec<&ScoreRequest> = reqs.iter().collect();
+        let mut scratch = Scratch::new();
+        let mut cs = CoalesceScratch::new();
+        let mut out = Vec::new();
+        score_requests_stateful(
+            &model,
+            &l,
+            5,
+            0,
+            &refs,
+            Some(&backend),
+            &mut scratch,
+            &mut cs,
+            &mut out,
+        );
+        assert_eq!(cs.groups.len(), 1, "stored + inline with equal windows must share a group");
+        let mut serial = Scratch::new();
+        let want0 = score_request(
+            &model,
+            &l,
+            5,
+            0,
+            &ScoreRequest::inline(3, vec![2, 8], vec![0, 5]),
+            &mut serial,
+        )
+        .expect("valid");
+        let got0 = out[0].as_ref().expect("valid");
+        for (g, w) in got0.ranked.iter().zip(&want0.ranked) {
+            assert_eq!((g.item, g.score.to_bits()), (w.item, w.score.to_bits()));
+        }
     }
 }

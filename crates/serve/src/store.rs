@@ -1,0 +1,444 @@
+//! The stateful half of the serving layer: a sharded, concurrent
+//! [`HistoryStore`] that owns every user's interaction sequence, and a
+//! bounded [`ViewCache`] memoising each user's history-side forward work
+//! ([`HistoryView`](seqfm_core::HistoryView)) across requests.
+//!
+//! With the store in place a request no longer ships its own history — it
+//! arrives as `(user, candidates)`
+//! ([`HistorySource::Stored`](crate::HistorySource)), the engine snapshots
+//! the user's window under a shard read lock, and the frozen scorer reuses
+//! the cached panel instead of recomputing it. Appends
+//! ([`HistoryStore::append`]) bump a per-user **version**; the cache keys
+//! entries by `(user, version)`, so an append invalidates lazily — the next
+//! lookup simply misses and rebuilds, with no eager cross-shard
+//! coordination.
+//!
+//! Concurrency model: users are struck across `n_shards` shards
+//! (`user % n_shards`), each behind its own `RwLock` — reads (snapshot into
+//! a caller buffer) take the shard shared, appends take it exclusive. The
+//! per-user window is a fixed-capacity **ring**: an append past capacity
+//! overwrites the oldest event in place, so the store's memory is
+//! `O(n_users × capacity)` forever, regardless of traffic.
+
+use seqfm_core::HistoryView;
+use seqfm_data::Dataset;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Fixed shard fan-out. Sixteen shards keep write contention negligible for
+/// any realistic worker count while costing a handful of locks; the store's
+/// hot path (snapshot reads) takes shards shared anyway.
+const N_SHARDS: usize = 16;
+
+/// One user's bounded history window: a ring of the most recent `capacity`
+/// item ids plus a monotonically increasing version.
+#[derive(Clone, Debug, Default)]
+struct UserRing {
+    /// Ring storage; logically the window `[head-len, head)` mod capacity.
+    items: Vec<u32>,
+    /// Next write position.
+    head: usize,
+    /// Valid entries (`<= capacity`).
+    len: usize,
+    /// Bumped on every append; `0` means "never written".
+    version: u64,
+}
+
+impl UserRing {
+    fn push(&mut self, item: u32, capacity: usize) -> u64 {
+        if self.items.is_empty() {
+            // Lazily sized: cold users cost a `Vec` header, nothing more.
+            self.items = vec![0; capacity];
+        }
+        self.items[self.head] = item;
+        self.head = (self.head + 1) % capacity;
+        self.len = (self.len + 1).min(capacity);
+        self.version += 1;
+        self.version
+    }
+
+    /// Appends the window, oldest first, to `buf`.
+    fn snapshot_into(&self, buf: &mut Vec<u32>) {
+        let cap = self.items.len();
+        for k in 0..self.len {
+            buf.push(self.items[(self.head + cap - self.len + k) % cap]);
+        }
+    }
+}
+
+/// Sharded, concurrent in-process store of every user's recent history.
+/// See the module docs for the locking and bounding model.
+pub struct HistoryStore {
+    /// Shard `s` holds user `u` (where `u % N_SHARDS == s`) at local index
+    /// `u / N_SHARDS`.
+    shards: Vec<RwLock<Vec<UserRing>>>,
+    n_users: usize,
+    capacity: usize,
+}
+
+impl HistoryStore {
+    /// A store for `n_users` users, each keeping their most recent
+    /// `capacity` events. `capacity` must be ≥ 1 (the engine defaults it to
+    /// the model's `max_seq`).
+    pub fn new(n_users: usize, capacity: usize) -> Self {
+        assert!(capacity >= 1, "history capacity must be >= 1");
+        let shards = (0..N_SHARDS)
+            .map(|s| {
+                let local = n_users / N_SHARDS + usize::from(s < n_users % N_SHARDS);
+                RwLock::new(vec![UserRing::default(); local])
+            })
+            .collect();
+        HistoryStore { shards, n_users, capacity }
+    }
+
+    /// Number of users the store covers.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Per-user window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[inline]
+    fn locate(&self, user: u32) -> (usize, usize) {
+        let u = user as usize;
+        (u % N_SHARDS, u / N_SHARDS)
+    }
+
+    /// Records one interaction at the end of `user`'s sequence, evicting
+    /// the oldest event once the window is full. Returns the user's new
+    /// history version. Item validation is the caller's job (the engine
+    /// checks ids against its [`FeatureLayout`](seqfm_data::FeatureLayout)
+    /// before they reach the store).
+    ///
+    /// # Panics
+    /// Panics if `user >= n_users` (the engine validates first).
+    pub fn append(&self, user: u32, item: u32) -> u64 {
+        let (shard, idx) = self.locate(user);
+        let mut rings = self.shards[shard].write().expect("store shard poisoned");
+        rings[idx].push(item, self.capacity)
+    }
+
+    /// Copies `user`'s current window (chronological, oldest first) into
+    /// `buf` — cleared first — and returns the matching version. One shard
+    /// read lock; the `(items, version)` pair is atomic with respect to
+    /// concurrent appends.
+    ///
+    /// # Panics
+    /// Panics if `user >= n_users`.
+    pub fn snapshot_into(&self, user: u32, buf: &mut Vec<u32>) -> u64 {
+        buf.clear();
+        let (shard, idx) = self.locate(user);
+        let rings = self.shards[shard].read().expect("store shard poisoned");
+        rings[idx].snapshot_into(buf);
+        rings[idx].version
+    }
+
+    /// Allocating convenience over [`HistoryStore::snapshot_into`].
+    pub fn snapshot(&self, user: u32) -> (Vec<u32>, u64) {
+        let mut buf = Vec::new();
+        let version = self.snapshot_into(user, &mut buf);
+        (buf, version)
+    }
+
+    /// `user`'s current history version (`0` = never written).
+    pub fn version(&self, user: u32) -> u64 {
+        let (shard, idx) = self.locate(user);
+        self.shards[shard].read().expect("store shard poisoned")[idx].version
+    }
+
+    /// Bulk-loads a dataset's per-user sequences (warm-up): each user's
+    /// events are appended in chronological order, so the store ends up
+    /// holding the last `capacity` of them. Returns the number of events
+    /// loaded. Users beyond `n_users` are ignored (the caller sized the
+    /// store from the layout that also sized the model).
+    pub fn load_dataset(&self, ds: &Dataset) -> usize {
+        let mut loaded = 0usize;
+        for (u, events) in ds.per_user.iter().enumerate().take(self.n_users) {
+            // Only the window tail can survive; skip the rest of the walk.
+            let tail = events.len().saturating_sub(self.capacity);
+            let (shard, idx) = self.locate(u as u32);
+            let mut rings = self.shards[shard].write().expect("store shard poisoned");
+            for e in &events[tail..] {
+                rings[idx].push(e.item, self.capacity);
+            }
+            // Versions count *all* events, so warm-up then live appends
+            // stay monotone even for users whose prefix was skipped.
+            rings[idx].version = events.len() as u64;
+            loaded += events.len();
+        }
+        loaded
+    }
+}
+
+/// Cache hit/miss counters and current occupancy of a [`ViewCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a current-version view.
+    pub hits: u64,
+    /// Lookups that found nothing (or a stale version).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheShard {
+    /// user → (history version, cached view).
+    map: HashMap<u32, (u64, Arc<HistoryView>)>,
+    /// Insertion order for FIFO eviction.
+    fifo: VecDeque<u32>,
+}
+
+/// Bounded, sharded cache of [`HistoryView`]s keyed by `(user, version)`.
+///
+/// Invalidation is **lazy**: [`HistoryStore::append`] bumps the user's
+/// version, so the next [`ViewCache::get`] with the fresh version misses
+/// (and counts as a miss) without the appender ever touching the cache.
+/// Eviction is FIFO per shard once `max_entries` is reached — simple,
+/// allocation-light, and good enough for the skewed access patterns this
+/// serves (hot users are re-inserted right after eviction at worst).
+pub struct ViewCache {
+    shards: Vec<Mutex<CacheShard>>,
+    /// Per-shard entry bound (total bound split evenly, min 1).
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ViewCache {
+    /// A cache holding at most `max_entries` views (must be ≥ 1).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 1, "view cache must hold at least one entry");
+        let shards = (0..N_SHARDS)
+            .map(|_| Mutex::new(CacheShard { map: HashMap::new(), fifo: VecDeque::new() }))
+            .collect();
+        ViewCache {
+            shards,
+            per_shard: max_entries.div_ceil(N_SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached view for `user` **iff** it was built at exactly
+    /// `version`; a stale or absent entry is a miss.
+    pub fn get(&self, user: u32, version: u64) -> Option<Arc<HistoryView>> {
+        let shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
+        match shard.map.get(&user) {
+            Some((v, view)) if *v == version => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(view))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Installs (or refreshes) `user`'s view for `version`, evicting the
+    /// shard's oldest entry at capacity. Concurrent duplicate builds are
+    /// benign — the views are bit-identical by construction, so last write
+    /// wins.
+    pub fn insert(&self, user: u32, version: u64, view: Arc<HistoryView>) {
+        let mut shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
+        if shard.map.insert(user, (version, view)).is_none() {
+            shard.fifo.push_back(user);
+            while shard.map.len() > self.per_shard {
+                if let Some(old) = shard.fifo.pop_front() {
+                    shard.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Drops `user`'s entry (eager invalidation; appends don't need it —
+    /// version checks already fence staleness — but tests and explicit
+    /// resets do).
+    pub fn invalidate(&self, user: u32) {
+        let mut shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
+        if shard.map.remove(&user).is_some() {
+            shard.fifo.retain(|&u| u != user);
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("view cache poisoned").map.len())
+                .sum(),
+        }
+    }
+}
+
+/// The history-resolution context of the stateful scoring path
+/// ([`crate::score_requests_stateful`]): the store that
+/// [`HistorySource::Stored`](crate::HistorySource) requests snapshot from,
+/// plus an optional view cache for the scorer's history-side panels.
+#[derive(Clone, Copy)]
+pub struct HistoryBackend<'a> {
+    /// Where stored histories live.
+    pub store: &'a HistoryStore,
+    /// Incremental view cache; `None` disables caching (views are then
+    /// built per drain and dropped).
+    pub cache: Option<&'a ViewCache>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_windows_are_bounded_and_chronological() {
+        let store = HistoryStore::new(3, 4);
+        assert_eq!(store.capacity(), 4);
+        assert_eq!(store.n_users(), 3);
+        assert_eq!(store.snapshot(1), (vec![], 0));
+        for item in 0..6u32 {
+            store.append(1, item * 10);
+        }
+        // Six appends into a 4-window: only the last four survive.
+        let (items, version) = store.snapshot(1);
+        assert_eq!(items, vec![20, 30, 40, 50]);
+        assert_eq!(version, 6);
+        // Other users untouched.
+        assert_eq!(store.snapshot(0), (vec![], 0));
+        assert_eq!(store.version(2), 0);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_the_buffer() {
+        let store = HistoryStore::new(20, 3);
+        store.append(17, 5);
+        store.append(17, 6);
+        let mut buf = vec![99, 99, 99, 99];
+        let v = store.snapshot_into(17, &mut buf);
+        assert_eq!((buf.as_slice(), v), ([5, 6].as_slice(), 2));
+    }
+
+    #[test]
+    fn dataset_bulk_load_fills_window_tails() {
+        use seqfm_data::{ranking::RankingConfig, Scale};
+        let mut cfg = RankingConfig::gowalla(Scale::Small);
+        cfg.n_users = 10;
+        cfg.n_items = 40;
+        cfg.min_len = 3;
+        cfg.max_len = 9;
+        let ds = seqfm_data::ranking::generate(&cfg).unwrap();
+        let store = HistoryStore::new(ds.n_users, 5);
+        let loaded = store.load_dataset(&ds);
+        assert_eq!(loaded, ds.n_instances());
+        for (u, events) in ds.per_user.iter().enumerate() {
+            let (items, version) = store.snapshot(u as u32);
+            let tail: Vec<u32> =
+                events[events.len().saturating_sub(5)..].iter().map(|e| e.item).collect();
+            assert_eq!(items, tail, "user {u} window is not the sequence tail");
+            assert_eq!(version as usize, events.len(), "user {u} version");
+        }
+        // Appending after warm-up keeps versions strictly monotone.
+        let before = store.version(0);
+        assert_eq!(store.append(0, 1), before + 1);
+    }
+
+    #[test]
+    fn cache_is_versioned_bounded_and_counted() {
+        let cache = ViewCache::new(N_SHARDS); // one entry per shard
+        let view = Arc::new(HistoryView::default());
+        assert!(cache.get(3, 1).is_none()); // miss: absent
+        cache.insert(3, 1, Arc::clone(&view));
+        assert!(cache.get(3, 1).is_some()); // hit
+        assert!(cache.get(3, 2).is_none()); // miss: stale version
+        cache.insert(3, 2, Arc::clone(&view));
+        assert!(cache.get(3, 2).is_some()); // refreshed in place
+                                            // Same shard (user 3 + N_SHARDS), capacity 1: FIFO evicts user 3.
+        cache.insert(3 + N_SHARDS as u32, 1, Arc::clone(&view));
+        assert!(cache.get(3, 2).is_none());
+        assert!(cache.get(3 + N_SHARDS as u32, 1).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (3, 3, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        cache.invalidate(3 + N_SHARDS as u32);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn concurrent_appends_and_snapshots_stay_consistent() {
+        // Hammer one store from many threads: every snapshot must be a
+        // window of one user's own items, bounded by capacity, with a
+        // version that matches the items seen (the per-item encoding below
+        // makes torn or cross-user reads detectable).
+        const USERS: u32 = 8;
+        const APPENDS: u32 = 200;
+        const CAP: usize = 7;
+        let store = Arc::new(HistoryStore::new(USERS as usize, CAP));
+        std::thread::scope(|s| {
+            for u in 0..USERS {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for k in 0..APPENDS {
+                        // Encode (user, sequence number) into the item id.
+                        let v = store.append(u, u * APPENDS + k);
+                        assert_eq!(v, (k + 1) as u64, "versions must be per-user monotone");
+                    }
+                });
+            }
+            for u in 0..USERS {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    let mut buf = Vec::new();
+                    let mut last_version = 0u64;
+                    for _ in 0..500 {
+                        let version = store.snapshot_into(u, &mut buf);
+                        assert!(version >= last_version, "version went backwards");
+                        assert!(buf.len() <= CAP, "window exceeded capacity");
+                        assert!(buf.len() as u64 <= version.max(CAP as u64));
+                        for w in buf.windows(2) {
+                            assert_eq!(w[1], w[0] + 1, "snapshot not contiguous: {buf:?}");
+                        }
+                        for &item in &buf {
+                            assert_eq!(item / APPENDS, u, "cross-user contamination");
+                        }
+                        if version > 0 {
+                            // The newest item pins the version: item k is
+                            // written by append k+1.
+                            assert_eq!(
+                                u64::from(buf[buf.len() - 1] % APPENDS) + 1,
+                                version,
+                                "snapshot items and version are torn"
+                            );
+                        }
+                        last_version = version;
+                    }
+                });
+            }
+        });
+        // Final state: every user holds exactly the last CAP items.
+        for u in 0..USERS {
+            let (items, version) = store.snapshot(u);
+            assert_eq!(version, u64::from(APPENDS));
+            let want: Vec<u32> = (APPENDS - CAP as u32..APPENDS).map(|k| u * APPENDS + k).collect();
+            assert_eq!(items, want);
+        }
+    }
+}

@@ -16,6 +16,17 @@ use seqfm_serve::{Engine, EngineConfig, ScoreRequest, ServeError};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The engine's current best stored-history recommendation for `user` —
+/// the "user clicked the top item" half of the streaming demo.
+fn resp_preview(engine: &seqfm_serve::Engine, user: u32) -> u32 {
+    engine
+        .score_stored(user, (0..120u32).collect::<Vec<u32>>())
+        .expect("valid request")
+        .best()
+        .expect("non-empty")
+        .item
+}
+
 fn main() {
     // ---- Phase 1: train (autograd graphs, mutable ParamStore) --------------
     let mut gen_cfg = RankingConfig::gowalla(Scale::Small);
@@ -55,24 +66,35 @@ fn main() {
         blob.len()
     );
 
-    // Sanity: graph-free scores equal the training-path scores.
-    let user0 = 0u32;
-    let history: Vec<u32> = split.train[user0 as usize].iter().map(|e| e.item).collect();
-    let req = ScoreRequest {
-        user: user0,
-        history: history.clone(),
-        candidates: (0..dataset.n_items as u32).collect(),
-    };
-
     // A 2-thread engine sharing one Arc'd frozen model. The admission
     // queue is bounded and workers coalesce queued same-history requests
     // into super-batches (both defaults; spelled out here for the story).
     let engine = Engine::new(
         Arc::new(frozen),
         layout,
-        EngineConfig { threads: 2, max_seq, top_k: 5, queue_capacity: 256, coalesce_max: 16 },
+        EngineConfig::builder()
+            .threads(2)
+            .max_seq(max_seq)
+            .top_k(5)
+            .queue_capacity(256)
+            .coalesce_max(16)
+            .build()
+            .expect("valid engine config"),
     )
     .expect("valid engine config");
+
+    // ---- Phase 3: stateful serving — the engine owns the sequences ---------
+    // Warm the engine's history store from the training split once; from
+    // here on a request is just (user, candidates), and `append_event`
+    // keeps the stored sequences current as interactions stream in.
+    let mut warmed = 0usize;
+    for u in 0..dataset.n_users {
+        for e in &split.train[u] {
+            engine.append_event(u as u32, e.item).expect("valid ids");
+            warmed += 1;
+        }
+    }
+    println!("phase 3 — warmed the history store with {warmed} events; requests are now (user, candidates)");
     let t0 = Instant::now();
     // The non-blocking front door: `submit` either admits or sheds with
     // `ServeError::Overloaded`. A real network layer would turn that into
@@ -80,20 +102,18 @@ fn main() {
     let mut shed = 0usize;
     let pending: Vec<_> = (0..dataset.n_users as u32)
         .map(|u| {
-            let req = ScoreRequest {
-                user: u,
-                history: split.train[u as usize].iter().map(|e| e.item).collect(),
-                candidates: (0..dataset.n_items as u32).collect(),
-            };
-            engine.submit(req).unwrap_or_else(|err| match err {
-                ServeError::Overloaded { req, .. } => {
-                    // The shed request comes back inside the error — park
-                    // on capacity with it, no defensive clone needed.
-                    shed += 1;
-                    engine.submit_wait(*req)
-                }
-                other => panic!("unexpected submit error: {other}"),
-            })
+            // Stored-history submission: no history payload on the wire.
+            engine
+                .submit_stored(u, (0..dataset.n_items as u32).collect::<Vec<u32>>())
+                .unwrap_or_else(|err| match err {
+                    ServeError::Overloaded { req, .. } => {
+                        // The shed request comes back inside the error — park
+                        // on capacity with it, no defensive clone needed.
+                        shed += 1;
+                        engine.submit_wait(*req)
+                    }
+                    other => panic!("unexpected submit error: {other}"),
+                })
         })
         .collect();
     let n_req = pending.len();
@@ -101,17 +121,36 @@ fn main() {
         p.wait().expect("valid request");
     }
     let dt = t0.elapsed();
+    let stats = engine.cache_stats();
     println!(
-        "served {} full-catalog requests ({} candidates each) on 2 threads in {:.1}ms ({:.0} req/s, {} shed->parked)",
+        "served {} full-catalog (user, candidates) requests ({} candidates each) on 2 threads in {:.1}ms ({:.0} req/s, {} shed->parked, view-cache hit rate {:.0}%)",
         n_req,
         dataset.n_items,
         dt.as_secs_f64() * 1e3,
         n_req as f64 / dt.as_secs_f64(),
-        shed
+        shed,
+        stats.hit_rate() * 100.0
     );
 
-    let resp = engine.score(req).expect("valid request");
-    println!("top-5 for user {user0} (history length {}):", history.len());
+    // An interaction streams in; the stored sequence and the next response
+    // move together. Inline requests still work for stateless callers —
+    // and bit-match the stored path over the same window.
+    let user0 = 0u32;
+    let clicked = resp_preview(&engine, user0);
+    engine.append_event(user0, clicked).expect("valid ids");
+    let window = engine.history(user0).expect("known user");
+    let resp = engine
+        .score_stored(user0, (0..dataset.n_items as u32).collect::<Vec<u32>>())
+        .expect("valid request");
+    let inline = engine
+        .score(ScoreRequest::inline(
+            user0,
+            window.clone(),
+            (0..dataset.n_items as u32).collect::<Vec<u32>>(),
+        ))
+        .expect("valid request");
+    assert_eq!(resp, inline, "stored and inline paths must score identically");
+    println!("top-5 for user {user0} after clicking item {clicked} (stored window {window:?}):");
     for (rank, c) in resp.ranked.iter().enumerate() {
         println!("  #{:<2} item {:<4} score {:+.4}", rank + 1, c.item, c.score);
     }
@@ -131,7 +170,7 @@ fn main() {
         &layout,
         max_seq,
         3,
-        &ScoreRequest { user: 1, history: vec![3, 8, 2], candidates: vec![5, 9, 40, 77] },
+        &ScoreRequest::inline(1, vec![3, 8, 2], vec![5, 9, 40, 77]),
         &mut scratch,
     )
     .expect("valid request");

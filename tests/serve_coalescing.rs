@@ -42,12 +42,12 @@ fn mixed_requests() -> Vec<ScoreRequest> {
         let hist_len = [0usize, 3, 7, 12][i % 4];
         let history: Vec<u32> = (0..hist_len).map(|j| ((i % 3) * 7 + j) as u32).collect();
         let candidates: Vec<u32> = (0..(1 + i % 9)).map(|c| ((c * 5 + i) % 30) as u32).collect();
-        reqs.push(ScoreRequest { user, history, candidates });
+        reqs.push(ScoreRequest::inline(user, history, candidates));
     }
     // Invalid requests mixed in: their errors must come back index-aligned.
-    reqs.insert(7, ScoreRequest { user: 99, history: vec![], candidates: vec![1] });
-    reqs.insert(23, ScoreRequest { user: 1, history: vec![2], candidates: vec![] });
-    reqs.insert(31, ScoreRequest { user: 1, history: vec![77], candidates: vec![1] });
+    reqs.insert(7, ScoreRequest::inline(99, vec![], vec![1]));
+    reqs.insert(23, ScoreRequest::inline(1, vec![2], vec![]));
+    reqs.insert(31, ScoreRequest::inline(1, vec![77], vec![1]));
     let _ = l;
     reqs
 }
@@ -108,8 +108,14 @@ fn engine_is_bit_identical_to_serial_scoring_at_any_width() {
     let serial: Vec<_> =
         reqs.iter().map(|r| score_request(&*frozen, &l, MAX_SEQ, 5, r, &mut scratch)).collect();
     for (threads, coalesce_max) in [(1usize, 1usize), (1, 8), (3, 8), (4, 64)] {
-        let cfg =
-            EngineConfig { threads, max_seq: MAX_SEQ, top_k: 5, queue_capacity: 256, coalesce_max };
+        let cfg = EngineConfig::builder()
+            .threads(threads)
+            .max_seq(MAX_SEQ)
+            .top_k(5)
+            .queue_capacity(256)
+            .coalesce_max(coalesce_max)
+            .build()
+            .expect("valid config");
         let engine = Engine::new(Arc::clone(&frozen), l, cfg).expect("valid config");
         let pending: Vec<_> =
             reqs.iter().map(|r| engine.submit(r.clone()).expect("under capacity")).collect();
@@ -122,12 +128,57 @@ fn engine_is_bit_identical_to_serial_scoring_at_any_width() {
 }
 
 #[test]
+fn cross_user_coalescing_is_bit_identical_for_frozen_and_graph_scorers() {
+    // The coalescer's key is the *canonical history window alone*: many
+    // users sharing one window (trending traffic, cold starts) must merge
+    // into one super-batch per window — and every per-request result must
+    // still match serial scoring at the logit-bit level, for both scorer
+    // kinds. The user still enters each row's static features, so this is
+    // only sound because the shared-history fast path never touches them.
+    let (model, ps) = model();
+    let frozen = FrozenSeqFm::freeze(&model, &ps);
+    let graph = GraphScorer::new(model, ps);
+    let l = layout();
+    let shared: Vec<u32> = vec![4, 17, 9];
+    let mut reqs = Vec::new();
+    for user in 0..12u32 {
+        // Same canonical window for every user (one arrives pre-truncation
+        // equivalent), different candidate sets.
+        let history =
+            if user == 5 { vec![1, 2, 3, 4, 5, 6, 7, 8, 4, 17, 9] } else { shared.clone() };
+        let candidates: Vec<u32> = (0..(1 + user % 4)).map(|c| (user * 2 + c) % 30).collect();
+        reqs.push(ScoreRequest::inline(user, history, candidates));
+    }
+    // Plus two cold starts (empty window) from different users.
+    reqs.push(ScoreRequest::inline(0, vec![], vec![21, 22]));
+    reqs.push(ScoreRequest::inline(11, vec![], vec![23]));
+    let refs: Vec<&ScoreRequest> = reqs.iter().collect();
+    let scorers: [&dyn Scorer; 2] = [&frozen, &graph];
+    for scorer in scorers {
+        let mut scratch = Scratch::new();
+        let coalesced = score_requests(scorer, &l, MAX_SEQ, 0, &refs, &mut scratch);
+        let mut serial_scratch = Scratch::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let serial = score_request(scorer, &l, MAX_SEQ, 0, req, &mut serial_scratch);
+            let ctx = format!("{} cross-user request {i}", scorer.name());
+            assert_bit_identical(&coalesced[i], &serial, &ctx);
+        }
+    }
+}
+
+#[test]
 fn overload_shedding_and_parking_round_trip_under_concurrency() {
     let (model, ps) = model();
     let frozen = Arc::new(FrozenSeqFm::freeze(&model, &ps));
     let l = layout();
-    let cfg =
-        EngineConfig { threads: 2, max_seq: MAX_SEQ, top_k: 3, queue_capacity: 4, coalesce_max: 4 };
+    let cfg = EngineConfig::builder()
+        .threads(2)
+        .max_seq(MAX_SEQ)
+        .top_k(3)
+        .queue_capacity(4)
+        .coalesce_max(4)
+        .build()
+        .expect("valid config");
     let engine = Engine::new(frozen, l, cfg).expect("valid config");
     // Hammer a tiny admission queue from several producers; every request
     // must either resolve correctly or shed explicitly — nothing may hang,
@@ -139,11 +190,11 @@ fn overload_shedding_and_parking_round_trip_under_concurrency() {
                 s.spawn(move || {
                     let mut shed = 0usize;
                     for i in 0..50usize {
-                        let req = ScoreRequest {
-                            user: (p % 5) as u32,
-                            history: vec![1, 2, 3],
-                            candidates: vec![((i * 3) % 30) as u32, 5, 9, 11],
-                        };
+                        let req = ScoreRequest::inline(
+                            (p % 5) as u32,
+                            vec![1, 2, 3],
+                            vec![((i * 3) % 30) as u32, 5, 9, 11],
+                        );
                         match engine.submit(req) {
                             Ok(pending) => {
                                 let resp = pending.wait().expect("valid request");
@@ -177,22 +228,23 @@ fn teardown_with_deep_inflight_backlog_answers_everything() {
     let frozen = Arc::new(FrozenSeqFm::freeze(&model, &ps));
     let l = layout();
     for coalesce_max in [1usize, 16] {
-        let cfg = EngineConfig {
-            threads: 2,
-            max_seq: MAX_SEQ,
-            top_k: 2,
-            queue_capacity: 512,
-            coalesce_max,
-        };
+        let cfg = EngineConfig::builder()
+            .threads(2)
+            .max_seq(MAX_SEQ)
+            .top_k(2)
+            .queue_capacity(512)
+            .coalesce_max(coalesce_max)
+            .build()
+            .expect("valid config");
         let engine = Engine::new(Arc::clone(&frozen), l, cfg).expect("valid config");
         let pending: Vec<_> = (0..200usize)
             .map(|i| {
                 engine
-                    .submit(ScoreRequest {
-                        user: (i % 12) as u32,
-                        history: vec![(i % 30) as u32],
-                        candidates: vec![1, 2, 3],
-                    })
+                    .submit(ScoreRequest::inline(
+                        (i % 12) as u32,
+                        vec![(i % 30) as u32],
+                        vec![1, 2, 3],
+                    ))
                     .expect("under capacity")
             })
             .collect();
