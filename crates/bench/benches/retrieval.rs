@@ -1,0 +1,191 @@
+//! Full-catalog retrieval benchmarks: the blocked, upper-bound-pruned
+//! `CatalogIndex` scan at catalog sizes from 10k to 1M items.
+//!
+//! Besides the criterion group, this bench writes `BENCH_retrieval.json`
+//! at the repository root (catalog items/sec at 10k/100k/1M, p50 latency
+//! of a top-100-of-1M query, measured prune rate, and the blocked-scan
+//! speedup over naive one-item-at-a-time scoring) so the retrieval
+//! trajectory is recorded PR over PR:
+//!
+//! ```text
+//! cargo bench -p seqfm-bench --bench retrieval
+//! ```
+//!
+//! The item linear weights are reshaped into a popularity-like skew (hot
+//! head, long negative tail) before freezing — the catalog regime where
+//! the upper-bound prune actually fires. Pruned results stay bit-identical
+//! to brute force by construction (asserted here on every measured run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::ParamStore;
+use seqfm_core::{FrozenSeqFm, HistoryView, Scratch, SeqFm, SeqFmConfig};
+use seqfm_data::{build_instance, FeatureLayout};
+use seqfm_retrieval::CatalogIndex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const D: usize = 32;
+const MAX_SEQ: usize = 10;
+/// Catalog block: measured optimum on this scan. Per-block q/k/v/score
+/// workspaces grow with the block (`block × (n° + n˙) × d × 3` floats), so
+/// blocks past ~100 items start spilling L2 and get *slower* — 64 keeps
+/// the whole per-block working set cache-resident while still amortising
+/// batch rebuild and dispatch, and the finer granularity raises the prune
+/// rate for free.
+const BLOCK: usize = 64;
+const K: usize = 100;
+
+/// A frozen model over `n_items`, with the item linear table reshaped into
+/// a popularity skew (`2 − 24·√rank-fraction`): a hot head a long tail
+/// never out-scores, so the lin-sorted blocked scan can prune the tail.
+fn build_model(n_items: usize) -> (Arc<FrozenSeqFm>, FeatureLayout) {
+    let layout = FeatureLayout { n_users: 100, n_items };
+    let cfg = SeqFmConfig { d: D, max_seq: MAX_SEQ, dropout: 0.0, ..Default::default() };
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(17);
+    let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+    let id = ps.id_of("seqfm.w_static.table").expect("item linear table");
+    let w = ps.value_mut(id).data_mut();
+    for c in 0..n_items {
+        let r = (c as f32 + 1.0) / n_items as f32;
+        w[layout.n_users + c] = 2.0 - 24.0 * r.sqrt();
+    }
+    (Arc::new(FrozenSeqFm::freeze(&model, &ps)), layout)
+}
+
+fn query_view(model: &FrozenSeqFm, layout: &FeatureLayout, user: u32) -> HistoryView {
+    let hist: Vec<u32> =
+        (0..MAX_SEQ).map(|j| ((user as usize * 13 + j * 7) % layout.n_items) as u32).collect();
+    let inst = build_instance(layout, user, 0, &hist, MAX_SEQ, 0.0);
+    model.history_view(&inst.dyn_idx, &mut Scratch::new())
+}
+
+fn median(durations: &mut [Duration]) -> Duration {
+    durations.sort_unstable();
+    durations[durations.len() / 2]
+}
+
+/// p50 of `iters` timed runs of `f`, after `warm` warm-up runs.
+fn p50_of(mut f: impl FnMut(), warm: usize, iters: usize) -> Duration {
+    for _ in 0..warm {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed());
+    }
+    median(&mut samples)
+}
+
+/// Criterion: pruned vs. brute-force retrieval over a 10k-item catalog.
+fn bench_retrieval_10k(c: &mut Criterion) {
+    let (model, layout) = build_model(10_000);
+    let index = CatalogIndex::build(Arc::clone(&model), layout, BLOCK);
+    let view = query_view(&model, &layout, 7);
+
+    let mut group = c.benchmark_group(format!("retrieval_top{K}_of_10k_d{D}"));
+    group.sample_size(10);
+    group.bench_function("pruned", |b| {
+        b.iter(|| std::hint::black_box(index.retrieve(7, &view, K).expect("valid")));
+    });
+    group.bench_function("brute", |b| {
+        b.iter(|| std::hint::black_box(index.retrieve_brute(7, &view, K).expect("valid")));
+    });
+    group.finish();
+}
+
+/// Hand-timed measurements persisted to `BENCH_retrieval.json`.
+///
+/// Skipped when a benchmark filter is passed (`cargo bench --bench
+/// retrieval -- pruned`): iterating on one criterion group should neither
+/// pay for the 1M-item sweep nor overwrite the recorded numbers with a
+/// partial run.
+fn emit_retrieval_json(_c: &mut Criterion) {
+    if std::env::args().skip(1).any(|a| !a.starts_with('-')) {
+        println!("benchmark filter given — skipping BENCH_retrieval.json emission");
+        return;
+    }
+
+    // items/sec of the pruned scan at each catalog size (the whole catalog
+    // counts: pruned blocks are work *avoided*, not work unmeasured), plus
+    // the measured prune rate. Every timed run is checked against brute
+    // force — a benchmark that quietly returned wrong ids would be worse
+    // than useless.
+    let mut items_per_sec = Vec::new();
+    let mut p50_1m = Duration::ZERO;
+    let mut prune_rate_1m = 0.0f64;
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let (model, layout) = build_model(n);
+        let index = CatalogIndex::build(Arc::clone(&model), layout, BLOCK);
+        let view = query_view(&model, &layout, 7);
+        let brute = index.retrieve_brute(7, &view, K).expect("valid");
+        let pruned = index.retrieve(7, &view, K).expect("valid");
+        assert_eq!(
+            brute.items.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>(),
+            pruned.items.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>(),
+            "pruned retrieval diverged from brute force at n = {n}"
+        );
+        let iters = if n >= 1_000_000 { 5 } else { 20 };
+        let p50 = p50_of(
+            || {
+                std::hint::black_box(index.retrieve(7, &view, K).expect("valid"));
+            },
+            2,
+            iters,
+        );
+        items_per_sec.push(n as f64 / p50.as_secs_f64());
+        if n == 1_000_000 {
+            p50_1m = p50;
+            prune_rate_1m = pruned.prune_rate();
+        }
+        println!(
+            "n = {n}: p50 {:.2} ms, prune rate {:.3}",
+            p50.as_secs_f64() * 1e3,
+            pruned.prune_rate()
+        );
+    }
+
+    // Naive baseline: one item per block means one batch build, one matmul
+    // dispatch, and one top-K push *per item* — the per-item scoring loop a
+    // retrieval layer exists to avoid. Same model, same exact results.
+    let (model, layout) = build_model(10_000);
+    let naive_index = CatalogIndex::build(Arc::clone(&model), layout, 1);
+    let blocked_index = CatalogIndex::build(Arc::clone(&model), layout, BLOCK);
+    let view = query_view(&model, &layout, 7);
+    let naive_p50 = p50_of(
+        || {
+            std::hint::black_box(naive_index.retrieve_brute(7, &view, K).expect("valid"));
+        },
+        1,
+        5,
+    );
+    let blocked_p50 = p50_of(
+        || {
+            std::hint::black_box(blocked_index.retrieve_brute(7, &view, K).expect("valid"));
+        },
+        2,
+        20,
+    );
+    let blocked_vs_naive = naive_p50.as_secs_f64() / blocked_p50.as_secs_f64();
+
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"retrieval\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"block\": {BLOCK}, \"k\": {K} }},\n  \"host_cpus\": {host_cpus},\n  \"items_per_sec_10k\": {:.0},\n  \"items_per_sec_100k\": {:.0},\n  \"items_per_sec_1m\": {:.0},\n  \"p50_top100_of_1m_ms\": {:.2},\n  \"prune_rate_1m\": {:.3},\n  \"blocked_vs_naive_per_item_speedup_10k\": {:.2}\n}}\n",
+        items_per_sec[0],
+        items_per_sec[1],
+        items_per_sec[2],
+        p50_1m.as_secs_f64() * 1e3,
+        prune_rate_1m,
+        blocked_vs_naive,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_retrieval.json");
+    std::fs::write(path, &json).expect("write BENCH_retrieval.json");
+    println!("== BENCH_retrieval.json ==\n{json}");
+}
+
+criterion_group!(benches, bench_retrieval_10k, emit_retrieval_json);
+criterion_main!(benches);

@@ -23,19 +23,19 @@ use std::sync::Arc;
 
 /// Must match `seqfm_nn::layers::LayerNorm::new` — the paper's "small bias
 /// term added in case σ = 0" (Eq. 16).
-const LN_EPS: f32 = 1e-5;
+pub(crate) const LN_EPS: f32 = 1e-5;
 
-struct AttnIds {
-    wq: FrozenId,
-    wk: FrozenId,
-    wv: FrozenId,
+pub(crate) struct AttnIds {
+    pub(crate) wq: FrozenId,
+    pub(crate) wk: FrozenId,
+    pub(crate) wv: FrozenId,
 }
 
-struct FfnLayerIds {
-    ln_scale: FrozenId,
-    ln_bias: FrozenId,
-    w: FrozenId,
-    b: FrozenId,
+pub(crate) struct FfnLayerIds {
+    pub(crate) ln_scale: FrozenId,
+    pub(crate) ln_bias: FrozenId,
+    pub(crate) w: FrozenId,
+    pub(crate) b: FrozenId,
 }
 
 /// An immutable, thread-shareable SeqFM ready for serving.
@@ -46,14 +46,14 @@ struct FfnLayerIds {
 pub struct FrozenSeqFm {
     cfg: SeqFmConfig,
     params: Arc<FrozenParams>,
-    emb_static: FrozenId,
+    pub(crate) emb_static: FrozenId,
     emb_dynamic: FrozenId,
-    w_static: FrozenId,
+    pub(crate) w_static: FrozenId,
     w_dynamic: FrozenId,
-    w0: FrozenId,
-    attn: [AttnIds; 3],
-    ffns: Vec<Vec<FfnLayerIds>>,
-    p: FrozenId,
+    pub(crate) w0: FrozenId,
+    pub(crate) attn: [AttnIds; 3],
+    pub(crate) ffns: Vec<Vec<FfnLayerIds>>,
+    pub(crate) p: FrozenId,
 }
 
 impl FrozenSeqFm {
@@ -158,7 +158,7 @@ impl FrozenSeqFm {
         &self.params
     }
 
-    fn t(&self, id: FrozenId) -> &Tensor {
+    pub(crate) fn t(&self, id: FrozenId) -> &Tensor {
         self.params.value(id)
     }
 
@@ -358,6 +358,58 @@ impl FrozenSeqFm {
     ) -> &'s [f32] {
         self.forward_split(batch, scratch, Some(view));
         &scratch.out[..batch.len]
+    }
+
+    /// Scores one cache-sized block of the item catalog — candidates
+    /// `items` for `user` — against a cached [`HistoryView`], appending one
+    /// logit per item to `out` (in `items` order).
+    ///
+    /// The candidate-expansion batch (rows `[user_feature, item_feature]`
+    /// over the view's dynamic block) is rebuilt in place inside `batch`, so
+    /// a catalog scan reuses one batch's buffers across every block. Logits
+    /// are bit-identical to scoring the same rows in any other batch
+    /// composition: per-row arithmetic in the forward pass is independent of
+    /// the surrounding batch (the invariant `tests/` pins for the kernels).
+    /// `items` need not be contiguous or sorted — retrieval indexes reorder
+    /// the catalog so blocks share similar precomputed partial scores.
+    ///
+    /// # Panics
+    /// Panics if `user` or an item in `items` is outside `layout`, or if
+    /// `view` was not built at this model's width.
+    #[allow(clippy::too_many_arguments)]
+    pub fn score_catalog_into(
+        &self,
+        layout: &FeatureLayout,
+        user: u32,
+        items: &[u32],
+        view: &HistoryView,
+        batch: &mut Batch,
+        scratch: &mut Scratch,
+        out: &mut Vec<f32>,
+    ) {
+        assert!((user as usize) < layout.n_users, "user {user} outside layout");
+        let len = items.len();
+        let nd = view.nd();
+        let uf = layout.user_feature(user);
+        batch.len = len;
+        batch.n_static = 2;
+        batch.n_dynamic = nd;
+        batch.static_idx.clear();
+        for &item in items {
+            assert!((item as usize) < layout.n_items, "item {item} outside layout");
+            batch.static_idx.push(uf);
+            batch.static_idx.push(layout.item_feature(item));
+        }
+        batch.dyn_idx.clear();
+        for _ in 0..len {
+            batch.dyn_idx.extend_from_slice(view.dyn_idx());
+        }
+        batch.targets.clear();
+        batch.targets.resize(len, 0.0);
+        if len > 0 {
+            self.forward_split(batch, scratch, Some(view));
+            out.extend_from_slice(&scratch.out[..len]);
+        }
     }
 
     /// The forward pass, with the history-side work either computed in
@@ -678,7 +730,7 @@ fn broadcast_hagg_block(hagg: &mut [f32], b: usize, stride: usize, col: usize, w
 ///
 /// # Panics
 /// Panics if an index is out of table range.
-fn gather_rows(table: &Tensor, idx: &[i64], d: usize, out: &mut [f32]) {
+pub(crate) fn gather_rows(table: &Tensor, idx: &[i64], d: usize, out: &mut [f32]) {
     let rows = table.shape().dim(0);
     debug_assert_eq!(table.shape().dim(1), d);
     let out = &mut out[..idx.len() * d];
@@ -695,7 +747,7 @@ fn gather_rows(table: &Tensor, idx: &[i64], d: usize, out: &mut [f32]) {
 
 /// `out[m,d] = e[m,d] · w[d,d]` — the flatten–matmul of `Linear::forward_3d`
 /// (attention projections carry no bias).
-fn project(e: &[f32], w: &Tensor, m: usize, d: usize, out: &mut [f32]) {
+pub(crate) fn project(e: &[f32], w: &Tensor, m: usize, d: usize, out: &mut [f32]) {
     let out = &mut out[..m * d];
     out.fill(0.0);
     matmul_nn_into(e, w.data(), out, m, d, d);

@@ -43,6 +43,7 @@
 //! assert_eq!(g.value(score).numel(), 1);
 //! ```
 
+pub mod bounds;
 pub mod config;
 pub mod eval;
 pub mod frozen;
@@ -51,6 +52,7 @@ pub mod scorer;
 pub mod train;
 pub mod view;
 
+pub use bounds::{ItemBlockStats, QueryBounds};
 pub use config::{Ablation, SeqFmConfig};
 pub use eval::{
     evaluate_ctr, evaluate_ctr_on, evaluate_ranking, evaluate_ranking_on, evaluate_rating,

@@ -243,7 +243,10 @@ impl fmt::Display for BatchError {
 impl std::error::Error for BatchError {}
 
 /// A mini-batch of instances flattened for embedding gathers.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The `Default` batch is empty (`len == 0`) — a reusable buffer for callers
+/// that rebuild batches in place, like the blocked catalog scorer.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Batch {
     /// Batch size.
     pub len: usize,

@@ -50,6 +50,7 @@ use crate::store::{CacheStats, HistoryBackend, HistoryStore, ViewCache};
 use seqfm_core::{Scorer, Scratch};
 use seqfm_data::{Dataset, FeatureLayout};
 use seqfm_parallel::{Oneshot, WorkQueue};
+use seqfm_retrieval::{CatalogIndex, Retrieval, RetrievalError};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -343,8 +344,10 @@ pub struct Engine {
     queue: Option<WorkQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
     layout: FeatureLayout,
+    cfg: EngineConfig,
     store: Arc<HistoryStore>,
     cache: Option<Arc<ViewCache>>,
+    index: Option<Arc<CatalogIndex>>,
 }
 
 impl Engine {
@@ -431,7 +434,79 @@ impl Engine {
                 })
             })
             .collect();
-        Ok(Engine { queue: Some(queue), workers, layout, store, cache })
+        Ok(Engine { queue: Some(queue), workers, layout, cfg, store, cache, index: None })
+    }
+
+    /// Attaches a full-catalog [`CatalogIndex`] so [`Engine::retrieve_top_k`]
+    /// can answer "best k items of the *whole* catalog" queries. The index
+    /// must be built over the same frozen model and feature layout the
+    /// engine serves — retrieval scores come from the index's model.
+    ///
+    /// # Panics
+    /// Panics if the index's layout disagrees with the engine's.
+    #[must_use]
+    pub fn with_catalog_index(mut self, index: Arc<CatalogIndex>) -> Self {
+        assert_eq!(
+            (index.layout().n_users, index.layout().n_items),
+            (self.layout.n_users, self.layout.n_items),
+            "catalog index layout must match the engine's"
+        );
+        self.index = Some(index);
+        self
+    }
+
+    /// The attached catalog index, if any.
+    pub fn catalog_index(&self) -> Option<&Arc<CatalogIndex>> {
+        self.index.as_ref()
+    }
+
+    /// Retrieves the best `k` items of the **entire catalog** for `user`'s
+    /// current stored history, using the attached [`CatalogIndex`]'s
+    /// upper-bound-pruned blocked scan.
+    ///
+    /// Runs on the calling thread (the scan parallelises internally over
+    /// the global thread pool) rather than through the admission queue —
+    /// a catalog sweep is orders of magnitude heavier than a candidate
+    /// request and would starve the latency path. The history view is
+    /// shared with the scoring path: the engine's [`ViewCache`] is
+    /// consulted first and a freshly built view is installed back, so a
+    /// retrieval immediately after [`Engine::append_event`] sees the new
+    /// window (the version bump misses the stale entry), and interleaved
+    /// `score_stored` calls reuse the same panel bit-identically.
+    ///
+    /// # Errors
+    /// [`ServeError::NoCatalogIndex`] without an attached index;
+    /// [`ServeError::UnknownUser`] for a user outside the layout;
+    /// [`ServeError::BadConfig`] for `k == 0`.
+    pub fn retrieve_top_k(&self, user: u32, k: usize) -> Result<Retrieval, ServeError> {
+        let index = self.index.as_ref().ok_or(ServeError::NoCatalogIndex)?;
+        if user as usize >= self.layout.n_users {
+            return Err(ServeError::UnknownUser { user, n_users: self.layout.n_users });
+        }
+        let mut snap = Vec::new();
+        let version = self.store.snapshot_into(user, &mut snap);
+        let view = match self.cache.as_ref().and_then(|c| c.get(user, version)) {
+            Some(view) => view,
+            None => {
+                // Same canonical row the scoring path builds: the last
+                // `max_seq` events, left-padded with PAD — so the view (and
+                // its cache entry) is bit-identical to the scoring path's.
+                let max_seq = self.cfg.max_seq;
+                let window = &snap[snap.len() - snap.len().min(max_seq)..];
+                let mut row: Vec<i64> = Vec::with_capacity(max_seq);
+                row.resize(max_seq - window.len(), seqfm_data::PAD);
+                row.extend(window.iter().map(|&it| it as i64));
+                let view = Arc::new(index.model().history_view(&row, &mut Scratch::new()));
+                if let Some(cache) = &self.cache {
+                    cache.insert(user, version, Arc::clone(&view));
+                }
+                view
+            }
+        };
+        index.retrieve(user, &view, k).map_err(|e| match e {
+            RetrievalError::BadConfig { reason } => ServeError::BadConfig { reason },
+            other => ServeError::BadConfig { reason: other.to_string() },
+        })
     }
 
     /// Number of worker threads.
@@ -714,6 +789,69 @@ mod tests {
         assert_eq!(again, got);
         let stats = engine.cache_stats();
         assert!(stats.hits >= 1, "second stored request must hit the view cache: {stats:?}");
+    }
+
+    #[test]
+    fn retrieve_top_k_uses_the_stored_history_and_shares_the_view_cache() {
+        let layout = FeatureLayout { n_users: 8, n_items: 30 };
+        let frozen = Arc::new(frozen_model(&layout));
+        let index = Arc::new(CatalogIndex::build(Arc::clone(&frozen), layout, 7));
+        let engine = Engine::new(Arc::clone(&frozen), layout, engine_cfg(2, 0))
+            .expect("valid cfg")
+            .with_catalog_index(Arc::clone(&index));
+        assert!(engine.catalog_index().is_some());
+        for item in [4u32, 19, 2] {
+            engine.append_event(6, item).expect("valid ids");
+        }
+        let got = engine.retrieve_top_k(6, 5).expect("valid");
+        assert_eq!(got.items.len(), 5);
+        // Reference: the same view built by hand straight on the index.
+        let mut scratch = Scratch::new();
+        let row: Vec<i64> = [seqfm_data::PAD; 3].into_iter().chain([4i64, 19, 2]).collect();
+        let view = frozen.history_view(&row, &mut scratch);
+        let want = index.retrieve(6, &view, 5).expect("valid");
+        for (g, w) in got.items.iter().zip(&want.items) {
+            assert_eq!(g.item, w.item);
+            assert_eq!(g.score.to_bits(), w.score.to_bits());
+        }
+        // The retrieval installed the view; scoring and a second retrieval
+        // both hit the cache now.
+        let misses_before = engine.cache_stats().misses;
+        engine.retrieve_top_k(6, 5).expect("valid");
+        engine.score_stored(6, vec![1, 2, 3]).expect("valid");
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, misses_before, "view must be shared, not rebuilt");
+        assert!(stats.hits >= 2);
+        // An append invalidates (version bump): retrieval right after sees
+        // the new window and stays exact vs a hand-built fresh view.
+        engine.append_event(6, 11).expect("valid ids");
+        let fresh = engine.retrieve_top_k(6, 5).expect("valid");
+        let row: Vec<i64> = [seqfm_data::PAD; 2].into_iter().chain([4i64, 19, 2, 11]).collect();
+        let view = frozen.history_view(&row, &mut scratch);
+        let want = index.retrieve(6, &view, 5).expect("valid");
+        for (g, w) in fresh.items.iter().zip(&want.items) {
+            assert_eq!(g.item, w.item);
+            assert_eq!(g.score.to_bits(), w.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn retrieve_top_k_without_an_index_is_a_typed_error() {
+        let layout = FeatureLayout { n_users: 4, n_items: 10 };
+        let engine =
+            Engine::new(Arc::new(frozen_model(&layout)), layout, engine_cfg(1, 0)).expect("valid");
+        assert_eq!(engine.retrieve_top_k(1, 5), Err(ServeError::NoCatalogIndex));
+        let frozen = Arc::new(frozen_model(&layout));
+        let index = Arc::new(CatalogIndex::build(Arc::clone(&frozen), layout, 4));
+        let engine =
+            Engine::new(frozen, layout, engine_cfg(1, 0)).expect("valid").with_catalog_index(index);
+        assert_eq!(
+            engine.retrieve_top_k(9, 5),
+            Err(ServeError::UnknownUser { user: 9, n_users: 4 })
+        );
+        assert!(matches!(engine.retrieve_top_k(1, 0), Err(ServeError::BadConfig { .. })));
+        // k >= catalog: every item, ranked.
+        assert_eq!(engine.retrieve_top_k(1, 500).expect("valid").items.len(), 10);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub enum ServeError {
         /// Human-readable description of the rejected parameter.
         reason: String,
     },
+    /// A full-catalog retrieval was requested but the engine was built
+    /// without a [`CatalogIndex`](seqfm_retrieval::CatalogIndex) — attach
+    /// one with [`Engine::with_catalog_index`](crate::Engine::with_catalog_index).
+    NoCatalogIndex,
     /// The engine's bounded admission queue is full — the non-blocking
     /// [`Engine::submit`](crate::Engine::submit) backpressure signal. The
     /// caller decides: shed the request, retry after a beat, or park on
@@ -82,6 +86,9 @@ impl fmt::Display for ServeError {
             }
             Self::BadConfig { reason } => {
                 write!(f, "invalid serving configuration: {reason}")
+            }
+            Self::NoCatalogIndex => {
+                write!(f, "full-catalog retrieval requires a CatalogIndex attached to the engine")
             }
             Self::Overloaded { capacity, .. } => {
                 write!(f, "admission queue full ({capacity} requests queued); request shed")

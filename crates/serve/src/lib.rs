@@ -42,6 +42,11 @@
 //!   replies ride reusable oneshot slots parked **per caller thread** (no
 //!   shared free list, no lock on the reply path), so steady-state
 //!   submit/wait round trips allocate nothing.
+//! * [`Engine::retrieve_top_k`] — full-catalog retrieval: with a
+//!   [`CatalogIndex`] attached ([`Engine::with_catalog_index`]), the engine
+//!   answers "best k items of the *entire* catalog" for a user's stored
+//!   history via `seqfm_retrieval`'s blocked, upper-bound-pruned scan,
+//!   sharing the [`ViewCache`] with the scoring path.
 //!
 //! ## Example
 //!
@@ -112,3 +117,9 @@ pub use request::{
     CoalesceScratch, HistorySource, ScoreRequest, ScoreResponse, ScoredCandidate,
 };
 pub use store::{CacheStats, HistoryBackend, HistoryStore, ViewCache};
+// Full-catalog retrieval rides the serving layer's history state: attach a
+// `CatalogIndex` with `Engine::with_catalog_index`, then
+// `Engine::retrieve_top_k` answers "best k of the whole catalog" over the
+// user's stored history. Re-exported so engine callers need not name
+// `seqfm_retrieval` separately.
+pub use seqfm_retrieval::{CatalogIndex, Retrieval, ScoredItem as RetrievedItem};

@@ -198,11 +198,19 @@ impl CacheStats {
     }
 }
 
+struct CacheEntry {
+    /// History version the view was built at.
+    version: u64,
+    view: Arc<HistoryView>,
+    /// CLOCK reference bit: set by a hit, cleared (in exchange for a second
+    /// chance) when the eviction sweep passes over the entry.
+    referenced: bool,
+}
+
 struct CacheShard {
-    /// user → (history version, cached view).
-    map: HashMap<u32, (u64, Arc<HistoryView>)>,
-    /// Insertion order for FIFO eviction.
-    fifo: VecDeque<u32>,
+    map: HashMap<u32, CacheEntry>,
+    /// Sweep order for second-chance (CLOCK) eviction.
+    queue: VecDeque<u32>,
 }
 
 /// Bounded, sharded cache of [`HistoryView`]s keyed by `(user, version)`.
@@ -210,9 +218,13 @@ struct CacheShard {
 /// Invalidation is **lazy**: [`HistoryStore::append`] bumps the user's
 /// version, so the next [`ViewCache::get`] with the fresh version misses
 /// (and counts as a miss) without the appender ever touching the cache.
-/// Eviction is FIFO per shard once `max_entries` is reached — simple,
-/// allocation-light, and good enough for the skewed access patterns this
-/// serves (hot users are re-inserted right after eviction at worst).
+/// Eviction is per-shard **second-chance CLOCK** once `max_entries` is
+/// reached: a hit sets the entry's reference bit; the sweep pops the oldest
+/// entry and, if its bit is set, clears it and requeues the entry instead of
+/// evicting — so repeatedly-hit users survive bursts of one-shot traffic
+/// that plain FIFO would let flush the whole shard. Freshly inserted (and
+/// refreshed) entries start with the bit clear: an entry earns its second
+/// chance only through an actual hit.
 pub struct ViewCache {
     shards: Vec<Mutex<CacheShard>>,
     /// Per-shard entry bound (total bound split evenly, min 1).
@@ -226,7 +238,7 @@ impl ViewCache {
     pub fn new(max_entries: usize) -> Self {
         assert!(max_entries >= 1, "view cache must hold at least one entry");
         let shards = (0..N_SHARDS)
-            .map(|_| Mutex::new(CacheShard { map: HashMap::new(), fifo: VecDeque::new() }))
+            .map(|_| Mutex::new(CacheShard { map: HashMap::new(), queue: VecDeque::new() }))
             .collect();
         ViewCache {
             shards,
@@ -239,11 +251,12 @@ impl ViewCache {
     /// The cached view for `user` **iff** it was built at exactly
     /// `version`; a stale or absent entry is a miss.
     pub fn get(&self, user: u32, version: u64) -> Option<Arc<HistoryView>> {
-        let shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
-        match shard.map.get(&user) {
-            Some((v, view)) if *v == version => {
+        let mut shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
+        match shard.map.get_mut(&user) {
+            Some(e) if e.version == version => {
+                e.referenced = true; // CLOCK: a hit earns a second chance
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(view))
+                Some(Arc::clone(&e.view))
             }
             _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -252,17 +265,28 @@ impl ViewCache {
         }
     }
 
-    /// Installs (or refreshes) `user`'s view for `version`, evicting the
-    /// shard's oldest entry at capacity. Concurrent duplicate builds are
-    /// benign — the views are bit-identical by construction, so last write
-    /// wins.
+    /// Installs (or refreshes) `user`'s view for `version`, running the
+    /// second-chance sweep if the shard is over capacity. Concurrent
+    /// duplicate builds are benign — the views are bit-identical by
+    /// construction, so last write wins.
     pub fn insert(&self, user: u32, version: u64, view: Arc<HistoryView>) {
         let mut shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
-        if shard.map.insert(user, (version, view)).is_none() {
-            shard.fifo.push_back(user);
+        if shard.map.insert(user, CacheEntry { version, view, referenced: false }).is_none() {
+            shard.queue.push_back(user);
             while shard.map.len() > self.per_shard {
-                if let Some(old) = shard.fifo.pop_front() {
-                    shard.map.remove(&old);
+                let Some(cand) = shard.queue.pop_front() else { break };
+                match shard.map.get_mut(&cand) {
+                    Some(e) if e.referenced => {
+                        // Second chance: trade the reference bit for
+                        // another lap of the queue. Terminates — every
+                        // requeue clears a bit and nothing sets bits while
+                        // the shard lock is held.
+                        e.referenced = false;
+                        shard.queue.push_back(cand);
+                    }
+                    _ => {
+                        shard.map.remove(&cand);
+                    }
                 }
             }
         }
@@ -274,7 +298,7 @@ impl ViewCache {
     pub fn invalidate(&self, user: u32) {
         let mut shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
         if shard.map.remove(&user).is_some() {
-            shard.fifo.retain(|&u| u != user);
+            shard.queue.retain(|&u| u != user);
         }
     }
 
@@ -370,16 +394,38 @@ mod tests {
         assert!(cache.get(3, 1).is_some()); // hit
         assert!(cache.get(3, 2).is_none()); // miss: stale version
         cache.insert(3, 2, Arc::clone(&view));
-        assert!(cache.get(3, 2).is_some()); // refreshed in place
-                                            // Same shard (user 3 + N_SHARDS), capacity 1: FIFO evicts user 3.
+        assert!(cache.get(3, 2).is_some()); // refreshed in place, now referenced
+                                            // Same shard (user 3 + N_SHARDS), capacity 1: user 3 was hit
+                                            // since its refresh, so CLOCK gives it a second chance and the
+                                            // unreferenced newcomer is the sweep's victim instead.
         cache.insert(3 + N_SHARDS as u32, 1, Arc::clone(&view));
-        assert!(cache.get(3, 2).is_none());
-        assert!(cache.get(3 + N_SHARDS as u32, 1).is_some());
+        assert!(cache.get(3, 2).is_some());
+        assert!(cache.get(3 + N_SHARDS as u32, 1).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (3, 3, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
-        cache.invalidate(3 + N_SHARDS as u32);
+        cache.invalidate(3);
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clock_keeps_repeatedly_hit_entries_over_cold_ones() {
+        let cache = ViewCache::new(2 * N_SHARDS); // two entries per shard
+        let view = Arc::new(HistoryView::default());
+        // Three users on the same shard.
+        let (hot, cold, newcomer) = (3u32, 3 + N_SHARDS as u32, 3 + 2 * N_SHARDS as u32);
+        cache.insert(hot, 1, Arc::clone(&view));
+        cache.insert(cold, 1, Arc::clone(&view));
+        // Hit `hot` so its reference bit is set; `cold` is never touched.
+        assert!(cache.get(hot, 1).is_some());
+        // At capacity 2 the third insert forces a sweep. `hot` is first in
+        // queue order — plain FIFO would evict it — but its reference bit
+        // buys a second chance and the sweep falls through to `cold`.
+        cache.insert(newcomer, 1, Arc::clone(&view));
+        assert!(cache.get(hot, 1).is_some(), "hit entry must survive the sweep");
+        assert!(cache.get(cold, 1).is_none(), "cold entry is the eviction victim");
+        assert!(cache.get(newcomer, 1).is_some());
+        assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! the `k`-accumulation order is ascending `p`, the padding-row skip
 //! (`a == 0.0` in the `nn`/`tn` flavours) is preserved, and tiling only
 //! changes *which element is worked on when*, never the per-element op
-//! sequence. Tiled results are therefore bit-for-bit equal to naive ones
+//! sequence. The `nn`/`tn` flavours additionally cache-block the reduction
+//! depth at `KC` — bit-safe there because their micro-kernels round-trip
+//! the `c` tile through memory between chunks (see the `KC` docs for why
+//! `nt` is excluded). Tiled results are therefore bit-for-bit equal to naive ones
 //! for any input (asserted exhaustively in `tests/tiled_parity.rs`), which
 //! lets the dispatchers pick freely by shape without perturbing a single
 //! logit.
@@ -39,6 +42,18 @@ const MR: usize = 6;
 /// Register-tile width: output columns held in accumulators per call (also
 /// the packed panel width).
 const NR: usize = 16;
+/// Cache-block depth: the `nn`/`tn` tiled kernels split the `k` loop into
+/// chunks of at most `KC`, so a packed panel never exceeds `KC × NR` floats
+/// (16 KiB — L1-resident) no matter how deep the reduction is. Bit-safe for
+/// those two flavours only: their micro-kernels *load* the `c` tile into
+/// registers, accumulate ascending `p`, and *store* it back, so splitting
+/// the `p` loop at a store/load boundary replays exactly the same
+/// per-element f32 op sequence (an f32 round-trip through memory is exact).
+/// The `nt` micro-kernel zero-initialises its accumulators and adds into
+/// `c` once at the end — k-splitting it would turn one dot product into a
+/// sum of partials with a different rounding order — so `nt` deliberately
+/// packs its full-depth panel and is excluded from k-blocking.
+const KC: usize = 256;
 
 /// `true` when the packed/tiled path is worth its panel-packing overhead:
 /// at least one full register tile of columns and enough total work to
@@ -295,14 +310,16 @@ pub mod naive {
 /// thread-local workspace arena. Bit-identical to [`naive`] — see the
 /// module docs for the invariant and `tests/tiled_parity.rs` for the proof.
 pub mod tiled {
-    use super::{naive, MR, NR};
+    use super::{naive, KC, MR, NR};
     use crate::workspace;
 
-    /// Packs columns `[j0, j0 + NR)` of the row-major `[k, n]` matrix `b`
-    /// into `panel` in `p`-major order: `panel[p·NR + t] = b[p·n + j0 + t]`.
-    fn pack_panel_cols(b: &[f32], panel: &mut [f32], k: usize, n: usize, j0: usize) {
-        for p in 0..k {
-            panel[p * NR..(p + 1) * NR].copy_from_slice(&b[p * n + j0..p * n + j0 + NR]);
+    /// Packs columns `[j0, j0 + NR)` of rows `[p0, p0 + kc)` of the
+    /// row-major `[k, n]` matrix `b` into `panel` in `p`-major order:
+    /// `panel[p·NR + t] = b[(p0 + p)·n + j0 + t]`.
+    fn pack_panel_cols(b: &[f32], panel: &mut [f32], p0: usize, kc: usize, n: usize, j0: usize) {
+        for p in 0..kc {
+            let src = (p0 + p) * n + j0;
+            panel[p * NR..(p + 1) * NR].copy_from_slice(&b[src..src + NR]);
         }
     }
 
@@ -318,18 +335,26 @@ pub mod tiled {
         }
     }
 
-    /// Tiled `c[m,n] += a[m,k] · b[k,n]`.
+    /// Tiled `c[m,n] += a[m,k] · b[k,n]`, k-blocked at `KC`.
     pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
         workspace::with_thread(|ws| {
-            let mut panel = ws.take(k * NR);
+            let mut panel = ws.take(k.min(KC) * NR);
             let mut j0 = 0;
             while j0 + NR <= n {
-                pack_panel_cols(b, &mut panel, k, n, j0);
-                let mut i0 = 0;
-                while i0 < m {
-                    let rows = (m - i0).min(MR);
-                    nn_micro(a, &panel, c, i0, rows, j0, k, n);
-                    i0 += rows;
+                let mut p0 = 0;
+                loop {
+                    let kc = (k - p0).min(KC);
+                    pack_panel_cols(b, &mut panel, p0, kc, n, j0);
+                    let mut i0 = 0;
+                    while i0 < m {
+                        let rows = (m - i0).min(MR);
+                        nn_micro(a, &panel, c, i0, rows, j0, p0, kc, k, n);
+                        i0 += rows;
+                    }
+                    p0 += kc;
+                    if p0 >= k {
+                        break;
+                    }
                 }
                 j0 += NR;
             }
@@ -339,9 +364,11 @@ pub mod tiled {
         });
     }
 
-    /// `MR × NR` register tile of the `nn` kernel: loads the tile of `c`
-    /// into accumulators, replays the naive per-element `p`-ascending
-    /// multiply-adds (padding skip included), stores once.
+    /// `MR × NR` register tile of the `nn` kernel over the k-chunk
+    /// `[p0, p0 + kc)`: loads the tile of `c` into accumulators, replays
+    /// the naive per-element `p`-ascending multiply-adds of the chunk
+    /// (padding skip included), stores once. Chaining chunks through the
+    /// store/load round-trip reproduces the full-depth op sequence exactly.
     #[allow(clippy::too_many_arguments)]
     fn nn_micro(
         a: &[f32],
@@ -350,6 +377,8 @@ pub mod tiled {
         i0: usize,
         rows: usize,
         j0: usize,
+        p0: usize,
+        kc: usize,
         k: usize,
         n: usize,
     ) {
@@ -357,10 +386,10 @@ pub mod tiled {
         for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
             acc_r.copy_from_slice(&c[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR]);
         }
-        for p in 0..k {
+        for p in 0..kc {
             let bp = &panel[p * NR..(p + 1) * NR];
             for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
-                let a_ip = a[(i0 + r) * k + p];
+                let a_ip = a[(i0 + r) * k + p0 + p];
                 if a_ip == 0.0 {
                     continue; // same padding-row skip as the naive kernel
                 }
@@ -447,15 +476,23 @@ pub mod tiled {
         n: usize,
     ) {
         workspace::with_thread(|ws| {
-            let mut panel = ws.take(k * NR);
+            let mut panel = ws.take(k.min(KC) * NR);
             let mut j0 = 0;
             while j0 + NR <= n {
-                pack_panel_cols(b, &mut panel, k, n, j0);
-                let mut r0 = 0;
-                while r0 < rows {
-                    let tile_rows = (rows - r0).min(MR);
-                    tn_micro(a, &panel, c, i0, r0, tile_rows, j0, m, n, k);
-                    r0 += tile_rows;
+                let mut p0 = 0;
+                loop {
+                    let kc = (k - p0).min(KC);
+                    pack_panel_cols(b, &mut panel, p0, kc, n, j0);
+                    let mut r0 = 0;
+                    while r0 < rows {
+                        let tile_rows = (rows - r0).min(MR);
+                        tn_micro(a, &panel, c, i0, r0, tile_rows, j0, p0, kc, m, n);
+                        r0 += tile_rows;
+                    }
+                    p0 += kc;
+                    if p0 >= k {
+                        break;
+                    }
                 }
                 j0 += NR;
             }
@@ -465,8 +502,10 @@ pub mod tiled {
         });
     }
 
-    /// `MR × NR` register tile of the `tn` kernel. `r0` indexes into the
-    /// local `c` block; `i0 + r0` is the global output row (the lhs column).
+    /// `MR × NR` register tile of the `tn` kernel over the k-chunk
+    /// `[p0, p0 + kc)`. `r0` indexes into the local `c` block; `i0 + r0` is
+    /// the global output row (the lhs column). Load/accumulate/store like
+    /// [`nn_micro`], so k-chunking preserves the op sequence bit for bit.
     #[allow(clippy::too_many_arguments)]
     fn tn_micro(
         a: &[f32],
@@ -476,18 +515,19 @@ pub mod tiled {
         r0: usize,
         rows: usize,
         j0: usize,
+        p0: usize,
+        kc: usize,
         m: usize,
         n: usize,
-        k: usize,
     ) {
         let mut acc = [[0.0f32; NR]; MR];
         for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
             acc_r.copy_from_slice(&c[(r0 + r) * n + j0..(r0 + r) * n + j0 + NR]);
         }
-        for p in 0..k {
+        for p in 0..kc {
             let bp = &panel[p * NR..(p + 1) * NR];
             for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
-                let a_pi = a[p * m + i0 + r0 + r];
+                let a_pi = a[(p0 + p) * m + i0 + r0 + r];
                 if a_pi == 0.0 {
                     continue; // same skip as the naive p-outer kernel
                 }

@@ -104,6 +104,22 @@ fn tiled_edge_shapes_cover_exact_tile_multiples() {
 }
 
 #[test]
+fn tiled_k_blocking_boundaries_stay_bit_exact() {
+    // The nn/tn kernels split the reduction depth into KC = 256 chunks,
+    // round-tripping the c tile through memory between chunks. Drive k
+    // right around that boundary — one short, exact, one past, a ragged
+    // mid-chunk tail, and several full chunks — so both the single-chunk
+    // fast case and the multi-chunk store/load chaining are proven
+    // bit-identical to the naive full-depth loops (nt packs full depth and
+    // must also stay exact at these k).
+    let mut seed = 0xFEED;
+    for &k in &[255usize, 256, 257, 300, 512, 1000] {
+        assert_parity(13, k, 33, &mut seed);
+        assert_parity(6, k, 16, &mut seed); // exactly one register tile
+    }
+}
+
+#[test]
 fn workspace_panels_do_not_leak_between_differently_sized_ops() {
     // A big op warms the thread-local arena with a large poisoned panel;
     // a smaller op afterwards must see freshly zeroed scratch and produce

@@ -21,6 +21,8 @@
 //! * [`core`] — **SeqFM** (the paper's model), trainers, evaluators, and the
 //!   graph-free `Scorer`/`FrozenSeqFm` inference API
 //! * [`baselines`] — all 11 comparison models
+//! * [`retrieval`] — full-catalog top-K: blocked catalog scans with a
+//!   sound upper-bound prune, bit-identical to brute force
 //! * [`serve`] — request-level serving: candidate expansion, top-K ranking,
 //!   and the multi-threaded scoring engine
 //! * [`bench_harness`] — the table/figure regeneration harness
@@ -33,5 +35,6 @@ pub use seqfm_data as data;
 pub use seqfm_metrics as metrics;
 pub use seqfm_nn as nn;
 pub use seqfm_parallel as parallel;
+pub use seqfm_retrieval as retrieval;
 pub use seqfm_serve as serve;
 pub use seqfm_tensor as tensor;
