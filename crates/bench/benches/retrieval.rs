@@ -20,7 +20,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqfm_autograd::ParamStore;
-use seqfm_core::{FrozenSeqFm, HistoryView, Scratch, SeqFm, SeqFmConfig};
+use seqfm_core::{FrozenSeqFm, HistoryView, ScorerPrecision, Scratch, SeqFm, SeqFmConfig};
 use seqfm_data::{build_instance, FeatureLayout};
 use seqfm_retrieval::CatalogIndex;
 use std::sync::Arc;
@@ -41,6 +41,10 @@ const K: usize = 100;
 /// a popularity skew (`2 − 24·√rank-fraction`): a hot head a long tail
 /// never out-scores, so the lin-sorted blocked scan can prune the tail.
 fn build_model(n_items: usize) -> (Arc<FrozenSeqFm>, FeatureLayout) {
+    build_model_at(n_items, ScorerPrecision::Exact)
+}
+
+fn build_model_at(n_items: usize, precision: ScorerPrecision) -> (Arc<FrozenSeqFm>, FeatureLayout) {
     let layout = FeatureLayout { n_users: 100, n_items };
     let cfg = SeqFmConfig { d: D, max_seq: MAX_SEQ, dropout: 0.0, ..Default::default() };
     let mut ps = ParamStore::new();
@@ -52,7 +56,7 @@ fn build_model(n_items: usize) -> (Arc<FrozenSeqFm>, FeatureLayout) {
         let r = (c as f32 + 1.0) / n_items as f32;
         w[layout.n_users + c] = 2.0 - 24.0 * r.sqrt();
     }
-    (Arc::new(FrozenSeqFm::freeze(&model, &ps)), layout)
+    (Arc::new(FrozenSeqFm::freeze(&model, &ps).with_precision(precision)), layout)
 }
 
 fn query_view(model: &FrozenSeqFm, layout: &FeatureLayout, user: u32) -> HistoryView {
@@ -118,6 +122,7 @@ fn emit_retrieval_json(_c: &mut Criterion) {
     let mut items_per_sec = Vec::new();
     let mut p50_1m = Duration::ZERO;
     let mut prune_rate_1m = 0.0f64;
+    let mut screen_rate_1m = 0.0f64;
     for &n in &[10_000usize, 100_000, 1_000_000] {
         let (model, layout) = build_model(n);
         let index = CatalogIndex::build(Arc::clone(&model), layout, BLOCK);
@@ -141,13 +146,43 @@ fn emit_retrieval_json(_c: &mut Criterion) {
         if n == 1_000_000 {
             p50_1m = p50;
             prune_rate_1m = pruned.prune_rate();
+            screen_rate_1m = pruned.screen_rate();
         }
         println!(
-            "n = {n}: p50 {:.2} ms, prune rate {:.3}",
+            "n = {n}: p50 {:.2} ms, prune rate {:.3}, screen rate {:.3}",
             p50.as_secs_f64() * 1e3,
-            pruned.prune_rate()
+            pruned.prune_rate(),
+            pruned.screen_rate()
         );
     }
+
+    // The fast profile over the same 1M catalog: same index shape, same
+    // bit-identical pruned-vs-brute contract (quantized envelopes add zero
+    // width — both sides read the effective weights θ′).
+    let (fast_model, fast_layout) = build_model_at(1_000_000, ScorerPrecision::Fast);
+    let fast_index = CatalogIndex::build(Arc::clone(&fast_model), fast_layout, BLOCK);
+    let fast_view = query_view(&fast_model, &fast_layout, 7);
+    let fast_brute = fast_index.retrieve_brute(7, &fast_view, K).expect("valid");
+    let fast_pruned = fast_index.retrieve(7, &fast_view, K).expect("valid");
+    assert_eq!(
+        fast_brute.items.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>(),
+        fast_pruned.items.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>(),
+        "fast pruned retrieval diverged from fast brute force"
+    );
+    let fast_p50_1m = p50_of(
+        || {
+            std::hint::black_box(fast_index.retrieve(7, &fast_view, K).expect("valid"));
+        },
+        2,
+        5,
+    );
+    let items_per_sec_1m_fast = 1_000_000f64 / fast_p50_1m.as_secs_f64();
+    println!(
+        "n = 1000000 [fast]: p50 {:.2} ms, prune rate {:.3}, screen rate {:.3}",
+        fast_p50_1m.as_secs_f64() * 1e3,
+        fast_pruned.prune_rate(),
+        fast_pruned.screen_rate()
+    );
 
     // Naive baseline: one item per block means one batch build, one matmul
     // dispatch, and one top-K push *per item* — the per-item scoring loop a
@@ -174,12 +209,15 @@ fn emit_retrieval_json(_c: &mut Criterion) {
 
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"retrieval\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"block\": {BLOCK}, \"k\": {K} }},\n  \"host_cpus\": {host_cpus},\n  \"items_per_sec_10k\": {:.0},\n  \"items_per_sec_100k\": {:.0},\n  \"items_per_sec_1m\": {:.0},\n  \"p50_top100_of_1m_ms\": {:.2},\n  \"prune_rate_1m\": {:.3},\n  \"blocked_vs_naive_per_item_speedup_10k\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"retrieval\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"block\": {BLOCK}, \"k\": {K} }},\n  \"host_cpus\": {host_cpus},\n  \"items_per_sec_10k\": {:.0},\n  \"items_per_sec_100k\": {:.0},\n  \"items_per_sec_1m\": {:.0},\n  \"items_per_sec_1m_fast\": {:.0},\n  \"fast_vs_exact_speedup_1m\": {:.2},\n  \"p50_top100_of_1m_ms\": {:.2},\n  \"prune_rate_1m\": {:.3},\n  \"screen_rate_1m\": {:.3},\n  \"blocked_vs_naive_per_item_speedup_10k\": {:.2}\n}}\n",
         items_per_sec[0],
         items_per_sec[1],
         items_per_sec[2],
+        items_per_sec_1m_fast,
+        items_per_sec_1m_fast / items_per_sec[2],
         p50_1m.as_secs_f64() * 1e3,
         prune_rate_1m,
+        screen_rate_1m,
         blocked_vs_naive,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_retrieval.json");

@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqfm_autograd::ParamStore;
-use seqfm_core::{FrozenSeqFm, GraphScorer, Scorer, Scratch, SeqFm, SeqFmConfig};
+use seqfm_core::{FrozenSeqFm, GraphScorer, Scorer, ScorerPrecision, Scratch, SeqFm, SeqFmConfig};
 use seqfm_data::{Batch, FeatureLayout};
 use seqfm_serve::{expand_request, Engine, EngineConfig, ScoreRequest};
 use std::sync::Arc;
@@ -102,6 +102,7 @@ fn bench_single_request(c: &mut Criterion) {
     let batch = request_batch(&l);
     let (model, ps) = build_model();
     let frozen = FrozenSeqFm::freeze(&model, &ps);
+    let frozen_fast = FrozenSeqFm::freeze(&model, &ps).with_precision(ScorerPrecision::Fast);
     let graph = GraphScorer::new(model, ps);
 
     let mut group = c.benchmark_group(format!("serve_1req_{CANDIDATES}cand_d{D}"));
@@ -109,6 +110,9 @@ fn bench_single_request(c: &mut Criterion) {
     let mut scratch = Scratch::new();
     group.bench_function("frozen", |b| {
         b.iter(|| std::hint::black_box(frozen.score(&batch, &mut scratch)[0]));
+    });
+    group.bench_function("frozen_fast", |b| {
+        b.iter(|| std::hint::black_box(frozen_fast.score(&batch, &mut scratch)[0]));
     });
     group.bench_function("graph_per_request", |b| {
         b.iter(|| std::hint::black_box(graph.score(&batch, &mut scratch)[0]));
@@ -193,6 +197,7 @@ fn emit_serving_json(_c: &mut Criterion) {
     let (model, ps) = build_model();
     let frozen_shared = Arc::new(FrozenSeqFm::freeze(&model, &ps));
     let frozen = Arc::clone(&frozen_shared);
+    let frozen_fast = FrozenSeqFm::freeze(&model, &ps).with_precision(ScorerPrecision::Fast);
     let graph = GraphScorer::new(model, ps);
     let mut scratch = Scratch::new();
 
@@ -214,6 +219,12 @@ fn emit_serving_json(_c: &mut Criterion) {
         },
         200,
     );
+    let frozen_fast_p50 = p50_of(
+        &mut || {
+            std::hint::black_box(frozen_fast.score(&batch, &mut scratch)[0]);
+        },
+        200,
+    );
     let graph_p50 = p50_of(
         &mut || {
             std::hint::black_box(graph.score(&batch, &mut scratch)[0]);
@@ -221,6 +232,24 @@ fn emit_serving_json(_c: &mut Criterion) {
         60,
     );
     let speedup = graph_p50.as_secs_f64() / frozen_p50.as_secs_f64();
+    let fast_speedup = frozen_p50.as_secs_f64() / frozen_fast_p50.as_secs_f64();
+    // Host-speed canary: a fixed, deterministic chunk of scalar FMA work,
+    // timed the same way as the latencies above. Absolute latencies in this
+    // file are only comparable between records taken on comparably fast
+    // hosts; when two records disagree, compare their `calib_spin_us` first
+    // — a 2× swing there means the host changed, not the code.
+    let calib_spin = p50_of(
+        &mut || {
+            let mut acc = 0.0f32;
+            let mut x = 1.000_000_1f32;
+            for _ in 0..2_000_000u32 {
+                acc = x.mul_add(1.000_000_1, acc);
+                x = std::hint::black_box(x);
+            }
+            std::hint::black_box(acc);
+        },
+        30,
+    );
 
     let n = 256usize;
     let run = |engine: &Engine, req_of: &dyn Fn(usize) -> ScoreRequest| -> f64 {
@@ -290,8 +319,11 @@ fn emit_serving_json(_c: &mut Criterion) {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let json = format!(
-        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256, \"coalesce_max\": 32, \"coalesce_candidates_per_request\": {COALESCE_CANDIDATES}, \"stored_users\": {STORED_USERS} }},\n  \"host_cpus\": {host_cpus},\n  \"frozen_p50_latency_us\": {:.1},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0},\n  \"engine_rps_coalesce_off\": {:.0},\n  \"engine_rps_coalesced\": {:.0},\n  \"engine_rps_stored_cached\": {:.0},\n  \"engine_rps_stored_inline_baseline\": {:.0},\n  \"view_cache_hit_rate\": {:.3},\n  \"store_append_rps\": {:.0}\n}}\n",
+        "{{\n  \"bench\": \"serving\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"candidates_per_request\": {CANDIDATES}, \"engine_requests\": 256, \"coalesce_max\": 32, \"coalesce_candidates_per_request\": {COALESCE_CANDIDATES}, \"stored_users\": {STORED_USERS} }},\n  \"host_cpus\": {host_cpus},\n  \"calib_spin_us\": {:.1},\n  \"frozen_p50_latency_us\": {:.1},\n  \"frozen_fast_p50_latency_us\": {:.1},\n  \"frozen_fast_vs_exact_speedup\": {:.2},\n  \"graph_p50_latency_us\": {:.1},\n  \"frozen_vs_graph_speedup\": {:.2},\n  \"engine_rps_1_thread\": {:.0},\n  \"engine_rps_4_threads\": {:.0},\n  \"engine_rps_coalesce_off\": {:.0},\n  \"engine_rps_coalesced\": {:.0},\n  \"engine_rps_stored_cached\": {:.0},\n  \"engine_rps_stored_inline_baseline\": {:.0},\n  \"view_cache_hit_rate\": {:.3},\n  \"store_append_rps\": {:.0}\n}}\n",
+        calib_spin.as_secs_f64() * 1e6,
         frozen_p50.as_secs_f64() * 1e6,
+        frozen_fast_p50.as_secs_f64() * 1e6,
+        fast_speedup,
         graph_p50.as_secs_f64() * 1e6,
         speedup,
         rps1,

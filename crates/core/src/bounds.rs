@@ -45,7 +45,7 @@
 //! above the achievable drift at these dimensions — a margin the
 //! Monte-Carlo test below exercises across every Table-V variant.
 
-use crate::frozen::{gather_rows, project, FrozenSeqFm, LN_EPS};
+use crate::frozen::{FrozenSeqFm, LN_EPS};
 use crate::view::HistoryView;
 use seqfm_data::FeatureLayout;
 
@@ -126,10 +126,10 @@ impl FrozenSeqFm {
             })
             .collect();
         let mut e = vec![0.0f32; n * d];
-        gather_rows(self.t(self.emb_static), &idx, d, &mut e);
+        self.gather_static(&idx, d, &mut e);
         let mut proj = vec![0.0f32; n * d];
         let mut envelope = |view: usize| -> (Vec<f32>, Vec<f32>) {
-            project(&e, self.t(self.attn[view].wv), n, d, &mut proj);
+            self.project_view(&e, view, 2, n, &mut proj);
             let mut lo = vec![f32::INFINITY; d];
             let mut hi = vec![f32::NEG_INFINITY; d];
             for row in proj[..n * d].chunks_exact(d) {
@@ -166,18 +166,18 @@ impl FrozenSeqFm {
         let ab = self.config().ablation;
         let uf = [layout.user_feature(user)];
         let mut e = vec![0.0f32; d];
-        gather_rows(self.t(self.emb_static), &uf, d, &mut e);
+        self.gather_static(&uf, d, &mut e);
 
         let mut vs_user = Vec::new();
         if ab.static_view {
             vs_user = vec![0.0f32; d];
-            project(&e, self.t(self.attn[0].wv), 1, d, &mut vs_user);
+            self.project_view(&e, 0, 2, 1, &mut vs_user);
         }
 
         let (mut vx_lo, mut vx_hi) = (Vec::new(), Vec::new());
         if ab.cross_view {
             let mut vx_user = vec![0.0f32; d];
-            project(&e, self.t(self.attn[2].wv), 1, d, &mut vx_user);
+            self.project_view(&e, 2, 2, 1, &mut vx_user);
             vx_lo = vx_user.clone();
             vx_hi = vx_user;
             // The cached history V projections are the forward pass's own
@@ -205,10 +205,15 @@ impl FrozenSeqFm {
         let spec = self
             .ffns
             .iter()
-            .map(|ffn| {
+            .enumerate()
+            .map(|(fi, ffn)| {
                 ffn.iter()
-                    .map(|layer| {
-                        let w = self.t(layer.w).data();
+                    .enumerate()
+                    .map(|(li, layer)| {
+                        // The active profile's weights — the quantized
+                        // effective matrix under `Fast`, so the spectral
+                        // bound covers exactly what the fast FFN multiplies.
+                        let w = self.ffn_w_data(fi, li);
                         let m: Vec<f64> = if ab.layer_norm {
                             let scale = self.t(layer.ln_scale).data();
                             (0..d * d).map(|ij| scale[ij / d] as f64 * w[ij] as f64).collect()
@@ -334,7 +339,7 @@ impl FrozenSeqFm {
             } else {
                 (lo, hi)
             };
-            let w = self.t(layer.w).data();
+            let w = self.ffn_w_data(which, li);
             let b = self.t(layer.b).data();
             for j in 0..d {
                 let mut alo = b[j] as f64;
@@ -559,9 +564,9 @@ mod tests {
     }
 
     /// Monte-Carlo soundness: for random models across every variant, every
-    /// item's true logit must sit at or below its block's upper bound.
-    #[test]
-    fn block_upper_bound_dominates_every_true_score() {
+    /// item's true logit must sit at or below its block's upper bound — in
+    /// whichever precision profile the model serves.
+    fn dominance_check(precision: crate::ScorerPrecision) {
         let layout = FeatureLayout { n_users: 7, n_items: 41 };
         let max_seq = 6;
         let block = 8usize;
@@ -572,7 +577,7 @@ mod tests {
                 let mut ps = ParamStore::new();
                 let mut rng = StdRng::seed_from_u64(seed);
                 let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
-                let frozen = FrozenSeqFm::freeze(&model, &ps);
+                let frozen = FrozenSeqFm::freeze(&model, &ps).with_precision(precision);
                 let mut scratch = Scratch::new();
                 for (user, hist) in
                     [(0u32, vec![]), (3, vec![1u32, 4, 2]), (6, vec![0, 5, 7, 2, 40, 3])]
@@ -610,6 +615,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn block_upper_bound_dominates_every_true_score() {
+        dominance_check(crate::ScorerPrecision::Exact);
+    }
+
+    /// The same soundness chain under the fast profile: the envelopes and
+    /// spectral bounds route through the quantized effective weights and
+    /// the fast projection kernels, so the bound must dominate the fast
+    /// scorer's logits just as tightly.
+    #[test]
+    fn block_upper_bound_dominates_fast_profile_scores_too() {
+        dominance_check(crate::ScorerPrecision::Fast);
     }
 
     /// The blocked catalog scorer must agree bit-for-bit with scoring the

@@ -10,6 +10,7 @@
 //! therefore match the graph path **bit for bit**, which the tests assert.
 
 use crate::config::SeqFmConfig;
+use crate::precision::{FrozenParamsFast, ScorerPrecision};
 use crate::scorer::{MaskCache, Scorer, Scratch};
 use crate::view::HistoryView;
 use crate::SeqFm;
@@ -18,7 +19,10 @@ use rand::SeedableRng;
 use seqfm_autograd::{FrozenId, FrozenParams, ParamStore};
 use seqfm_data::{Batch, FeatureLayout, PAD};
 use seqfm_nn::checkpoint::{self, CheckpointError};
-use seqfm_tensor::{attention_into, matmul_nn_into, AttnMask, Tensor};
+use seqfm_tensor::{
+    attention_cross_fast_into, attention_cross_shared_fast_into, attention_into,
+    attention_pair_fast_into, matmul_nn_fast_into, matmul_nn_into, AttnMask, Tensor,
+};
 use std::sync::Arc;
 
 /// Must match `seqfm_nn::layers::LayerNorm::new` — the paper's "small bias
@@ -47,13 +51,15 @@ pub struct FrozenSeqFm {
     cfg: SeqFmConfig,
     params: Arc<FrozenParams>,
     pub(crate) emb_static: FrozenId,
-    emb_dynamic: FrozenId,
+    pub(crate) emb_dynamic: FrozenId,
     pub(crate) w_static: FrozenId,
     w_dynamic: FrozenId,
     pub(crate) w0: FrozenId,
     pub(crate) attn: [AttnIds; 3],
     pub(crate) ffns: Vec<Vec<FfnLayerIds>>,
     pub(crate) p: FrozenId,
+    precision: ScorerPrecision,
+    fast: Option<Arc<FrozenParamsFast>>,
 }
 
 impl FrozenSeqFm {
@@ -107,6 +113,112 @@ impl FrozenSeqFm {
             p: r("seqfm.p"),
             cfg,
             params,
+            precision: ScorerPrecision::Exact,
+            fast: None,
+        }
+    }
+
+    /// Switches the serving profile, quantizing the parameters on first use
+    /// of [`ScorerPrecision::Fast`] (see [`crate::precision`] for the error
+    /// budget and guarantees). The quantized bundle is kept when toggling
+    /// back to `Exact`, so flipping profiles is cheap after the first build.
+    #[must_use]
+    pub fn with_precision(mut self, precision: ScorerPrecision) -> Self {
+        self.precision = precision;
+        if precision == ScorerPrecision::Fast && self.fast.is_none() {
+            self.fast = Some(Arc::new(FrozenParamsFast::build(&self)));
+        }
+        self
+    }
+
+    /// The active serving profile.
+    pub fn precision(&self) -> ScorerPrecision {
+        self.precision
+    }
+
+    /// The quantized bundle, when the fast profile is active.
+    fn fast_active(&self) -> Option<&FrozenParamsFast> {
+        match self.precision {
+            ScorerPrecision::Fast => self.fast.as_deref(),
+            ScorerPrecision::Exact => None,
+        }
+    }
+
+    pub(crate) fn is_fast(&self) -> bool {
+        self.fast_active().is_some()
+    }
+
+    /// Profile-aware static-embedding gather (`f16`-decoded under `Fast`).
+    pub(crate) fn gather_static(&self, idx: &[i64], d: usize, out: &mut [f32]) {
+        match self.fast_active() {
+            Some(fp) => fp.emb_static.gather(idx, out),
+            None => gather_rows(self.t(self.emb_static), idx, d, out),
+        }
+    }
+
+    /// Profile-aware dynamic-embedding gather.
+    pub(crate) fn gather_dynamic(&self, idx: &[i64], d: usize, out: &mut [f32]) {
+        match self.fast_active() {
+            Some(fp) => fp.emb_dynamic.gather(idx, out),
+            None => gather_rows(self.t(self.emb_dynamic), idx, d, out),
+        }
+    }
+
+    /// View `view`'s attention weight matrix (`which`: 0 = Q, 1 = K, 2 = V)
+    /// in the active profile — the exact tensor, or the `f16`-effective copy
+    /// the fast forward pass *and* the retrieval bounds both read.
+    pub(crate) fn attn_w(&self, view: usize, which: usize) -> &[f32] {
+        match self.fast_active() {
+            Some(fp) => {
+                let fa = &fp.attn[view];
+                match which {
+                    0 => &fa.wq,
+                    1 => &fa.wk,
+                    _ => &fa.wv,
+                }
+            }
+            None => {
+                let ids = &self.attn[view];
+                self.t(match which {
+                    0 => ids.wq,
+                    1 => ids.wk,
+                    _ => ids.wv,
+                })
+                .data()
+            }
+        }
+    }
+
+    /// Profile-aware attention projection `out[m,d] = e[m,d] · W[d,d]`
+    /// (the flatten–matmul of `Linear::forward_3d`; projections carry no
+    /// bias). Per-row arithmetic is batch-independent in both profiles, so
+    /// a row's projection is the same bits whether it is computed here for a
+    /// forward pass or for a bounds envelope.
+    pub(crate) fn project_view(
+        &self,
+        e: &[f32],
+        view: usize,
+        which: usize,
+        m: usize,
+        out: &mut [f32],
+    ) {
+        let d = self.cfg.d;
+        let w = self.attn_w(view, which);
+        let out = &mut out[..m * d];
+        out.fill(0.0);
+        if self.is_fast() {
+            matmul_nn_fast_into(e, w, out, m, d, d);
+        } else {
+            matmul_nn_into(e, w, out, m, d, d);
+        }
+    }
+
+    /// FFN `which`'s layer-`li` weight matrix in the active profile (the
+    /// `i8`-effective copy under `Fast`, shared with the bounds).
+    pub(crate) fn ffn_w_data(&self, which: usize, li: usize) -> &[f32] {
+        match self.fast_active() {
+            Some(fp) => &fp.ffn_w[which][li].eff,
+            None => self.t(self.ffns[which][li].w).data(),
         }
     }
 
@@ -165,6 +277,12 @@ impl FrozenSeqFm {
     /// One view of the forward pass: project Q/K/V, attend, pool, run the
     /// (shared or per-view) FFN, and write the result into this view's
     /// column block of `hagg`.
+    ///
+    /// `cross_ns`: `Some(ns)` on the cross view, whose mask admits only
+    /// static↔dynamic pairs — the fast profile then takes the
+    /// block-structured [`attention_cross_fast_into`] (bit-identical to the
+    /// dense masked fast path; see its docs) instead of scoring the dense
+    /// `n × n` matrix the mask mostly discards.
     #[allow(clippy::too_many_arguments)]
     fn run_view(
         &self,
@@ -176,20 +294,20 @@ impl FrozenSeqFm {
         d: usize,
         scale: f32,
         mask: Option<&AttnMask>,
+        cross_ns: Option<usize>,
         pads: Option<(&[usize], usize)>,
         view_col: usize,
         views: usize,
         bufs: &mut ViewBufs<'_>,
     ) {
-        let ids = &self.attn[view];
-        project(e, self.t(ids.wq), b * n, d, bufs.q);
-        project(e, self.t(ids.wk), b * n, d, bufs.k);
-        project(e, self.t(ids.wv), b * n, d, bufs.v);
-        self.finish_view(ffn_idx, b, n, d, scale, mask, pads, view_col, views, bufs);
+        self.project_view(e, view, 0, b * n, bufs.q);
+        self.project_view(e, view, 1, b * n, bufs.k);
+        self.project_view(e, view, 2, b * n, bufs.v);
+        self.finish_view(ffn_idx, b, n, d, scale, mask, cross_ns, pads, view_col, views, bufs);
     }
 
     /// Attention → pooling → FFN → `hagg` column write, on already-projected
-    /// Q/K/V in `bufs`.
+    /// Q/K/V in `bufs` (`cross_ns` as on [`Self::run_view`]).
     #[allow(clippy::too_many_arguments)]
     fn finish_view(
         &self,
@@ -199,34 +317,122 @@ impl FrozenSeqFm {
         d: usize,
         scale: f32,
         mask: Option<&AttnMask>,
+        cross_ns: Option<usize>,
+        pads: Option<(&[usize], usize)>,
+        view_col: usize,
+        views: usize,
+        bufs: &mut ViewBufs<'_>,
+    ) {
+        let fast = self.is_fast();
+        // The fast profile picks the cheapest *bit-stable* kernel per
+        // geometry, not "the fast kernel everywhere": the cross view's
+        // block structure admits only `2·ns·nd` of `n²` score entries (the
+        // structured kernel wins big), the static view's maskless n = 2
+        // slices get the fused unrolled pair kernel, and the remaining
+        // shapes (causal dynamic rows) are fastest on the exact fused
+        // path — at `x86-64-v3` it already auto-vectorizes, and the
+        // approximate softmax's per-row overhead costs more than libm exp
+        // saves there (measured: the dense fast path *loses* to exact).
+        // Every choice is bit-identical across SIMD arms, so the fast
+        // profile's cross-arm determinism contract is unaffected.
+        match cross_ns {
+            Some(ns) if fast => {
+                attention_cross_fast_into(
+                    bufs.q,
+                    bufs.k,
+                    bufs.v,
+                    scale,
+                    b,
+                    ns,
+                    n - ns,
+                    d,
+                    bufs.scores,
+                    bufs.ctx,
+                );
+            }
+            // The static view's (user, candidate) pair: the fused unrolled
+            // pair kernel skips the per-slice bmm dispatch entirely.
+            None if fast && mask.is_none() && n == 2 => {
+                attention_pair_fast_into(bufs.q, bufs.k, bufs.v, scale, b, d, bufs.ctx);
+            }
+            _ => {
+                attention_into(bufs.q, bufs.k, bufs.v, mask, scale, b, n, d, bufs.scores, bufs.ctx);
+            }
+        }
+        self.pool_ffn_write(ffn_idx, b, n, d, pads, view_col, views, bufs);
+    }
+
+    /// The post-attention tail of a view: pooling → FFN → `hagg` column
+    /// write, on an already-computed context in `bufs.ctx`. Split out of
+    /// [`Self::finish_view`] so fast-profile paths that run a specialized
+    /// attention entry point (the splice-free shared-history kernel) share
+    /// the identical tail.
+    #[allow(clippy::too_many_arguments)]
+    fn pool_ffn_write(
+        &self,
+        ffn_idx: usize,
+        b: usize,
+        n: usize,
+        d: usize,
         pads: Option<(&[usize], usize)>,
         view_col: usize,
         views: usize,
         bufs: &mut ViewBufs<'_>,
     ) {
         let ab = self.cfg.ablation;
-        attention_into(bufs.q, bufs.k, bufs.v, mask, scale, b, n, d, bufs.scores, bufs.ctx);
         pool_into(bufs.ctx, b, n, d, ab.masked_pooling, pads, bufs.pool);
-        let ffn = if ab.shared_ffn { &self.ffns[0] } else { &self.ffns[ffn_idx] };
-        for layer in ffn {
+        let which = if ab.shared_ffn { 0 } else { ffn_idx };
+        for (li, layer) in self.ffns[which].iter().enumerate() {
             ffn_layer(
                 bufs.pool,
                 bufs.normed,
                 bufs.lin,
                 self.t(layer.ln_scale).data(),
                 self.t(layer.ln_bias).data(),
-                self.t(layer.w),
+                self.ffn_w_data(which, li),
                 self.t(layer.b).data(),
                 b,
                 d,
                 ab.residual,
                 ab.layer_norm,
+                self.is_fast(),
             );
         }
         let stride = views * d;
         for bi in 0..b {
             bufs.hagg[bi * stride + view_col..bi * stride + view_col + d]
                 .copy_from_slice(&bufs.pool[bi * d..(bi + 1) * d]);
+        }
+    }
+
+    /// Projects the `1 + b` unique static rows of a constant-user
+    /// candidate-expansion batch (`e_u` = `[user_row, cand_0, …,
+    /// cand_{b−1}]`) with view `view`'s Q/K/V weights and interleaves the
+    /// results into the leading `[b, 2, d]` blocks of `dsts`
+    /// (Q, K, V order), using `pu` (≥ `(1 + b)·d`) as projection scratch.
+    ///
+    /// Candidate-expansion batches repeat the user feature in static
+    /// column 0 of every row; projection arithmetic is row-local, so
+    /// projecting that row once and broadcasting its output is the same
+    /// bits per row as projecting it `b` times inside the batched call
+    /// (the batch-independence invariant the tiled-kernel tests pin) at
+    /// roughly half the projection arithmetic.
+    fn project_static_unique(
+        &self,
+        e_u: &[f32],
+        view: usize,
+        b: usize,
+        d: usize,
+        pu: &mut [f32],
+        dsts: [&mut [f32]; 3],
+    ) {
+        for (wi, dst) in dsts.into_iter().enumerate() {
+            self.project_view(e_u, view, wi, 1 + b, pu);
+            for bi in 0..b {
+                let base = bi * 2 * d;
+                dst[base..base + d].copy_from_slice(&pu[..d]);
+                dst[base + d..base + 2 * d].copy_from_slice(&pu[(1 + bi) * d..(2 + bi) * d]);
+            }
         }
     }
 }
@@ -281,18 +487,17 @@ impl FrozenSeqFm {
         }
 
         let mut e_d = ws.take(nd * d);
-        gather_rows(self.t(self.emb_dynamic), dyn_row, d, &mut e_d);
+        self.gather_dynamic(dyn_row, d, &mut e_d);
 
         if ab.cross_view {
             // The cross view's history rows are projected row-locally, so
             // the per-request shared path can splice these under each
-            // row's per-candidate static projections (same `project` call
-            // as the non-cached path).
-            let ids = &self.attn[2];
+            // row's per-candidate static projections (same projection call
+            // as the non-cached path, in the model's active profile).
             let dsts = [&mut view.hist_q, &mut view.hist_k, &mut view.hist_v];
-            for (wid, dst) in [ids.wq, ids.wk, ids.wv].into_iter().zip(dsts) {
+            for (wi, dst) in dsts.into_iter().enumerate() {
                 dst.resize(nd * d, 0.0);
-                project(&e_d[..nd * d], self.t(wid), nd, d, dst);
+                self.project_view(&e_d[..nd * d], 2, wi, nd, dst);
             }
         }
         if ab.dynamic_view {
@@ -332,6 +537,7 @@ impl FrozenSeqFm {
                 d,
                 scale,
                 Some(causal),
+                None,
                 Some((&[pad], 0)),
                 0,
                 1,
@@ -466,17 +672,49 @@ impl FrozenSeqFm {
         let db = if shared_hist { 1 } else { b };
         let need_e_d = cached.is_none();
 
+        // Candidate-expansion batches repeat the user feature in static
+        // column 0 of every row; the fast profile then projects the `1 + b`
+        // unique static rows instead of all `2·b` and broadcasts the shared
+        // row's projection — bit-identical per row (see
+        // [`Self::project_static_unique`]).
+        let fastp = self.is_fast();
+        let uniq_static = fastp
+            && ns == 2
+            && b > 1
+            && batch.static_idx.chunks_exact(2).skip(1).all(|r| r[0] == batch.static_idx[0]);
+
         // Workspace scopes, sized exactly for this batch (zero-filled on
         // take; zero heap traffic once the arena has seen the shape).
+        // The splice-free fast shared-history path never materializes
+        // interleaved `[b, ns + nd, d]` Q/K/V or dense `n²` score scratch,
+        // so its scopes shrink to what the structured kernels actually
+        // read — the arena zero-fills every take, making right-sizing pure
+        // memset bandwidth saved on every request (~1 MB at serving
+        // geometry).
+        let (qkv_len, scores_len) = if fastp && shared_hist {
+            (
+                (b * ns * d).max(db * nd * d),
+                (b * ns * ns).max(db * nd * nd).max(if ab.cross_view { b * ns * nd } else { 0 }),
+            )
+        } else {
+            (b * nmax * d, b * nmax * nmax)
+        };
         let mut e_s = ws.take(b * ns * d);
         let mut e_d = ws.take(if need_e_d { db * nd * d } else { 0 });
         let cross_stacked = ab.cross_view && !shared_hist;
         let mut e_x = ws.take(if cross_stacked { b * nmax * d } else { 0 });
-        let mut q = ws.take(b * nmax * d);
-        let mut k = ws.take(b * nmax * d);
-        let mut v = ws.take(b * nmax * d);
-        let mut qd = ws.take(if ab.cross_view && shared_hist && need_e_d { nd * d } else { 0 });
-        let mut scores = ws.take(b * nmax * nmax);
+        let mut q = ws.take(qkv_len);
+        let mut k = ws.take(qkv_len);
+        let mut v = ws.take(qkv_len);
+        let hist_proj = ab.cross_view && shared_hist && need_e_d;
+        let mut qd = ws.take(if hist_proj { nd * d } else { 0 });
+        // The splice-free fast kernel needs all three history projections
+        // alive at once; the exact splice path reuses `qd` per matrix.
+        let mut kd = ws.take(if hist_proj && fastp { nd * d } else { 0 });
+        let mut vd = ws.take(if hist_proj && fastp { nd * d } else { 0 });
+        let mut e_u = ws.take(if uniq_static { (1 + b) * d } else { 0 });
+        let mut pu = ws.take(if uniq_static { (1 + b) * d } else { 0 });
+        let mut scores = ws.take(scores_len);
         let mut ctx = ws.take(b * nmax * d);
         let mut pool = ws.take(b * d);
         let mut normed = ws.take(b * d);
@@ -484,9 +722,18 @@ impl FrozenSeqFm {
         let mut hagg = ws.take(b * views * d);
 
         // Embedding layer (Eq. 5): PAD rows embed to exact zeros.
-        gather_rows(self.t(self.emb_static), &batch.static_idx, d, &mut e_s);
+        self.gather_static(&batch.static_idx, d, &mut e_s);
         if need_e_d {
-            gather_rows(self.t(self.emb_dynamic), &batch.dyn_idx[..db * nd], d, &mut e_d);
+            self.gather_dynamic(&batch.dyn_idx[..db * nd], d, &mut e_d);
+        }
+        if uniq_static {
+            // Unique static rows: the shared user row once, then each
+            // candidate's row (static column 1 of every slice).
+            e_u[..d].copy_from_slice(&e_s[..d]);
+            for bi in 0..b {
+                e_u[(1 + bi) * d..(2 + bi) * d]
+                    .copy_from_slice(&e_s[(bi * 2 + 1) * d..(bi + 1) * 2 * d]);
+            }
         }
 
         // Per-sample padding lengths (masked-pooling extension).
@@ -519,20 +766,38 @@ impl FrozenSeqFm {
         let mut ffn_idx = 0usize;
         let mut view_col = 0usize;
         if ab.static_view {
-            self.run_view(
-                0,
-                ffn_idx,
-                &e_s[..b * ns * d],
-                b,
-                ns,
-                d,
-                scale,
-                None,
-                None,
-                view_col,
-                views,
-                &mut bufs,
-            );
+            if uniq_static {
+                // Unique-row projections straight into the leading
+                // `[b, 2, d]` Q/K/V blocks, then the same attention → FFN
+                // finish `run_view` would perform.
+                self.project_static_unique(
+                    &e_u[..(1 + b) * d],
+                    0,
+                    b,
+                    d,
+                    &mut pu,
+                    [&mut *bufs.q, &mut *bufs.k, &mut *bufs.v],
+                );
+                self.finish_view(
+                    ffn_idx, b, ns, d, scale, None, None, None, view_col, views, &mut bufs,
+                );
+            } else {
+                self.run_view(
+                    0,
+                    ffn_idx,
+                    &e_s[..b * ns * d],
+                    b,
+                    ns,
+                    d,
+                    scale,
+                    None,
+                    None,
+                    None,
+                    view_col,
+                    views,
+                    &mut bufs,
+                );
+            }
             ffn_idx += 1;
             view_col += d;
         }
@@ -558,6 +823,7 @@ impl FrozenSeqFm {
                     d,
                     scale,
                     Some(causal),
+                    None,
                     Some((&pad_counts[..db], 0)),
                     view_col,
                     views,
@@ -574,54 +840,113 @@ impl FrozenSeqFm {
             let nx = ns + nd;
             let cross = &masks.as_ref().expect("mask cache installed").cross;
             if shared_hist {
-                // The history rows' Q/K/V projections are row-local, so
-                // project the shared history once per weight matrix and
-                // splice it under each row's per-candidate static
-                // projections; attention itself still runs per row (the
-                // cross mask mixes static and dynamic positions).
-                let w_ids = [self.attn[2].wq, self.attn[2].wk, self.attn[2].wv];
-                // A cached view already holds the three history projections
-                // (built by the identical `project` call); otherwise project
-                // the shared history once per weight matrix into `qd`.
+                // The history rows' Q/K/V projections are row-local, so the
+                // shared history projects once per weight matrix; a cached
+                // view already holds the three projections (built by the
+                // identical projection call).
                 let cached_hist =
                     cached.map(|v| [v.hist_q.as_slice(), v.hist_k.as_slice(), v.hist_v.as_slice()]);
-                let dsts = [&mut *bufs.q, &mut *bufs.k, &mut *bufs.v];
-                for (wi, (wid, dst)) in w_ids.into_iter().zip(dsts).enumerate() {
-                    let w = self.t(wid);
-                    let hist: &[f32] = match &cached_hist {
-                        Some(h) => h[wi],
+                if fastp {
+                    // Splice-free fast path: the candidates' static-row
+                    // projections land in the leading `[b, ns, d]` blocks of
+                    // Q/K/V, the shared history's three `[nd, d]` projections
+                    // stay in their own small blocks, and the structured
+                    // shared-history kernel reads both in place —
+                    // bit-identical to splicing the history under every slice
+                    // and running the interleaved kernel (pinned in the
+                    // tensor crate), minus `3·b·nd·d` floats of pure copying
+                    // per call.
+                    if uniq_static {
+                        self.project_static_unique(
+                            &e_u[..(1 + b) * d],
+                            2,
+                            b,
+                            d,
+                            &mut pu,
+                            [&mut *bufs.q, &mut *bufs.k, &mut *bufs.v],
+                        );
+                    } else {
+                        self.project_view(&e_s[..b * ns * d], 2, 0, b * ns, bufs.q);
+                        self.project_view(&e_s[..b * ns * d], 2, 1, b * ns, bufs.k);
+                        self.project_view(&e_s[..b * ns * d], 2, 2, b * ns, bufs.v);
+                    }
+                    let [qh, kh, vh] = match cached_hist {
+                        Some(h) => h,
                         None => {
-                            project(&e_d[..nd * d], w, nd, d, &mut qd);
-                            &qd
+                            self.project_view(&e_d[..nd * d], 2, 0, nd, &mut qd);
+                            self.project_view(&e_d[..nd * d], 2, 1, nd, &mut kd);
+                            self.project_view(&e_d[..nd * d], 2, 2, nd, &mut vd);
+                            [&qd[..nd * d], &kd[..nd * d], &vd[..nd * d]]
                         }
                     };
-                    for bi in 0..b {
-                        let base = bi * nx * d;
-                        let stat = &mut dst[base..base + ns * d];
-                        stat.fill(0.0);
-                        matmul_nn_into(
-                            &e_s[bi * ns * d..(bi + 1) * ns * d],
-                            w.data(),
-                            stat,
-                            ns,
-                            d,
-                            d,
-                        );
-                        dst[base + ns * d..base + nx * d].copy_from_slice(&hist[..nd * d]);
+                    attention_cross_shared_fast_into(
+                        bufs.q,
+                        bufs.k,
+                        bufs.v,
+                        qh,
+                        kh,
+                        vh,
+                        scale,
+                        b,
+                        ns,
+                        nd,
+                        d,
+                        bufs.scores,
+                        bufs.ctx,
+                    );
+                    self.pool_ffn_write(
+                        ffn_idx,
+                        b,
+                        nx,
+                        d,
+                        Some((pad_counts.as_slice(), ns)),
+                        view_col,
+                        views,
+                        &mut bufs,
+                    );
+                } else {
+                    // Exact profile: splice the history under each row's
+                    // per-candidate static projections; attention runs on
+                    // the interleaved layout (the cross mask mixes static
+                    // and dynamic positions). All candidates' static rows
+                    // project in one batched call per weight matrix
+                    // (row-local arithmetic: one m-row matmul or b tiny
+                    // ones produce the same bits per row — the invariant
+                    // the tiled-kernel tests pin), then splice into each
+                    // candidate's block; b tiny matmul dispatches would pay
+                    // panel packing and workspace setup per candidate.
+                    let mut ps_rows = ws.take(b * ns * d);
+                    let dsts = [&mut *bufs.q, &mut *bufs.k, &mut *bufs.v];
+                    for (wi, dst) in dsts.into_iter().enumerate() {
+                        let hist: &[f32] = match &cached_hist {
+                            Some(h) => h[wi],
+                            None => {
+                                self.project_view(&e_d[..nd * d], 2, wi, nd, &mut qd);
+                                &qd
+                            }
+                        };
+                        self.project_view(&e_s[..b * ns * d], 2, wi, b * ns, &mut ps_rows);
+                        for bi in 0..b {
+                            let base = bi * nx * d;
+                            dst[base..base + ns * d]
+                                .copy_from_slice(&ps_rows[bi * ns * d..(bi + 1) * ns * d]);
+                            dst[base + ns * d..base + nx * d].copy_from_slice(&hist[..nd * d]);
+                        }
                     }
+                    self.finish_view(
+                        ffn_idx,
+                        b,
+                        nx,
+                        d,
+                        scale,
+                        Some(cross),
+                        Some(ns),
+                        Some((pad_counts.as_slice(), ns)),
+                        view_col,
+                        views,
+                        &mut bufs,
+                    );
                 }
-                self.finish_view(
-                    ffn_idx,
-                    b,
-                    nx,
-                    d,
-                    scale,
-                    Some(cross),
-                    Some((pad_counts.as_slice(), ns)),
-                    view_col,
-                    views,
-                    &mut bufs,
-                );
             } else {
                 // Cross-view stack [E°; E˙] per sample (Eq. 12).
                 for bi in 0..b {
@@ -639,6 +964,7 @@ impl FrozenSeqFm {
                     d,
                     scale,
                     Some(cross),
+                    Some(ns),
                     Some((pad_counts.as_slice(), ns)),
                     view_col,
                     views,
@@ -688,7 +1014,10 @@ impl FrozenSeqFm {
 
 impl Scorer for FrozenSeqFm {
     fn name(&self) -> &str {
-        "SeqFM[frozen]"
+        match self.precision {
+            ScorerPrecision::Exact => "SeqFM[frozen]",
+            ScorerPrecision::Fast => "SeqFM[frozen:fast]",
+        }
     }
 
     fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
@@ -743,14 +1072,6 @@ pub(crate) fn gather_rows(table: &Tensor, idx: &[i64], d: usize, out: &mut [f32]
         assert!(i < rows, "gather index {i} out of range ({rows} rows)");
         out[slot * d..(slot + 1) * d].copy_from_slice(&table.data()[i * d..(i + 1) * d]);
     }
-}
-
-/// `out[m,d] = e[m,d] · w[d,d]` — the flatten–matmul of `Linear::forward_3d`
-/// (attention projections carry no bias).
-pub(crate) fn project(e: &[f32], w: &Tensor, m: usize, d: usize, out: &mut [f32]) {
-    let out = &mut out[..m * d];
-    out.fill(0.0);
-    matmul_nn_into(e, w.data(), out, m, d, d);
 }
 
 /// Intra-view pooling (Eq. 14), mirroring `SeqFm::pool` exactly: plain mean
@@ -814,12 +1135,13 @@ fn ffn_layer(
     lin: &mut [f32],
     ln_scale: &[f32],
     ln_bias: &[f32],
-    w: &Tensor,
+    w: &[f32],
     bias: &[f32],
     b: usize,
     d: usize,
     residual: bool,
     layer_norm: bool,
+    fast: bool,
 ) {
     let h = &mut h[..b * d];
     let normed = &mut normed[..b * d];
@@ -842,7 +1164,11 @@ fn ffn_layer(
     };
     // Linear + bias + ReLU.
     lin.fill(0.0);
-    matmul_nn_into(src, w.data(), lin, b, d, d);
+    if fast {
+        matmul_nn_fast_into(src, w, lin, b, d, d);
+    } else {
+        matmul_nn_into(src, w, lin, b, d, d);
+    }
     for row in lin.chunks_exact_mut(d) {
         for (o, &bv) in row.iter_mut().zip(bias) {
             *o += bv;

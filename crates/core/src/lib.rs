@@ -48,6 +48,7 @@ pub mod config;
 pub mod eval;
 pub mod frozen;
 pub mod model;
+pub mod precision;
 pub mod scorer;
 pub mod train;
 pub mod view;
@@ -60,6 +61,7 @@ pub use eval::{
 };
 pub use frozen::FrozenSeqFm;
 pub use model::SeqFm;
+pub use precision::{FrozenParamsFast, ScorerPrecision};
 pub use scorer::{GraphScorer, Scorer, Scratch};
 pub use train::{
     train_ctr, train_ctr_with_hook, train_ranking, train_ranking_with_hook, train_rating,

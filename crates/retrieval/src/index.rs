@@ -39,6 +39,11 @@ pub struct Retrieval {
     pub blocks_scored: usize,
     /// Catalog blocks skipped by the upper-bound prune.
     pub blocks_pruned: usize,
+    /// Items that went through the forward pass.
+    pub items_scored: usize,
+    /// Items inside surviving blocks skipped by the per-item linear screen
+    /// (always 0 for brute-force scans).
+    pub items_screened: usize,
 }
 
 impl Retrieval {
@@ -51,6 +56,17 @@ impl Retrieval {
             self.blocks_pruned as f64 / total as f64
         }
     }
+
+    /// Fraction of *surviving-block* items the per-item linear screen
+    /// skipped, in `[0, 1]` — pruning finer than the block bound alone.
+    pub fn screen_rate(&self) -> f64 {
+        let total = self.items_scored + self.items_screened;
+        if total == 0 {
+            0.0
+        } else {
+            self.items_screened as f64 / total as f64
+        }
+    }
 }
 
 /// Per-worker scan state: one scratch, one reusable expansion batch, one
@@ -60,6 +76,8 @@ struct Slot {
     batch: Batch,
     out: Vec<f32>,
     top: TopK,
+    items_scored: usize,
+    items_screened: usize,
 }
 
 impl Slot {
@@ -69,6 +87,8 @@ impl Slot {
             batch: Batch::default(),
             out: Vec::new(),
             top: TopK::new(k),
+            items_scored: 0,
+            items_screened: 0,
         }
     }
 }
@@ -189,8 +209,43 @@ impl CatalogIndex {
 
     /// Scores one block into `slot` and offers every logit to the slot's
     /// top-K shard.
-    fn score_block(&self, user: u32, view: &HistoryView, bi: usize, slot: &mut Slot) {
-        let items = self.block_items(bi);
+    ///
+    /// When a block bound and a prune threshold are given, the per-item
+    /// linear screen runs first: inside a block items are already sorted by
+    /// `lin°(c)` descending (blocks are cut from the lin-sorted
+    /// permutation), and the block bound decomposes as
+    /// `bound = N + lin_max` with `N` a sound bound on everything except
+    /// the candidate's own linear weight. So
+    /// `N + lin°(c) = (bound − lin_max) + lin°(c)` bounds item `c` alone,
+    /// descends along the block, and the first item falling **strictly
+    /// below** the threshold cuts off the whole suffix — by the same
+    /// argument as the block prune, none of the screened items can enter
+    /// the final top-K, and the surviving items' logits are bit-identical
+    /// (per-row arithmetic is batch-composition independent). The
+    /// comparison runs in `f64`, whose rounding is dwarfed by the bound's
+    /// built-in slack; a NaN bound disables the screen, soundly.
+    fn score_block(
+        &self,
+        user: u32,
+        view: &HistoryView,
+        bi: usize,
+        screen: Option<(f32, f32)>,
+        slot: &mut Slot,
+    ) {
+        let mut items = self.block_items(bi);
+        if let Some((bound, thr)) = screen {
+            let nonlin = bound as f64 - self.stats[bi].lin_max as f64;
+            let keep = items
+                .iter()
+                .position(|&c| (nonlin + self.lin_item[c as usize] as f64) < thr as f64)
+                .unwrap_or(items.len());
+            slot.items_screened += items.len() - keep;
+            items = &items[..keep];
+        }
+        slot.items_scored += items.len();
+        if items.is_empty() {
+            return;
+        }
         slot.out.clear();
         self.model.score_catalog_into(
             &self.layout,
@@ -244,15 +299,23 @@ impl CatalogIndex {
         par_units(pool, &mut slots, 1, |first, chunk| {
             for (s, slot) in chunk.iter_mut().enumerate() {
                 for bi in spans[first + s].clone() {
-                    self.score_block(user, view, bi, slot);
+                    self.score_block(user, view, bi, None, slot);
                 }
             }
         });
         let mut top = TopK::new(k_eff);
+        let mut items_scored = 0;
         for slot in slots {
+            items_scored += slot.items_scored;
             top.absorb(slot.top);
         }
-        Ok(Retrieval { items: top.into_sorted(), blocks_scored: n_blocks, blocks_pruned: 0 })
+        Ok(Retrieval {
+            items: top.into_sorted(),
+            blocks_scored: n_blocks,
+            blocks_pruned: 0,
+            items_scored,
+            items_screened: 0,
+        })
     }
 
     /// Pruned retrieval on the global thread pool. See
@@ -312,8 +375,11 @@ impl CatalogIndex {
         let mut slots: Vec<Slot> = (0..workers).map(|_| Slot::new(k_eff)).collect();
         let mut top = TopK::new(k_eff);
         let mut pos = 0usize;
+        let mut items_scored = 0usize;
+        let mut items_screened = 0usize;
         while pos < n_blocks {
-            if let Some(thr) = top.threshold() {
+            let thr = top.threshold();
+            if let Some(thr) = thr {
                 // Bounds only descend from here: one strict miss prunes the
                 // whole tail.
                 if order[pos].1 < thr {
@@ -323,7 +389,10 @@ impl CatalogIndex {
             let wave = &order[pos..(pos + workers).min(n_blocks)];
             par_units(pool, &mut slots[..wave.len()], 1, |first, chunk| {
                 for (s, slot) in chunk.iter_mut().enumerate() {
-                    self.score_block(user, view, wave[first + s].0, slot);
+                    let (bi, bound) = wave[first + s];
+                    // The per-item screen needs both this block's bound and
+                    // a threshold; before the first wave there is none.
+                    self.score_block(user, view, bi, thr.map(|t| (bound, t)), slot);
                 }
             });
             for slot in &mut slots[..wave.len()] {
@@ -331,10 +400,16 @@ impl CatalogIndex {
             }
             pos += wave.len();
         }
+        for slot in &slots {
+            items_scored += slot.items_scored;
+            items_screened += slot.items_screened;
+        }
         Ok(Retrieval {
             items: top.into_sorted(),
             blocks_scored: pos,
             blocks_pruned: n_blocks - pos,
+            items_scored,
+            items_screened,
         })
     }
 }

@@ -47,7 +47,7 @@
 use crate::error::ServeError;
 use crate::request::{score_requests_stateful, CoalesceScratch, ScoreRequest, ScoreResponse};
 use crate::store::{CacheStats, HistoryBackend, HistoryStore, ViewCache};
-use seqfm_core::{Scorer, Scratch};
+use seqfm_core::{FrozenSeqFm, Scorer, ScorerPrecision, Scratch};
 use seqfm_data::{Dataset, FeatureLayout};
 use seqfm_parallel::{Oneshot, WorkQueue};
 use seqfm_retrieval::{CatalogIndex, Retrieval, RetrievalError};
@@ -85,6 +85,15 @@ pub struct EngineConfig {
     /// Bound on the [`ViewCache`](crate::ViewCache) memoising history-side
     /// panels for stored-history requests; `0` disables caching.
     pub cache_entries: usize,
+    /// Serving arithmetic profile, applied to the model by
+    /// [`Engine::new_frozen`]: [`ScorerPrecision::Exact`] replays the
+    /// training graph bit for bit; [`ScorerPrecision::Fast`] serves from
+    /// quantized parameters with fused-FMA kernels (deterministic, with a
+    /// documented per-logit ε — see `seqfm_core::precision`). The generic
+    /// [`Engine::new`] ignores this knob: an arbitrary scorer cannot be
+    /// re-quantized, so callers choosing `Fast` there must pass a scorer
+    /// already converted via `FrozenSeqFm::with_precision`.
+    pub precision: ScorerPrecision,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +113,7 @@ impl Default for EngineConfig {
             coalesce_max: 16,
             history_capacity: 0,
             cache_entries: 1024,
+            precision: ScorerPrecision::Exact,
         }
     }
 }
@@ -206,6 +216,12 @@ impl EngineConfigBuilder {
     /// View-cache bound. See [`EngineConfig::cache_entries`].
     pub fn cache_entries(mut self, cache_entries: usize) -> Self {
         self.cfg.cache_entries = cache_entries;
+        self
+    }
+
+    /// Serving arithmetic profile. See [`EngineConfig::precision`].
+    pub fn precision(mut self, precision: ScorerPrecision) -> Self {
+        self.cfg.precision = precision;
         self
     }
 
@@ -435,6 +451,25 @@ impl Engine {
             })
             .collect();
         Ok(Engine { queue: Some(queue), workers, layout, cfg, store, cache, index: None })
+    }
+
+    /// Spawns an engine over a frozen SeqFM, first switching the model to
+    /// `cfg.precision` (see [`EngineConfig::precision`]). This is the
+    /// profile-aware front door: `.precision(ScorerPrecision::Fast)` on the
+    /// config builder is all it takes to serve the reduced-precision
+    /// profile, with every worker sharing the one quantized parameter
+    /// bundle.
+    ///
+    /// # Errors
+    /// [`ServeError::BadConfig`] when [`EngineConfig::validate`] rejects
+    /// `cfg`.
+    pub fn new_frozen(
+        model: FrozenSeqFm,
+        layout: FeatureLayout,
+        cfg: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        let model = model.with_precision(cfg.precision);
+        Self::new(Arc::new(model), layout, cfg)
     }
 
     /// Attaches a full-catalog [`CatalogIndex`] so [`Engine::retrieve_top_k`]
@@ -996,6 +1031,7 @@ mod tests {
             coalesce_max: 4,
             history_capacity: 50,
             cache_entries: 0,
+            precision: ScorerPrecision::Exact,
         };
         assert_eq!(built, literal);
         assert_eq!(built.resolved_history_capacity(), 50);

@@ -35,13 +35,14 @@
 //! unchanged, so parallel results are bit-for-bit identical to serial ones.
 
 use super::dispatch::should_par;
+use super::simd::{self, SimdArm};
 use crate::{Shape, Tensor};
 
 /// Register-tile height: output rows processed per micro-kernel call.
-const MR: usize = 6;
+pub(crate) const MR: usize = 6;
 /// Register-tile width: output columns held in accumulators per call (also
 /// the packed panel width).
-const NR: usize = 16;
+pub(crate) const NR: usize = 16;
 /// Cache-block depth: the `nn`/`tn` tiled kernels split the `k` loop into
 /// chunks of at most `KC`, so a packed panel never exceeds `KC × NR` floats
 /// (16 KiB — L1-resident) no matter how deep the reduction is. Bit-safe for
@@ -119,12 +120,30 @@ pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n
 
 /// Raw slice kernel: `c[m,n] += a[m,k] · b[n,k]ᵀ`. Accumulates into `c`.
 /// Partitioned and blocked like [`matmul_nn_into`].
+///
+/// The parallel tiled path packs every full-width K-panel **once** in the
+/// caller's workspace and shares the pack read-only across the row-chunk
+/// tasks, instead of letting each chunk re-pack the whole of `b`. Panel
+/// contents are byte-identical to the per-chunk packs, so results stay
+/// bit-for-bit equal to the serial kernel.
 pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
     if should_par(m * k * n, m) {
-        par_rows(a, c, k, n, |a_rows, c_rows, rows| nt_block(a_rows, b, c_rows, rows, k, n));
+        if tiled_worthwhile(m, k, n) {
+            let arm = simd::active_arm();
+            crate::workspace::with_thread(|ws| {
+                let mut panels = ws.take((n / NR) * k * NR);
+                tiled::pack_nt_panels(b, &mut panels, k, n);
+                let panels: &[f32] = &panels;
+                par_rows(a, c, k, n, |a_rows, c_rows, rows| {
+                    tiled::matmul_nt_packed_into(arm, a_rows, b, panels, c_rows, rows, k, n)
+                });
+            });
+        } else {
+            par_rows(a, c, k, n, |a_rows, c_rows, rows| nt_block(a_rows, b, c_rows, rows, k, n));
+        }
     } else {
         nt_block(a, b, c, m, k, n);
     }
@@ -310,13 +329,20 @@ pub mod naive {
 /// thread-local workspace arena. Bit-identical to [`naive`] — see the
 /// module docs for the invariant and `tests/tiled_parity.rs` for the proof.
 pub mod tiled {
-    use super::{naive, KC, MR, NR};
+    use super::{naive, simd, SimdArm, KC, MR, NR};
     use crate::workspace;
 
     /// Packs columns `[j0, j0 + NR)` of rows `[p0, p0 + kc)` of the
     /// row-major `[k, n]` matrix `b` into `panel` in `p`-major order:
     /// `panel[p·NR + t] = b[(p0 + p)·n + j0 + t]`.
-    fn pack_panel_cols(b: &[f32], panel: &mut [f32], p0: usize, kc: usize, n: usize, j0: usize) {
+    pub(super) fn pack_panel_cols(
+        b: &[f32],
+        panel: &mut [f32],
+        p0: usize,
+        kc: usize,
+        n: usize,
+        j0: usize,
+    ) {
         for p in 0..kc {
             let src = (p0 + p) * n + j0;
             panel[p * NR..(p + 1) * NR].copy_from_slice(&b[src..src + NR]);
@@ -326,7 +352,7 @@ pub mod tiled {
     /// Packs rows `[j0, j0 + NR)` of the row-major `[n, k]` matrix `b`
     /// (i.e. columns of `bᵀ`) into `panel` in `p`-major order:
     /// `panel[p·NR + t] = b[(j0 + t)·k + p]`.
-    fn pack_panel_rows(b: &[f32], panel: &mut [f32], k: usize, j0: usize) {
+    pub(super) fn pack_panel_rows(b: &[f32], panel: &mut [f32], k: usize, j0: usize) {
         for t in 0..NR {
             let src = &b[(j0 + t) * k..(j0 + t + 1) * k];
             for (p, &v) in src.iter().enumerate() {
@@ -335,8 +361,23 @@ pub mod tiled {
         }
     }
 
-    /// Tiled `c[m,n] += a[m,k] · b[k,n]`, k-blocked at `KC`.
+    /// Tiled `c[m,n] += a[m,k] · b[k,n]`, k-blocked at `KC`, on the
+    /// process-wide dispatch arm.
     pub fn matmul_nn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_nn_into_arm(simd::active_arm(), a, b, c, m, k, n);
+    }
+
+    /// [`matmul_nn_into`] on an explicit dispatch arm — the test/bench hook
+    /// that lets both arms run in one process. Both arms are bit-identical.
+    pub fn matmul_nn_into_arm(
+        arm: SimdArm,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
         workspace::with_thread(|ws| {
             let mut panel = ws.take(k.min(KC) * NR);
             let mut j0 = 0;
@@ -348,7 +389,7 @@ pub mod tiled {
                     let mut i0 = 0;
                     while i0 < m {
                         let rows = (m - i0).min(MR);
-                        nn_micro(a, &panel, c, i0, rows, j0, p0, kc, k, n);
+                        nn_micro_arm(arm, a, &panel, c, i0, rows, j0, p0, kc, k, n);
                         i0 += rows;
                     }
                     p0 += kc;
@@ -362,6 +403,35 @@ pub mod tiled {
                 naive::nn_cols(a, b, c, m, k, n, j0);
             }
         });
+    }
+
+    /// Dispatches one `nn` register tile to the selected arm. The AVX2 body
+    /// replays the identical per-element op sequence, so the choice never
+    /// changes a bit of output.
+    #[allow(clippy::too_many_arguments)]
+    fn nn_micro_arm(
+        arm: SimdArm,
+        a: &[f32],
+        panel: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        p0: usize,
+        kc: usize,
+        k: usize,
+        n: usize,
+    ) {
+        match arm {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the Avx2 arm is only handed out when runtime detection
+            // reported AVX2 support (see `simd::active_arm`), and tests gate
+            // explicit Avx2 requests on `simd::avx2_available`.
+            SimdArm::Avx2 => unsafe {
+                simd::nn_micro_avx2(a, panel, c, i0, rows, j0, p0, kc, k, n)
+            },
+            _ => nn_micro(a, panel, c, i0, rows, j0, p0, kc, k, n),
+        }
     }
 
     /// `MR × NR` register tile of the `nn` kernel over the k-chunk
@@ -403,8 +473,21 @@ pub mod tiled {
         }
     }
 
-    /// Tiled `c[m,n] += a[m,k] · b[n,k]ᵀ`.
+    /// Tiled `c[m,n] += a[m,k] · b[n,k]ᵀ` on the process-wide dispatch arm.
     pub fn matmul_nt_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        matmul_nt_into_arm(simd::active_arm(), a, b, c, m, k, n);
+    }
+
+    /// [`matmul_nt_into`] on an explicit dispatch arm (test/bench hook).
+    pub fn matmul_nt_into_arm(
+        arm: SimdArm,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
         workspace::with_thread(|ws| {
             let mut panel = ws.take(k * NR);
             let mut j0 = 0;
@@ -413,7 +496,7 @@ pub mod tiled {
                 let mut i0 = 0;
                 while i0 < m {
                     let rows = (m - i0).min(MR);
-                    nt_micro(a, &panel, c, i0, rows, j0, k, n);
+                    nt_micro_arm(arm, a, &panel, c, i0, rows, j0, k, n);
                     i0 += rows;
                 }
                 j0 += NR;
@@ -422,6 +505,75 @@ pub mod tiled {
                 naive::nt_cols(a, b, c, m, k, n, j0);
             }
         });
+    }
+
+    /// Packs **every** full-width K-panel of the row-major `[n, k]` matrix
+    /// `b` into `panels` (`⌊n/NR⌋` panels of `k × NR` floats, `p`-major
+    /// within each). One pack serves all row chunks of a parallel `nt` —
+    /// the per-chunk packs this replaces produced byte-identical panels, so
+    /// sharing them is invisible to the output bits.
+    pub fn pack_nt_panels(b: &[f32], panels: &mut [f32], k: usize, n: usize) {
+        let mut j0 = 0;
+        while j0 + NR <= n {
+            let pi = j0 / NR;
+            pack_panel_rows(b, &mut panels[pi * k * NR..(pi + 1) * k * NR], k, j0);
+            j0 += NR;
+        }
+    }
+
+    /// Tiled `c[m,n] += a[m,k] · b[n,k]ᵀ` over pre-packed K-panels from
+    /// [`pack_nt_panels`]. `b` is still needed for the `n % NR` column tail,
+    /// which has no panel. Bit-identical to [`matmul_nt_into`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_nt_packed_into(
+        arm: SimdArm,
+        a: &[f32],
+        b: &[f32],
+        panels: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        debug_assert!(panels.len() >= (n / NR) * k * NR);
+        let mut j0 = 0;
+        while j0 + NR <= n {
+            let pi = j0 / NR;
+            let panel = &panels[pi * k * NR..(pi + 1) * k * NR];
+            let mut i0 = 0;
+            while i0 < m {
+                let rows = (m - i0).min(MR);
+                nt_micro_arm(arm, a, panel, c, i0, rows, j0, k, n);
+                i0 += rows;
+            }
+            j0 += NR;
+        }
+        if j0 < n {
+            naive::nt_cols(a, b, c, m, k, n, j0);
+        }
+    }
+
+    /// Dispatches one `nt` register tile to the selected arm (bit-identical
+    /// either way).
+    #[allow(clippy::too_many_arguments)]
+    fn nt_micro_arm(
+        arm: SimdArm,
+        a: &[f32],
+        panel: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        k: usize,
+        n: usize,
+    ) {
+        match arm {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the Avx2 arm is only handed out when runtime detection
+            // reported AVX2 support.
+            SimdArm::Avx2 => unsafe { simd::nt_micro_avx2(a, panel, c, i0, rows, j0, k, n) },
+            _ => nt_micro(a, panel, c, i0, rows, j0, k, n),
+        }
     }
 
     /// `MR × NR` register tile of the `nt` kernel: per element, the same
@@ -456,7 +608,7 @@ pub mod tiled {
         }
     }
 
-    /// Tiled `c[m,n] += a[k,m]ᵀ · b[k,n]`.
+    /// Tiled `c[m,n] += a[k,m]ᵀ · b[k,n]` on the process-wide dispatch arm.
     pub fn matmul_tn_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
         matmul_tn_rows_into(a, b, c, 0, m, m, k, n);
     }
@@ -466,6 +618,22 @@ pub mod tiled {
     /// hands out.
     #[allow(clippy::too_many_arguments)]
     pub fn matmul_tn_rows_into(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        matmul_tn_rows_into_arm(simd::active_arm(), a, b, c, i0, rows, m, k, n);
+    }
+
+    /// [`matmul_tn_rows_into`] on an explicit dispatch arm (test hook).
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul_tn_rows_into_arm(
+        arm: SimdArm,
         a: &[f32],
         b: &[f32],
         c: &mut [f32],
@@ -486,7 +654,7 @@ pub mod tiled {
                     let mut r0 = 0;
                     while r0 < rows {
                         let tile_rows = (rows - r0).min(MR);
-                        tn_micro(a, &panel, c, i0, r0, tile_rows, j0, p0, kc, m, n);
+                        tn_micro_arm(arm, a, &panel, c, i0, r0, tile_rows, j0, p0, kc, m, n);
                         r0 += tile_rows;
                     }
                     p0 += kc;
@@ -500,6 +668,34 @@ pub mod tiled {
                 naive::tn_cols(a, b, c, i0, rows, m, k, n, j0);
             }
         });
+    }
+
+    /// Dispatches one `tn` register tile to the selected arm (bit-identical
+    /// either way).
+    #[allow(clippy::too_many_arguments)]
+    fn tn_micro_arm(
+        arm: SimdArm,
+        a: &[f32],
+        panel: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        r0: usize,
+        rows: usize,
+        j0: usize,
+        p0: usize,
+        kc: usize,
+        m: usize,
+        n: usize,
+    ) {
+        match arm {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the Avx2 arm is only handed out when runtime detection
+            // reported AVX2 support.
+            SimdArm::Avx2 => unsafe {
+                simd::tn_micro_avx2(a, panel, c, i0, r0, rows, j0, p0, kc, m, n)
+            },
+            _ => tn_micro(a, panel, c, i0, r0, rows, j0, p0, kc, m, n),
+        }
     }
 
     /// `MR × NR` register tile of the `tn` kernel over the k-chunk
@@ -538,6 +734,265 @@ pub mod tiled {
         }
         for (r, acc_r) in acc.iter().enumerate().take(rows) {
             c[(r0 + r) * n + j0..(r0 + r) * n + j0 + NR].copy_from_slice(acc_r);
+        }
+    }
+}
+
+/// Reduced-precision serving kernels: the `nn` walk of [`naive`]/[`tiled`]
+/// with every multiply-accumulate replaced by a **fused** `mul_add`.
+///
+/// Fusion skips the intermediate rounding of `acc + a·b`, so results differ
+/// from the exact kernels by at most the accumulated rounding delta — but
+/// both `f32::mul_add` and `_mm256_fmadd_ps` are *correctly rounded* fused
+/// ops, so the fast kernels are still fully deterministic: the scalar
+/// fallback and the AVX2+FMA arm produce identical bits, and the tiled and
+/// untiled paths replay the same per-element ascending-`p` fused-op
+/// sequence (the `KC` store/load round-trip is exact), so shape-based
+/// dispatch is invisible too. The `nt` flavour is *defined* as the `nn`
+/// walk over a packed transpose of `b` (see [`nt_fast_block`][self]) — a
+/// direct fused dot chain would serialise on FMA latency. On targets
+/// without hardware FMA the scalar `mul_add` falls back to a (slow, still
+/// correctly-rounded) software fma — that arm is the correctness
+/// reference, not a fast path.
+///
+/// Only the forward-serving flavours exist (`nn`, `nt`); training and
+/// backward passes always run the exact kernels.
+pub mod fast {
+    use super::{should_par, simd, tiled_worthwhile, SimdArm, KC, MR, NR};
+    use crate::workspace;
+
+    /// Fast `c[m,n] += a[m,k] · b[k,n]`: row-partitioned and tiled like the
+    /// exact [`super::matmul_nn_into`], fused accumulation, padding-row
+    /// skip preserved.
+    pub fn matmul_nn_fast_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        let arm = simd::active_arm();
+        if should_par(m * k * n, m) {
+            super::par_rows(a, c, k, n, |a_rows, c_rows, rows| {
+                nn_fast_block(arm, a_rows, b, c_rows, rows, k, n)
+            });
+        } else {
+            nn_fast_block(arm, a, b, c, m, k, n);
+        }
+    }
+
+    /// Fast `c[m,n] += a[m,k] · b[n,k]ᵀ`, row-partitioned like the exact
+    /// [`super::matmul_nt_into`] and computed as the fast `nn` walk over a
+    /// packed transpose of `b` (see [`nt_fast_block`][self]).
+    pub fn matmul_nt_fast_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+        debug_assert_eq!(a.len(), m * k);
+        debug_assert_eq!(b.len(), n * k);
+        debug_assert_eq!(c.len(), m * n);
+        let arm = simd::active_arm();
+        if should_par(m * k * n, m) {
+            super::par_rows(a, c, k, n, |a_rows, c_rows, rows| {
+                nt_fast_block(arm, a_rows, b, c_rows, rows, k, n)
+            });
+        } else {
+            nt_fast_block(arm, a, b, c, m, k, n);
+        }
+    }
+
+    /// Serial fast `nn` on an explicit arm — the test hook proving both
+    /// dispatch arms produce identical bits.
+    pub fn matmul_nn_fast_into_arm(
+        arm: SimdArm,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        nn_fast_block(arm, a, b, c, m, k, n);
+    }
+
+    /// Serial fast `nt` on an explicit arm (test hook).
+    pub fn matmul_nt_fast_into_arm(
+        arm: SimdArm,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        nt_fast_block(arm, a, b, c, m, k, n);
+    }
+
+    fn nn_fast_block(
+        arm: SimdArm,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if tiled_worthwhile(m, k, n) {
+            tiled_nn_fast(arm, a, b, c, m, k, n);
+        } else {
+            nn_cols_fast(a, b, c, m, k, n, 0);
+        }
+    }
+
+    /// Fast `nt` = fast `nn` over a workspace-packed transpose of `b`.
+    ///
+    /// A direct fused `nt` walk is one serial `mul_add` dot chain per
+    /// output element — every step consumes the previous accumulator, so
+    /// the element is FMA-*latency*-bound, and measured slower than the
+    /// exact separate-mul-add kernel. Transposing `b` once (`k·n` writes,
+    /// amortised over `m·k·n` fused flops) turns the walk into the `nn`
+    /// form, whose `j` lanes are independent at unit stride and vectorise.
+    /// Per output element the value is the same ascending-`p` fused chain;
+    /// `c`-seeding and the zero-operand skip follow the `nn` convention,
+    /// and **both** dispatch arms share this single path, so cross-arm
+    /// bit-identity holds by construction.
+    fn nt_fast_block(
+        arm: SimdArm,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        workspace::with_thread(|ws| {
+            let mut bt = ws.take(k * n);
+            for (j, b_row) in b.chunks_exact(k).enumerate().take(n) {
+                for (p, &v) in b_row.iter().enumerate() {
+                    bt[p * n + j] = v;
+                }
+            }
+            nn_fast_block(arm, a, &bt, c, m, k, n);
+        });
+    }
+
+    /// Fused-reference `nn` restricted to output columns `[j_lo, n)` — the
+    /// fast analogue of `naive::nn_cols`, and the tiled path's column tail.
+    fn nn_cols_fast(
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        j_lo: usize,
+    ) {
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n + j_lo..(i + 1) * n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue; // padding rows stay inert in the fast profile
+                }
+                let b_row = &b[p * n + j_lo..(p + 1) * n];
+                for (c_el, &b_el) in c_row.iter_mut().zip(b_row) {
+                    *c_el = a_ip.mul_add(b_el, *c_el);
+                }
+            }
+        }
+    }
+
+    fn tiled_nn_fast(
+        arm: SimdArm,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        workspace::with_thread(|ws| {
+            let mut panel = ws.take(k.min(KC) * NR);
+            let mut j0 = 0;
+            while j0 + NR <= n {
+                let mut p0 = 0;
+                loop {
+                    let kc = (k - p0).min(KC);
+                    super::tiled::pack_panel_cols(b, &mut panel, p0, kc, n, j0);
+                    let mut i0 = 0;
+                    while i0 < m {
+                        let rows = (m - i0).min(MR);
+                        nn_micro_fast_arm(arm, a, &panel, c, i0, rows, j0, p0, kc, k, n);
+                        i0 += rows;
+                    }
+                    p0 += kc;
+                    if p0 >= k {
+                        break;
+                    }
+                }
+                j0 += NR;
+            }
+            if j0 < n {
+                nn_cols_fast(a, b, c, m, k, n, j0);
+            }
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn nn_micro_fast_arm(
+        arm: SimdArm,
+        a: &[f32],
+        panel: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        p0: usize,
+        kc: usize,
+        k: usize,
+        n: usize,
+    ) {
+        match arm {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: the Avx2 arm is only handed out when runtime detection
+            // reported AVX2+FMA support.
+            SimdArm::Avx2 => unsafe {
+                simd::nn_micro_fast_avx2(a, panel, c, i0, rows, j0, p0, kc, k, n)
+            },
+            _ => nn_micro_fast(a, panel, c, i0, rows, j0, p0, kc, k, n),
+        }
+    }
+
+    /// Scalar fast `nn` register tile: identical walk to `tiled::nn_micro`
+    /// with fused accumulation — bit-identical to the AVX2+FMA body.
+    #[allow(clippy::too_many_arguments)]
+    fn nn_micro_fast(
+        a: &[f32],
+        panel: &[f32],
+        c: &mut [f32],
+        i0: usize,
+        rows: usize,
+        j0: usize,
+        p0: usize,
+        kc: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut acc = [[0.0f32; NR]; MR];
+        for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
+            acc_r.copy_from_slice(&c[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR]);
+        }
+        for p in 0..kc {
+            let bp = &panel[p * NR..(p + 1) * NR];
+            for (r, acc_r) in acc.iter_mut().enumerate().take(rows) {
+                let a_ip = a[(i0 + r) * k + p0 + p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in acc_r.iter_mut().zip(bp) {
+                    *o = a_ip.mul_add(bv, *o);
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate().take(rows) {
+            c[(i0 + r) * n + j0..(i0 + r) * n + j0 + NR].copy_from_slice(acc_r);
         }
     }
 }

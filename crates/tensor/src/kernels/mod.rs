@@ -10,6 +10,7 @@ pub mod bmm;
 pub mod elementwise;
 pub mod matmul;
 pub mod reduce;
+pub mod simd;
 pub mod softmax;
 
 /// Parallel-dispatch policy shared by the hot kernels.

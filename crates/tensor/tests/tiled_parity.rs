@@ -160,3 +160,102 @@ fn steady_state_tiled_kernels_do_not_allocate() {
     let after = workspace::with_thread(|ws| ws.heap_events());
     assert_eq!(warm, after, "steady-state kernels hit the heap");
 }
+
+/// Both runtime dispatch arms of the exact tiled kernels must produce the
+/// same bits: the AVX2 micro bodies deliberately use separate multiply and
+/// add vector ops so every element sees the scalar rounding sequence.
+/// Gated on hardware support; the forced-scalar CI arm (`SEQFM_SIMD=scalar`)
+/// covers the other side of the dispatch.
+#[test]
+fn avx2_and_scalar_arms_are_bit_identical_for_exact_kernels() {
+    use seqfm_tensor::{avx2_available, SimdArm};
+    if !avx2_available() {
+        return;
+    }
+    let mut seed = 0xA5A5;
+    for (m, k, n) in [(1usize, 1usize, 1usize), (5, 3, 17), (12, 32, 16), (40, 33, 50), (64, 8, 32)]
+    {
+        let a = fill(&mut seed, m * k);
+        let b = fill(&mut seed, k * n);
+        let bt = fill(&mut seed, n * k);
+        let c0 = fill(&mut seed, m * n);
+
+        let (mut gv, mut gs) = (c0.clone(), c0.clone());
+        tiled::matmul_nn_into_arm(SimdArm::Avx2, &a, &b, &mut gv, m, k, n);
+        tiled::matmul_nn_into_arm(SimdArm::Scalar, &a, &b, &mut gs, m, k, n);
+        assert_eq!(gv, gs, "nn arms diverge at {m}x{k}x{n}");
+
+        gv.copy_from_slice(&c0);
+        gs.copy_from_slice(&c0);
+        tiled::matmul_nt_into_arm(SimdArm::Avx2, &a, &bt, &mut gv, m, k, n);
+        tiled::matmul_nt_into_arm(SimdArm::Scalar, &a, &bt, &mut gs, m, k, n);
+        assert_eq!(gv, gs, "nt arms diverge at {m}x{k}x{n}");
+
+        let at = fill(&mut seed, k * m);
+        gv.copy_from_slice(&c0);
+        gs.copy_from_slice(&c0);
+        tiled::matmul_tn_rows_into_arm(SimdArm::Avx2, &at, &b, &mut gv, 0, m, m, k, n);
+        tiled::matmul_tn_rows_into_arm(SimdArm::Scalar, &at, &b, &mut gs, 0, m, m, k, n);
+        assert_eq!(gv, gs, "tn arms diverge at {m}x{k}x{n}");
+    }
+}
+
+/// The fast-profile kernels use *fused* ops on both arms (`vfmadd` /
+/// `f32::mul_add`), which are correctly rounded — so the fast arms must be
+/// bit-identical to each other too (fast ≠ nondeterministic).
+#[test]
+fn avx2_and_scalar_arms_are_bit_identical_for_fast_kernels() {
+    use seqfm_tensor::kernels::matmul::fast;
+    use seqfm_tensor::{avx2_available, SimdArm};
+    if !avx2_available() {
+        return;
+    }
+    let mut seed = 0x5A5A;
+    for (m, k, n) in [(1usize, 2usize, 1usize), (7, 5, 19), (16, 32, 16), (40, 33, 50)] {
+        let a = fill(&mut seed, m * k);
+        let b = fill(&mut seed, k * n);
+        let bt = fill(&mut seed, n * k);
+        let c0 = fill(&mut seed, m * n);
+
+        let (mut gv, mut gs) = (c0.clone(), c0.clone());
+        fast::matmul_nn_fast_into_arm(SimdArm::Avx2, &a, &b, &mut gv, m, k, n);
+        fast::matmul_nn_fast_into_arm(SimdArm::Scalar, &a, &b, &mut gs, m, k, n);
+        assert_eq!(gv, gs, "fast nn arms diverge at {m}x{k}x{n}");
+
+        gv.copy_from_slice(&c0);
+        gs.copy_from_slice(&c0);
+        fast::matmul_nt_fast_into_arm(SimdArm::Avx2, &a, &bt, &mut gv, m, k, n);
+        fast::matmul_nt_fast_into_arm(SimdArm::Scalar, &a, &bt, &mut gs, m, k, n);
+        assert_eq!(gv, gs, "fast nt arms diverge at {m}x{k}x{n}");
+    }
+}
+
+/// The shared-panel `nt` path (one pre-pack serving every parallel row
+/// chunk) must stay bit-identical to the per-call-packing tiled kernel and
+/// to the naive reference — the panels it shares are byte-identical to the
+/// ones each chunk would have packed itself.
+#[test]
+fn prepacked_nt_panels_match_unpacked_and_naive_bitwise() {
+    use seqfm_tensor::kernels::simd::active_arm;
+    let mut seed = 0xBEEF;
+    const NR: usize = 16;
+    for (m, k, n) in [(9usize, 7usize, 16usize), (24, 32, 48), (33, 20, 53), (5, 3, 15)] {
+        let a = fill(&mut seed, m * k);
+        let bt = fill(&mut seed, n * k);
+        let c0 = fill(&mut seed, m * n);
+
+        let mut panels = vec![0.0f32; (n / NR) * k * NR];
+        tiled::pack_nt_panels(&bt, &mut panels, k, n);
+
+        let mut got = c0.clone();
+        tiled::matmul_nt_packed_into(active_arm(), &a, &bt, &panels, &mut got, m, k, n);
+
+        let mut want = c0.clone();
+        naive::matmul_nt_into(&a, &bt, &mut want, m, k, n);
+        assert_eq!(got, want, "packed nt vs naive diverges at {m}x{k}x{n}");
+
+        let mut want2 = c0.clone();
+        tiled::matmul_nt_into(&a, &bt, &mut want2, m, k, n);
+        assert_eq!(got, want2, "packed nt vs tiled diverges at {m}x{k}x{n}");
+    }
+}
