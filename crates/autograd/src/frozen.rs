@@ -19,6 +19,34 @@ use std::sync::Arc;
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FrozenId(usize);
 
+/// Version stamp of a parameter snapshot.
+///
+/// Epochs are handed out by [`ParamStore::freeze_versioned`] in strictly
+/// increasing order per store, so any layer that derives state from a
+/// snapshot (view caches, retrieval indexes, quantized bundles) can key on
+/// the epoch and detect staleness with a single integer compare. Plain
+/// [`ParamStore::freeze`] stamps [`ModelEpoch::ZERO`] — the "unversioned /
+/// offline" epoch — which keeps every pre-existing call site byte-for-byte
+/// unchanged.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ModelEpoch(pub u64);
+
+impl ModelEpoch {
+    /// The unversioned epoch stamped by plain [`ParamStore::freeze`].
+    pub const ZERO: ModelEpoch = ModelEpoch(0);
+
+    /// The raw counter value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ModelEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
 /// An immutable snapshot of model parameters, keyed by name.
 ///
 /// `FrozenParams` is `Send + Sync` by construction (plain owned data), so it
@@ -27,11 +55,20 @@ pub struct FrozenParams {
     names: Vec<String>,
     values: Vec<Tensor>,
     by_name: HashMap<String, usize>,
+    epoch: ModelEpoch,
 }
 
 impl FrozenParams {
-    /// Copies every parameter value out of a [`ParamStore`].
+    /// Copies every parameter value out of a [`ParamStore`], stamped with
+    /// the unversioned [`ModelEpoch::ZERO`].
     pub fn from_store(ps: &ParamStore) -> Self {
+        Self::from_store_versioned(ps, ModelEpoch::ZERO)
+    }
+
+    /// Copies every parameter value out of a [`ParamStore`], stamped with
+    /// `epoch`. Callers that need monotone stamps should go through
+    /// [`ParamStore::freeze_versioned`] instead of picking epochs by hand.
+    pub fn from_store_versioned(ps: &ParamStore, epoch: ModelEpoch) -> Self {
         let mut names = Vec::with_capacity(ps.len());
         let mut values = Vec::with_capacity(ps.len());
         let mut by_name = HashMap::with_capacity(ps.len());
@@ -40,12 +77,17 @@ impl FrozenParams {
             names.push(p.name().to_string());
             values.push(p.value().clone());
         }
-        FrozenParams { names, values, by_name }
+        FrozenParams { names, values, by_name, epoch }
     }
 
     /// Convenience: freeze straight into an [`Arc`].
     pub fn shared(ps: &ParamStore) -> Arc<Self> {
         Arc::new(Self::from_store(ps))
+    }
+
+    /// The epoch this snapshot was stamped with at freeze time.
+    pub fn epoch(&self) -> ModelEpoch {
+        self.epoch
     }
 
     /// Number of parameters.
@@ -91,7 +133,13 @@ impl FrozenParams {
 
 impl fmt::Debug for FrozenParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "FrozenParams ({} params, {} elems)", self.len(), self.total_elems())?;
+        writeln!(
+            f,
+            "FrozenParams ({} params, {} elems, {})",
+            self.len(),
+            self.total_elems(),
+            self.epoch
+        )?;
         for (name, v) in self.iter() {
             writeln!(f, "  {} {}", name, v.shape())?;
         }
@@ -100,9 +148,22 @@ impl fmt::Debug for FrozenParams {
 }
 
 impl ParamStore {
-    /// Snapshots every parameter value into an immutable [`FrozenParams`].
+    /// Snapshots every parameter value into an immutable [`FrozenParams`]
+    /// stamped [`ModelEpoch::ZERO`] — the offline, unversioned path.
     pub fn freeze(&self) -> FrozenParams {
         FrozenParams::from_store(self)
+    }
+
+    /// Snapshots every parameter value into a shared [`FrozenParams`]
+    /// stamped with the store's next monotone [`ModelEpoch`].
+    ///
+    /// Successive calls on the same store return strictly increasing epochs
+    /// starting at 1, so epoch equality is snapshot identity for everything
+    /// derived downstream (view caches, retrieval indexes, quantized fast
+    /// profiles).
+    pub fn freeze_versioned(&mut self) -> Arc<FrozenParams> {
+        let epoch = ModelEpoch(self.bump_epoch());
+        Arc::new(FrozenParams::from_store_versioned(self, epoch))
     }
 }
 
@@ -141,6 +202,33 @@ mod tests {
         assert_eq!(frozen.name(id), "emb");
         assert!(frozen.index_of("nope").is_none());
         assert!(!frozen.is_empty());
+    }
+
+    #[test]
+    fn versioned_freezes_are_strictly_monotone() {
+        let mut ps = sample();
+        assert_eq!(ps.freeze().epoch(), ModelEpoch::ZERO);
+        let first = ps.freeze_versioned();
+        let second = ps.freeze_versioned();
+        assert_eq!(first.epoch(), ModelEpoch(1));
+        assert_eq!(second.epoch(), ModelEpoch(2));
+        assert!(first.epoch() < second.epoch());
+        // Plain freeze stays on the unversioned epoch and does not advance
+        // the counter.
+        assert_eq!(ps.freeze().epoch(), ModelEpoch::ZERO);
+        assert_eq!(ps.freeze_versioned().epoch(), ModelEpoch(3));
+        assert_eq!(format!("{}", ModelEpoch(3)), "e3");
+    }
+
+    #[test]
+    fn versioned_freeze_snapshots_current_values() {
+        let mut ps = sample();
+        let w = ps.id_of("w").unwrap();
+        let before = ps.freeze_versioned();
+        ps.value_mut(w).data_mut()[0] = 42.0;
+        let after = ps.freeze_versioned();
+        assert_eq!(before.get("w").unwrap().data()[0], 1.0);
+        assert_eq!(after.get("w").unwrap().data()[0], 42.0);
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod store;
 
 pub mod gradcheck;
 
-pub use frozen::{FrozenId, FrozenParams};
+pub use frozen::{FrozenId, FrozenParams, ModelEpoch};
 pub use gradcheck::{assert_grad_check, grad_check, GradCheckReport};
 pub use graph::{Graph, Var};
 pub use store::{Param, ParamId, ParamKind, ParamStore};

@@ -67,6 +67,9 @@ impl Param {
 pub struct ParamStore {
     params: Vec<Param>,
     by_name: HashMap<String, ParamId>,
+    /// Monotone version counter consumed by `freeze_versioned` (see
+    /// `crate::frozen`): the number of versioned snapshots taken so far.
+    epoch: u64,
 }
 
 impl ParamStore {
@@ -281,6 +284,20 @@ impl ParamStore {
                 }
             }
         }
+    }
+
+    /// Advances and returns the versioned-snapshot counter — the epoch the
+    /// next `freeze_versioned` stamps. First call returns 1 so the stamp is
+    /// always distinguishable from the unversioned epoch 0.
+    pub(crate) fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The epoch stamped by the most recent `freeze_versioned`, or 0 when
+    /// no versioned snapshot was taken yet.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Sum of squared gradient elements across all parameters (diagnostics).

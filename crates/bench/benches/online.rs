@@ -1,0 +1,193 @@
+//! Online-learning benchmarks: incremental-trainer ingest throughput, the
+//! latency of an atomic model hot-swap (with and without a catalog-index
+//! rebuild riding on it), the post-swap view-cache re-warm tax, and engine
+//! throughput while models swap continuously underneath live traffic.
+//!
+//! Besides the criterion group, this bench writes `BENCH_online.json` at
+//! the repository root so the online-serving trajectory is recorded PR
+//! over PR:
+//!
+//! ```text
+//! cargo bench -p seqfm-bench --bench online
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::ParamStore;
+use seqfm_core::{FrozenSeqFm, SeqFm, SeqFmConfig};
+use seqfm_data::FeatureLayout;
+use seqfm_serve::{CatalogIndex, Engine, EngineConfig, ScoreRequest};
+use seqfm_train::{OnlineConfig, OnlineTrainer};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const D: usize = 32;
+const MAX_SEQ: usize = 20;
+const CANDIDATES: usize = 50;
+
+fn layout() -> FeatureLayout {
+    FeatureLayout { n_users: 200, n_items: 2_000 }
+}
+
+fn build_model() -> (SeqFm, ParamStore) {
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = SeqFmConfig { d: D, max_seq: MAX_SEQ, ..Default::default() };
+    let model = SeqFm::new(&mut ps, &mut rng, &layout(), cfg);
+    (model, ps)
+}
+
+fn online_cfg() -> OnlineConfig {
+    OnlineConfig { batch_size: 16, publish_every: 8, max_seq: MAX_SEQ, ..Default::default() }
+}
+
+fn stream(n: usize, l: &FeatureLayout) -> Vec<(u32, u32)> {
+    (0..n).map(|i| ((i % l.n_users) as u32, ((i * 13 + 7) % l.n_items) as u32)).collect()
+}
+
+fn request(i: usize, l: &FeatureLayout) -> ScoreRequest {
+    ScoreRequest::inline(
+        (i % l.n_users) as u32,
+        (0..MAX_SEQ).map(|j| ((i * 7 + j) % l.n_items) as u32).collect::<Vec<u32>>(),
+        (0..CANDIDATES).map(|c| ((c * 3 + i) % l.n_items) as u32).collect::<Vec<u32>>(),
+    )
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Criterion group: the steady-state ingest step (one full minibatch's
+/// worth of events through BPR + sparse Adam).
+fn bench_ingest_step(c: &mut Criterion) {
+    let l = layout();
+    let (model, ps) = build_model();
+    let mut trainer = OnlineTrainer::new(model, ps, l, online_cfg());
+    let events = stream(16, &l);
+    let mut group = c.benchmark_group("online_trainer");
+    group.bench_function("ingest_minibatch_16", |b| {
+        b.iter(|| std::hint::black_box(trainer.ingest(&events).len()))
+    });
+    group.finish();
+}
+
+/// Hand-timed measurements persisted to `BENCH_online.json`. Skipped when
+/// a benchmark filter is passed (see the serving bench for the rationale).
+fn emit_online_json(_c: &mut Criterion) {
+    if std::env::args().skip(1).any(|a| !a.starts_with('-')) {
+        println!("benchmark filter given — skipping BENCH_online.json emission");
+        return;
+    }
+    let l = layout();
+
+    // Ingest throughput: events/sec through minibatching + BPR +
+    // per-row Adam (publishing included at the configured cadence).
+    let (model, ps) = build_model();
+    let mut trainer = OnlineTrainer::new(model, ps, l, online_cfg());
+    let warm = stream(256, &l);
+    trainer.ingest(&warm);
+    let events = stream(2_048, &l);
+    let t = Instant::now();
+    let published = trainer.ingest(&events).len();
+    let ingest_eps = events.len() as f64 / t.elapsed().as_secs_f64();
+    assert!(published > 0, "the timed stream must cross a publish boundary");
+
+    // Swap latency: publish_frozen on a quiet engine — scoring slot only,
+    // then with a catalog-index rebuild riding on the publish.
+    let (model, ps) = build_model();
+    let frozen = || FrozenSeqFm::freeze(&model, &ps);
+    let shared = Arc::new(frozen());
+    let engine_cfg =
+        EngineConfig::builder().threads(2).max_seq(MAX_SEQ).build().expect("valid config");
+    let p50_swap = |engine: &Engine, iters: usize| -> Duration {
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let m = frozen();
+            let t = Instant::now();
+            engine.publish_frozen(m);
+            samples.push(t.elapsed());
+        }
+        median(&mut samples)
+    };
+    let plain_engine = Engine::new_frozen(frozen(), l, engine_cfg).expect("valid");
+    let swap_p50 = p50_swap(&plain_engine, 30);
+    let indexed_engine = Engine::new_frozen(frozen(), l, engine_cfg)
+        .expect("valid")
+        .with_catalog_index(Arc::new(CatalogIndex::build(Arc::clone(&shared), l, 512)));
+    let swap_with_index_p50 = p50_swap(&indexed_engine, 10);
+
+    // Cache re-warm tax: p50 stored-history request latency with the view
+    // cache hot vs. the first post-swap visit per user (every view must be
+    // rebuilt under the new epoch).
+    let warm_engine = Engine::new_frozen(frozen(), l, engine_cfg).expect("valid");
+    for (u, i) in stream(l.n_users * 4, &l) {
+        warm_engine.append_event(u, i).expect("valid ids");
+    }
+    let users = 64usize;
+    let p50_stored = |engine: &Engine| -> Duration {
+        let mut samples = Vec::with_capacity(users);
+        for u in 0..users {
+            let cands: Vec<u32> =
+                (0..CANDIDATES).map(|c| ((c * 3 + u) % l.n_items) as u32).collect();
+            let t = Instant::now();
+            engine.score_stored(u as u32, cands).expect("valid request");
+            samples.push(t.elapsed());
+        }
+        median(&mut samples)
+    };
+    let _cold = p50_stored(&warm_engine); // populate the cache
+    let hit_p50 = p50_stored(&warm_engine); // steady state: every view cached
+    warm_engine.publish_frozen(frozen());
+    let rewarm_p50 = p50_stored(&warm_engine); // every view stale by epoch
+
+    // Continuous-swap throughput: scoring threads run flat out while the
+    // main thread publishes as fast as it can; compare against the same
+    // engine left alone. Non-disruptiveness shows up as a small ratio.
+    let rps_under = |swaps: usize| -> (f64, usize) {
+        let engine = Arc::new(Engine::new(Arc::clone(&shared), l, engine_cfg).expect("valid"));
+        let n = 512usize;
+        for i in 0..engine.threads() * 2 {
+            engine.score(request(i, &l)).expect("valid request");
+        }
+        let scorer = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let t = Instant::now();
+                for i in 0..n {
+                    engine.score(request(i, &l)).expect("valid request");
+                }
+                n as f64 / t.elapsed().as_secs_f64()
+            })
+        };
+        let mut done = 0usize;
+        for _ in 0..swaps {
+            engine.publish_frozen(frozen());
+            done += 1;
+        }
+        (scorer.join().expect("scorer thread"), done)
+    };
+    let (rps_quiet, _) = rps_under(0);
+    let (rps_swapping, swaps_done) = rps_under(64);
+
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"online\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"n_items\": {}, \"batch_size\": 16, \"publish_every\": 8, \"index_block\": 512 }},\n  \"host_cpus\": {host_cpus},\n  \"trainer_ingest_events_per_sec\": {:.0},\n  \"swap_p50_latency_us\": {:.1},\n  \"swap_with_index_rebuild_p50_latency_us\": {:.1},\n  \"stored_p50_cache_hot_us\": {:.1},\n  \"stored_p50_post_swap_rewarm_us\": {:.1},\n  \"engine_rps_quiet\": {:.0},\n  \"engine_rps_under_continuous_swaps\": {:.0},\n  \"swaps_during_measurement\": {}\n}}\n",
+        l.n_items,
+        ingest_eps,
+        swap_p50.as_secs_f64() * 1e6,
+        swap_with_index_p50.as_secs_f64() * 1e6,
+        hit_p50.as_secs_f64() * 1e6,
+        rewarm_p50.as_secs_f64() * 1e6,
+        rps_quiet,
+        rps_swapping,
+        swaps_done,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_online.json");
+    std::fs::write(path, &json).expect("write BENCH_online.json");
+    println!("== BENCH_online.json ==\n{json}");
+}
+
+criterion_group!(benches, bench_ingest_step, emit_online_json);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use crate::view::HistoryView;
 use crate::SeqFm;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use seqfm_autograd::{FrozenId, FrozenParams, ParamStore};
+use seqfm_autograd::{FrozenId, FrozenParams, ModelEpoch, ParamStore};
 use seqfm_data::{Batch, FeatureLayout, PAD};
 use seqfm_nn::checkpoint::{self, CheckpointError};
 use seqfm_tensor::{
@@ -268,6 +268,12 @@ impl FrozenSeqFm {
     /// The shared parameter snapshot.
     pub fn params(&self) -> &Arc<FrozenParams> {
         &self.params
+    }
+
+    /// The [`ModelEpoch`] the underlying snapshot was stamped with —
+    /// [`ModelEpoch::ZERO`] for plain offline freezes.
+    pub fn epoch(&self) -> ModelEpoch {
+        self.params.epoch()
     }
 
     pub(crate) fn t(&self, id: FrozenId) -> &Tensor {
@@ -1023,6 +1029,10 @@ impl Scorer for FrozenSeqFm {
     fn score<'s>(&self, batch: &Batch, scratch: &'s mut Scratch) -> &'s [f32] {
         self.forward_split(batch, scratch, None);
         &scratch.out[..batch.len]
+    }
+
+    fn model_epoch(&self) -> ModelEpoch {
+        self.params.epoch()
     }
 
     fn supports_history_view(&self) -> bool {

@@ -63,6 +63,7 @@ pub use frozen::FrozenSeqFm;
 pub use model::SeqFm;
 pub use precision::{FrozenParamsFast, ScorerPrecision};
 pub use scorer::{GraphScorer, Scorer, Scratch};
+pub use seqfm_autograd::ModelEpoch;
 pub use train::{
     train_ctr, train_ctr_with_hook, train_ranking, train_ranking_with_hook, train_rating,
     train_rating_with_hook, TrainConfig, TrainReport,

@@ -23,7 +23,7 @@ use crate::view::HistoryView;
 use crate::SeqModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use seqfm_autograd::{Graph, ParamStore};
+use seqfm_autograd::{Graph, ModelEpoch, ParamStore};
 use seqfm_data::Batch;
 use seqfm_tensor::{AttnMask, Workspace};
 
@@ -36,6 +36,16 @@ use seqfm_tensor::{AttnMask, Workspace};
 pub trait Scorer {
     /// Model display name (used in serving logs and benches).
     fn name(&self) -> &str;
+
+    /// The [`ModelEpoch`] of the parameters this scorer serves — the model
+    /// identity epoch-aware caches key on, so that a view built under one
+    /// published model revision is never replayed under another after a
+    /// hot swap. Scorers without versioned parameters (stubs, graph
+    /// adapters, offline freezes) live in a single-epoch world and keep the
+    /// default [`ModelEpoch::ZERO`].
+    fn model_epoch(&self) -> ModelEpoch {
+        ModelEpoch::ZERO
+    }
 
     /// Scores every instance of `batch`, returning `batch.len` scores that
     /// live inside `scratch`.

@@ -107,6 +107,34 @@ fn check_finite(ps: &ParamStore) -> Result<(), NonFiniteGradError> {
     Ok(())
 }
 
+/// Finiteness check restricted to the gradient entries a lazy step will
+/// actually consume: full dense tensors plus only the *touched rows* of
+/// sparse tables. Untouched embedding rows hold stale zeros by invariant, so
+/// skipping them keeps the check O(batch · d) instead of O(vocabulary · d) —
+/// the cost that matters for high-rate online steps over large vocabularies.
+fn check_finite_touched(ps: &ParamStore) -> Result<(), NonFiniteGradError> {
+    for id in ps.ids() {
+        let p = ps.param(id);
+        match p.kind() {
+            ParamKind::Dense => {
+                if p.grad().has_non_finite() {
+                    return Err(NonFiniteGradError { param: p.name().to_string() });
+                }
+            }
+            ParamKind::SparseRows => {
+                let cols = p.value().shape().dim(1);
+                for r in ps.touched_rows(id) {
+                    let g = &p.grad().data()[r * cols..(r + 1) * cols];
+                    if g.iter().any(|x| !x.is_finite()) {
+                        return Err(NonFiniteGradError { param: p.name().to_string() });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Plain stochastic gradient descent: `θ ← θ − lr·∇θ`.
 pub struct Sgd {
     lr: f32,
@@ -200,11 +228,27 @@ impl Adam {
             self.v.push(Tensor::zeros(p.value().shape()));
         }
     }
-}
 
-impl Optimizer for Adam {
-    fn step(&mut self, ps: &mut ParamStore) -> Result<(), NonFiniteGradError> {
-        check_finite(ps)?;
+    /// [`Optimizer::step`] with the finiteness check restricted to the
+    /// gradient entries the lazy update reads (dense tensors + touched
+    /// sparse rows), making the whole step O(batch · d) regardless of
+    /// vocabulary size — the per-event cost budget of online training.
+    ///
+    /// The update itself is byte-for-byte the same code path as
+    /// [`Optimizer::step`] (same global-`t` bias correction, same per-row
+    /// math), so for finite gradients the two produce bit-identical
+    /// trajectories.
+    ///
+    /// # Errors
+    /// Returns [`NonFiniteGradError`] (without updating anything) if any
+    /// consumed gradient entry is NaN/±∞.
+    pub fn sparse_step(&mut self, ps: &mut ParamStore) -> Result<(), NonFiniteGradError> {
+        check_finite_touched(ps)?;
+        self.apply_update(ps);
+        Ok(())
+    }
+
+    fn apply_update(&mut self, ps: &mut ParamStore) {
         self.ensure_state(ps);
         self.t += 1;
         let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
@@ -245,6 +289,13 @@ impl Optimizer for Adam {
                 }
             }
         }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, ps: &mut ParamStore) -> Result<(), NonFiniteGradError> {
+        check_finite(ps)?;
+        self.apply_update(ps);
         Ok(())
     }
 
@@ -307,6 +358,52 @@ mod tests {
             assert_eq!(v.row(r), &[1.0, 1.0], "row {r} should be untouched");
         }
         assert!(v.row(1)[0] < 1.0, "touched row should move against the gradient");
+    }
+
+    #[test]
+    fn sparse_step_matches_full_step_bitwise() {
+        let build = || {
+            let mut ps = ParamStore::new();
+            ps.add_dense("w", Tensor::vector(vec![1.0, -2.0, 0.5]));
+            ps.add_sparse("emb", Tensor::ones(Shape::d2(64, 4)));
+            ps
+        };
+        let mut a = build();
+        let mut b = build();
+        let (mut full, mut lazy) = (Adam::new(0.05), Adam::new(0.05));
+        for t in 0..5 {
+            for ps in [&mut a, &mut b] {
+                ps.zero_grads();
+                let w = ps.id_of("w").unwrap();
+                let e = ps.id_of("emb").unwrap();
+                ps.accumulate_dense(w, &Tensor::vector(vec![0.3, -0.1, 0.7]));
+                ps.accumulate_row(e, (t * 7) % 64, &[0.5, -0.5, 1.0, 0.25]);
+                ps.accumulate_row(e, 3, &[1.0, 1.0, -1.0, 0.0]);
+            }
+            full.step(&mut a).unwrap();
+            lazy.sparse_step(&mut b).unwrap();
+        }
+        for name in ["w", "emb"] {
+            let (ia, ib) = (a.id_of(name).unwrap(), b.id_of(name).unwrap());
+            assert_eq!(a.value(ia).data(), b.value(ib).data(), "`{name}` diverged");
+        }
+    }
+
+    #[test]
+    fn sparse_step_rejects_non_finite_touched_rows_only() {
+        let mut ps = ParamStore::new();
+        let e = ps.add_sparse("emb", Tensor::ones(Shape::d2(8, 2)));
+        ps.accumulate_row(e, 2, &[f32::NAN, 0.0]);
+        let mut adam = Adam::new(0.1);
+        let err = adam.sparse_step(&mut ps).unwrap_err();
+        assert_eq!(err.param, "emb");
+        assert_eq!(ps.value(e).row(2), &[1.0, 1.0], "value must be untouched on error");
+        // Dense gradients are still checked in full.
+        let w = ps.add_dense("w", Tensor::vector(vec![0.0]));
+        ps.zero_grads();
+        ps.accumulate_dense(w, &Tensor::vector(vec![f32::INFINITY]));
+        let mut fresh = Adam::new(0.1);
+        assert_eq!(fresh.sparse_step(&mut ps).unwrap_err().param, "w");
     }
 
     #[test]

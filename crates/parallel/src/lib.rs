@@ -40,6 +40,7 @@ mod par;
 mod pool;
 mod queue;
 mod shards;
+mod slot;
 
 pub use oneshot::{Disconnected, Oneshot};
 pub use par::{
@@ -47,6 +48,7 @@ pub use par::{
 };
 pub use pool::{configured_workers, global, in_parallel_task, Scope, ThreadPool};
 pub use queue::{WorkQueue, WorkerHandle};
+pub use slot::ArcSlot;
 
 /// The `SEQFM_WORKERS` environment variable, parsed once per call:
 /// `Some(n)` for a positive integer (clamped to 256), `None` when unset or

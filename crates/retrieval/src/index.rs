@@ -150,6 +150,44 @@ impl CatalogIndex {
         CatalogIndex { model, layout, block, order, stats, lin_item }
     }
 
+    /// Re-anchors this index on a freshly published model revision,
+    /// recomputing every model-dependent partial — per-item linear weights,
+    /// per-block bound envelopes — while **reusing the existing block
+    /// membership** instead of re-cutting the catalog from scratch.
+    ///
+    /// Correctness never depends on *which* items share a block: bounds and
+    /// screens are recomputed for the new model over the blocks as they
+    /// stand, so pruned retrieval on the rebuilt index stays bit-identical
+    /// to brute force. Two ordering properties matter differently:
+    ///
+    /// * **Within a block**, the per-item screen cuts a suffix and is only
+    ///   sound over lin-descending items — so each block *is* re-sorted by
+    ///   the new `lin°(c)` (cheap: `block · log block` per block).
+    /// * **Across blocks**, the grouping of similar linear weights is purely
+    ///   a prune-*quality* lever; after an incremental training step the
+    ///   weights moved little, so the stale grouping stays close to optimal.
+    ///   It degrades gradually over many swaps — re-sort lazily by paying
+    ///   for a full [`CatalogIndex::build`] off-peak when the observed
+    ///   [`Retrieval::prune_rate`] drifts down.
+    ///
+    /// The layout and block size carry over; `model` must be trained for the
+    /// same [`FeatureLayout`].
+    pub fn rebuild_for(&self, model: Arc<FrozenSeqFm>) -> CatalogIndex {
+        let n = self.layout.n_items as u32;
+        let lin_item: Vec<f32> = (0..n).map(|c| model.item_linear(&self.layout, c)).collect();
+        let mut order = self.order.clone();
+        for chunk in order.chunks_mut(self.block) {
+            chunk.sort_by(|&a, &b| {
+                lin_item[b as usize].total_cmp(&lin_item[a as usize]).then(a.cmp(&b))
+            });
+        }
+        let stats: Vec<ItemBlockStats> = order
+            .chunks(self.block)
+            .map(|items| model.item_block_stats(&self.layout, items))
+            .collect();
+        CatalogIndex { model, layout: self.layout, block: self.block, order, stats, lin_item }
+    }
+
     /// The item ids making up block `bi`, in scoring order.
     fn block_items(&self, bi: usize) -> &[u32] {
         let lo = bi * self.block;
@@ -207,8 +245,8 @@ impl CatalogIndex {
         Ok(k.min(self.layout.n_items))
     }
 
-    /// Scores one block into `slot` and offers every logit to the slot's
-    /// top-K shard.
+    /// Scores one block with `model` into `slot` and offers every logit to
+    /// the slot's top-K shard.
     ///
     /// When a block bound and a prune threshold are given, the per-item
     /// linear screen runs first: inside a block items are already sorted by
@@ -226,6 +264,7 @@ impl CatalogIndex {
     /// built-in slack; a NaN bound disables the screen, soundly.
     fn score_block(
         &self,
+        model: &FrozenSeqFm,
         user: u32,
         view: &HistoryView,
         bi: usize,
@@ -247,7 +286,7 @@ impl CatalogIndex {
             return;
         }
         slot.out.clear();
-        self.model.score_catalog_into(
+        model.score_catalog_into(
             &self.layout,
             user,
             items,
@@ -291,6 +330,37 @@ impl CatalogIndex {
         k: usize,
         pool: &ThreadPool,
     ) -> Result<Retrieval, RetrievalError> {
+        self.brute_impl(&self.model, user, view, k, pool)
+    }
+
+    /// Brute-force scan scored with a **foreign** model instead of the
+    /// index's own — the hot-swap fallback: while a fresh model revision is
+    /// published but this index's candidate-side partials still describe the
+    /// retired one, the engine serves retrieval through this path (no bound,
+    /// no screen, nothing model-stale consulted), so swaps never block and
+    /// never serve old-model logits. `view` must have been built by `model`.
+    ///
+    /// # Errors
+    /// [`RetrievalError::BadConfig`] for `k == 0`, an unknown user, or an
+    /// empty history view.
+    pub fn retrieve_brute_with(
+        &self,
+        model: &Arc<FrozenSeqFm>,
+        user: u32,
+        view: &HistoryView,
+        k: usize,
+    ) -> Result<Retrieval, RetrievalError> {
+        self.brute_impl(model, user, view, k, global())
+    }
+
+    fn brute_impl(
+        &self,
+        model: &Arc<FrozenSeqFm>,
+        user: u32,
+        view: &HistoryView,
+        k: usize,
+        pool: &ThreadPool,
+    ) -> Result<Retrieval, RetrievalError> {
         let k_eff = self.validate(user, view, k)?;
         let n_blocks = self.stats.len();
         let workers = pool.workers().min(n_blocks).max(1);
@@ -299,7 +369,7 @@ impl CatalogIndex {
         par_units(pool, &mut slots, 1, |first, chunk| {
             for (s, slot) in chunk.iter_mut().enumerate() {
                 for bi in spans[first + s].clone() {
-                    self.score_block(user, view, bi, None, slot);
+                    self.score_block(model, user, view, bi, None, slot);
                 }
             }
         });
@@ -392,7 +462,7 @@ impl CatalogIndex {
                     let (bi, bound) = wave[first + s];
                     // The per-item screen needs both this block's bound and
                     // a threshold; before the first wave there is none.
-                    self.score_block(user, view, bi, thr.map(|t| (bound, t)), slot);
+                    self.score_block(&self.model, user, view, bi, thr.map(|t| (bound, t)), slot);
                 }
             });
             for slot in &mut slots[..wave.len()] {

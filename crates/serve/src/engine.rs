@@ -47,14 +47,15 @@
 use crate::error::ServeError;
 use crate::request::{score_requests_stateful, CoalesceScratch, ScoreRequest, ScoreResponse};
 use crate::store::{CacheStats, HistoryBackend, HistoryStore, ViewCache};
-use seqfm_core::{FrozenSeqFm, Scorer, ScorerPrecision, Scratch};
+use seqfm_core::{FrozenSeqFm, ModelEpoch, Scorer, ScorerPrecision, Scratch};
 use seqfm_data::{Dataset, FeatureLayout};
-use seqfm_parallel::{Oneshot, WorkQueue};
+use seqfm_parallel::{ArcSlot, Oneshot, WorkQueue};
 use seqfm_retrieval::{CatalogIndex, Retrieval, RetrievalError};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Engine sizing, admission, ranking, and history-store policy.
 ///
@@ -78,6 +79,15 @@ pub struct EngineConfig {
     /// same-history super-batches. `1` disables coalescing; larger values
     /// trade per-request latency for throughput under load. Must be ≥ 1.
     pub coalesce_max: usize,
+    /// Deadline-aware coalescing: a worker whose drain came up short of
+    /// [`coalesce_max`](EngineConfig::coalesce_max) polls the queue for up
+    /// to this many **microseconds** before scoring, letting near-simultaneous
+    /// requests land in the same super-batch instead of just missing it.
+    /// `0` (the default) scores immediately — the latency-first behaviour;
+    /// small values (tens of µs) buy batch depth under bursty load at a
+    /// bounded, explicit latency cost. The linger never waits on an empty
+    /// queue and never stalls a full batch.
+    pub linger_us: u64,
     /// Per-user [`HistoryStore`](crate::HistoryStore) ring capacity; `0`
     /// (the default) means "use `max_seq`" — the window the model can see
     /// anyway.
@@ -111,6 +121,7 @@ impl Default for EngineConfig {
             top_k: 0,
             queue_capacity: 1024,
             coalesce_max: 16,
+            linger_us: 0,
             history_capacity: 0,
             cache_entries: 1024,
             precision: ScorerPrecision::Exact,
@@ -203,6 +214,13 @@ impl EngineConfigBuilder {
     /// Per-wakeup drain bound. See [`EngineConfig::coalesce_max`].
     pub fn coalesce_max(mut self, coalesce_max: usize) -> Self {
         self.cfg.coalesce_max = coalesce_max;
+        self
+    }
+
+    /// Short-drain linger deadline in microseconds. See
+    /// [`EngineConfig::linger_us`].
+    pub fn linger_us(mut self, linger_us: u64) -> Self {
+        self.cfg.linger_us = linger_us;
         self
     }
 
@@ -354,6 +372,112 @@ impl Drop for PendingResponse {
     }
 }
 
+/// One published model revision: the type-erased scorer the workers run,
+/// stamped with the [`ModelEpoch`] it serves, plus (for frozen-SeqFM
+/// revisions) the concrete frozen model that retrieval fallbacks and index
+/// rebuilds need.
+///
+/// Revisions live in the engine's lock-free [`ArcSlot`]; each worker loads
+/// the slot **once per drain**, so every request in a coalesced super-batch
+/// — and every cache entry it installs — is pinned to a single epoch even
+/// while [`Engine::publish_frozen`] swaps underneath it.
+pub struct ModelRev {
+    epoch: ModelEpoch,
+    scorer: Arc<dyn Scorer + Send + Sync>,
+    frozen: Option<Arc<FrozenSeqFm>>,
+}
+
+/// Conversion into the engine's type-erased scorer handle. Implemented for
+/// any sized `Arc<S: Scorer + Send + Sync>` (the unsizing coercion) and for
+/// an already-erased `Arc<dyn Scorer + Send + Sync>`, so both spell
+/// `Engine::new(scorer, ..)` / `Engine::publish(scorer)` the same way.
+pub trait IntoScorer {
+    /// Type-erases the handle.
+    fn into_scorer(self) -> Arc<dyn Scorer + Send + Sync>;
+}
+
+impl IntoScorer for Arc<dyn Scorer + Send + Sync> {
+    fn into_scorer(self) -> Arc<dyn Scorer + Send + Sync> {
+        self
+    }
+}
+
+impl<S: Scorer + Send + Sync + 'static> IntoScorer for Arc<S> {
+    fn into_scorer(self) -> Arc<dyn Scorer + Send + Sync> {
+        self
+    }
+}
+
+impl ModelRev {
+    fn of_scorer(scorer: Arc<dyn Scorer + Send + Sync>) -> Self {
+        ModelRev { epoch: scorer.model_epoch(), scorer, frozen: None }
+    }
+
+    fn of_frozen(model: Arc<FrozenSeqFm>) -> Self {
+        ModelRev {
+            epoch: model.epoch(),
+            scorer: Arc::clone(&model) as Arc<dyn Scorer + Send + Sync>,
+            frozen: Some(model),
+        }
+    }
+
+    /// The epoch this revision serves.
+    pub fn epoch(&self) -> ModelEpoch {
+        self.epoch
+    }
+
+    /// The scorer this revision serves.
+    pub fn scorer(&self) -> &Arc<dyn Scorer + Send + Sync> {
+        &self.scorer
+    }
+
+    /// The concrete frozen model behind this revision, when it has one
+    /// (revisions published via [`Engine::publish_frozen`] or
+    /// [`Engine::new_frozen`] do; type-erased [`Engine::publish`] revisions
+    /// don't).
+    pub fn frozen(&self) -> Option<&Arc<FrozenSeqFm>> {
+        self.frozen.as_ref()
+    }
+}
+
+/// Drainable append-event stream — the bridge from the serving engine to an
+/// online trainer. When attached ([`Engine::with_event_log`]), every
+/// successful [`Engine::append_event`] also records `(user, item)` here, in
+/// order; a trainer periodically [`drain`](EventLog::drain_into)s the log,
+/// folds the events into its optimizer state, and publishes fresh epochs
+/// back via [`Engine::publish_frozen`]. Because the log preserves append
+/// order, the trainer's state is a pure function of the event stream — the
+/// root of the offline-replay parity guarantee.
+#[derive(Default)]
+pub struct EventLog {
+    events: Mutex<Vec<(u32, u32)>>,
+}
+
+impl EventLog {
+    /// Moves all recorded events (in append order) onto the end of `out`
+    /// and returns how many were moved. The log is left empty.
+    pub fn drain_into(&self, out: &mut Vec<(u32, u32)>) -> usize {
+        let mut events = self.events.lock().expect("event log poisoned");
+        let n = events.len();
+        out.append(&mut events);
+        n
+    }
+
+    /// Events currently buffered (recorded but not yet drained).
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether the log is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn record(&self, user: u32, item: u32) {
+        self.events.lock().expect("event log poisoned").push((user, item));
+    }
+}
+
 /// Multi-threaded batch-coalescing scoring engine that owns the user
 /// histories. See the module docs.
 pub struct Engine {
@@ -363,7 +487,9 @@ pub struct Engine {
     cfg: EngineConfig,
     store: Arc<HistoryStore>,
     cache: Option<Arc<ViewCache>>,
-    index: Option<Arc<CatalogIndex>>,
+    model: Arc<ArcSlot<ModelRev>>,
+    index: Option<Arc<ArcSlot<CatalogIndex>>>,
+    events: Option<Arc<EventLog>>,
 }
 
 impl Engine {
@@ -380,19 +506,28 @@ impl Engine {
     /// # Errors
     /// [`ServeError::BadConfig`] when [`EngineConfig::validate`] rejects
     /// `cfg` — failing fast here instead of on the first request.
-    pub fn new<S: Scorer + Send + Sync + ?Sized + 'static>(
-        scorer: Arc<S>,
+    pub fn new<S: IntoScorer>(
+        scorer: S,
+        layout: FeatureLayout,
+        cfg: EngineConfig,
+    ) -> Result<Self, ServeError> {
+        Self::from_rev(ModelRev::of_scorer(scorer.into_scorer()), layout, cfg)
+    }
+
+    fn from_rev(
+        rev: ModelRev,
         layout: FeatureLayout,
         cfg: EngineConfig,
     ) -> Result<Self, ServeError> {
         cfg.validate()?;
         let store = Arc::new(HistoryStore::new(layout.n_users, cfg.resolved_history_capacity()));
         let cache = (cfg.cache_entries > 0).then(|| Arc::new(ViewCache::new(cfg.cache_entries)));
+        let model = Arc::new(ArcSlot::new(Arc::new(rev)));
         let (queue, handles) = WorkQueue::<Job>::bounded(cfg.threads.max(1), cfg.queue_capacity);
         let workers = handles
             .into_iter()
             .map(|handle| {
-                let scorer = Arc::clone(&scorer);
+                let model = Arc::clone(&model);
                 let store = Arc::clone(&store);
                 let cache = cache.clone();
                 std::thread::spawn(move || {
@@ -410,6 +545,24 @@ impl Engine {
                     // coalesce scratch, the replies) is worker-owned and
                     // reused across wakeups.
                     while handle.recv_many(cfg.coalesce_max, &mut jobs) {
+                        // Deadline-aware coalescing: a short drain may poll
+                        // briefly for stragglers. Never waits when the batch
+                        // is already full, and a zero deadline (the default)
+                        // skips the clock read entirely.
+                        if cfg.linger_us > 0 && jobs.len() < cfg.coalesce_max {
+                            let deadline = Instant::now() + Duration::from_micros(cfg.linger_us);
+                            while jobs.len() < cfg.coalesce_max && Instant::now() < deadline {
+                                if handle.try_recv_many(cfg.coalesce_max - jobs.len(), &mut jobs)
+                                    == 0
+                                {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        // Pin the model revision for this whole drain: one
+                        // slot load, so a concurrent publish never splits a
+                        // coalesced super-batch across epochs.
+                        let rev = model.load();
                         // Move the requests out of the jobs (the `Drop`
                         // guard forbids destructuring) into the reused
                         // staging buffer — no per-wakeup reference array.
@@ -421,7 +574,7 @@ impl Engine {
                         // the drained panic text, the worker keeps serving.
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             score_requests_stateful(
-                                &*scorer,
+                                &*rev.scorer,
                                 &layout,
                                 cfg.max_seq,
                                 cfg.top_k,
@@ -450,7 +603,17 @@ impl Engine {
                 })
             })
             .collect();
-        Ok(Engine { queue: Some(queue), workers, layout, cfg, store, cache, index: None })
+        Ok(Engine {
+            queue: Some(queue),
+            workers,
+            layout,
+            cfg,
+            store,
+            cache,
+            model,
+            index: None,
+            events: None,
+        })
     }
 
     /// Spawns an engine over a frozen SeqFM, first switching the model to
@@ -468,14 +631,20 @@ impl Engine {
         layout: FeatureLayout,
         cfg: EngineConfig,
     ) -> Result<Self, ServeError> {
-        let model = model.with_precision(cfg.precision);
-        Self::new(Arc::new(model), layout, cfg)
+        let model = Arc::new(model.with_precision(cfg.precision));
+        Self::from_rev(ModelRev::of_frozen(model), layout, cfg)
     }
 
     /// Attaches a full-catalog [`CatalogIndex`] so [`Engine::retrieve_top_k`]
     /// can answer "best k items of the *whole* catalog" queries. The index
     /// must be built over the same frozen model and feature layout the
     /// engine serves — retrieval scores come from the index's model.
+    ///
+    /// The index lives in its own hot-swap slot: [`Engine::publish_frozen`]
+    /// rebuilds it for each new epoch off the serving path, and
+    /// [`Engine::retrieve_top_k`] falls back to a brute-force scan with the
+    /// fresh model during the (brief) window where the index still carries
+    /// the previous epoch.
     ///
     /// # Panics
     /// Panics if the index's layout disagrees with the engine's.
@@ -486,13 +655,82 @@ impl Engine {
             (self.layout.n_users, self.layout.n_items),
             "catalog index layout must match the engine's"
         );
-        self.index = Some(index);
+        self.index = Some(Arc::new(ArcSlot::new(index)));
         self
     }
 
-    /// The attached catalog index, if any.
-    pub fn catalog_index(&self) -> Option<&Arc<CatalogIndex>> {
-        self.index.as_ref()
+    /// Opts the engine into event logging: every successful
+    /// [`Engine::append_event`] is also recorded in an [`EventLog`] for an
+    /// online trainer to drain. Off by default (appends stay lock-free of
+    /// the log).
+    #[must_use]
+    pub fn with_event_log(mut self) -> Self {
+        self.events = Some(Arc::new(EventLog::default()));
+        self
+    }
+
+    /// The currently attached catalog index, if any (the slot's live value
+    /// — a publish may retire it at any time; holding the `Arc` keeps this
+    /// snapshot valid regardless).
+    pub fn catalog_index(&self) -> Option<Arc<CatalogIndex>> {
+        self.index.as_ref().map(|slot| slot.load())
+    }
+
+    /// The attached append-event log, if [`Engine::with_event_log`] was
+    /// called.
+    pub fn event_log(&self) -> Option<&Arc<EventLog>> {
+        self.events.as_ref()
+    }
+
+    /// The model revision new drains are picking up right now.
+    pub fn current_rev(&self) -> Arc<ModelRev> {
+        self.model.load()
+    }
+
+    /// The [`ModelEpoch`] new drains are scoring under right now.
+    pub fn current_epoch(&self) -> ModelEpoch {
+        self.model.load().epoch
+    }
+
+    /// Atomically publishes a new type-erased scorer. Workers pick it up at
+    /// their next drain; in-flight super-batches finish on the revision they
+    /// pinned. Returns the epoch now being served.
+    ///
+    /// This variant cannot refresh an attached catalog index (it has no
+    /// concrete frozen model to rebuild with) — frozen-SeqFM engines should
+    /// publish through [`Engine::publish_frozen`].
+    pub fn publish<S: IntoScorer>(&self, scorer: S) -> ModelEpoch {
+        let rev = ModelRev::of_scorer(scorer.into_scorer());
+        let epoch = rev.epoch;
+        self.model.store(Arc::new(rev));
+        epoch
+    }
+
+    /// Atomically hot-swaps the engine onto a new frozen model — the
+    /// serving half of the online-learning loop. Returns the epoch now
+    /// being served. The whole sequence runs on the *calling* thread
+    /// (typically the trainer); scoring workers never block:
+    ///
+    /// 1. the engine's serving profile is applied
+    ///    ([`ScorerPrecision::Fast`] re-quantizes **here**, off the hot
+    ///    path — workers keep serving the old quantized bundle meanwhile);
+    /// 2. the model slot is swapped — new drains score under the new
+    ///    epoch, in-flight drains finish on the one they pinned, and the
+    ///    epoch-keyed [`ViewCache`] lazily invalidates old-epoch panels;
+    /// 3. any attached catalog index is rebuilt for the new model
+    ///    ([`CatalogIndex::rebuild_for`]) and its slot swapped. Between
+    ///    steps 2 and 3, [`Engine::retrieve_top_k`] serves brute-force
+    ///    scans with the *new* model — fresh results, temporarily without
+    ///    the pruning speedup, never a stale-epoch answer.
+    pub fn publish_frozen(&self, model: FrozenSeqFm) -> ModelEpoch {
+        let model = Arc::new(model.with_precision(self.cfg.precision));
+        let epoch = model.epoch();
+        self.model.store(Arc::new(ModelRev::of_frozen(Arc::clone(&model))));
+        if let Some(slot) = &self.index {
+            let rebuilt = slot.load().rebuild_for(model);
+            slot.store(Arc::new(rebuilt));
+        }
+        epoch
     }
 
     /// Retrieves the best `k` items of the **entire catalog** for `user`'s
@@ -514,13 +752,25 @@ impl Engine {
     /// [`ServeError::UnknownUser`] for a user outside the layout;
     /// [`ServeError::BadConfig`] for `k == 0`.
     pub fn retrieve_top_k(&self, user: u32, k: usize) -> Result<Retrieval, ServeError> {
-        let index = self.index.as_ref().ok_or(ServeError::NoCatalogIndex)?;
+        let slot = self.index.as_ref().ok_or(ServeError::NoCatalogIndex)?;
         if user as usize >= self.layout.n_users {
             return Err(ServeError::UnknownUser { user, n_users: self.layout.n_users });
         }
+        let index = slot.load();
+        let rev = self.model.load();
+        // Pick the scoring model. Normally the index already serves the
+        // published epoch and the pruned scan applies. Mid-swap — the model
+        // slot advanced but the index rebuild hasn't landed — score with
+        // the *new* frozen model via the index's brute-force fallback:
+        // fresh results, temporarily without pruning, never a stale epoch.
+        let (model, index_current) = match rev.frozen.as_ref() {
+            Some(m) if m.epoch() != index.model().epoch() => (m, false),
+            _ => (index.model(), true),
+        };
+        let epoch = model.epoch();
         let mut snap = Vec::new();
         let version = self.store.snapshot_into(user, &mut snap);
-        let view = match self.cache.as_ref().and_then(|c| c.get(user, version)) {
+        let view = match self.cache.as_ref().and_then(|c| c.get(user, version, epoch)) {
             Some(view) => view,
             None => {
                 // Same canonical row the scoring path builds: the last
@@ -531,14 +781,19 @@ impl Engine {
                 let mut row: Vec<i64> = Vec::with_capacity(max_seq);
                 row.resize(max_seq - window.len(), seqfm_data::PAD);
                 row.extend(window.iter().map(|&it| it as i64));
-                let view = Arc::new(index.model().history_view(&row, &mut Scratch::new()));
+                let view = Arc::new(model.history_view(&row, &mut Scratch::new()));
                 if let Some(cache) = &self.cache {
-                    cache.insert(user, version, Arc::clone(&view));
+                    cache.insert(user, version, epoch, Arc::clone(&view));
                 }
                 view
             }
         };
-        index.retrieve(user, &view, k).map_err(|e| match e {
+        let result = if index_current {
+            index.retrieve(user, &view, k)
+        } else {
+            index.retrieve_brute_with(model, user, &view, k)
+        };
+        result.map_err(|e| match e {
             RetrievalError::BadConfig { reason } => ServeError::BadConfig { reason },
             other => ServeError::BadConfig { reason: other.to_string() },
         })
@@ -575,7 +830,11 @@ impl Engine {
         if item as usize >= self.layout.n_items {
             return Err(ServeError::UnknownItem { item, n_items: self.layout.n_items });
         }
-        Ok(self.store.append(user, item))
+        let version = self.store.append(user, item);
+        if let Some(log) = &self.events {
+            log.record(user, item);
+        }
+        Ok(version)
     }
 
     /// Bulk-loads a dataset's per-user sequences into the history store
@@ -1019,6 +1278,7 @@ mod tests {
             .top_k(5)
             .queue_capacity(99)
             .coalesce_max(4)
+            .linger_us(25)
             .history_capacity(50)
             .cache_entries(0)
             .build()
@@ -1029,6 +1289,7 @@ mod tests {
             top_k: 5,
             queue_capacity: 99,
             coalesce_max: 4,
+            linger_us: 25,
             history_capacity: 50,
             cache_entries: 0,
             precision: ScorerPrecision::Exact,

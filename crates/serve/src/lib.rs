@@ -46,7 +46,17 @@
 //!   [`CatalogIndex`] attached ([`Engine::with_catalog_index`]), the engine
 //!   answers "best k items of the *entire* catalog" for a user's stored
 //!   history via `seqfm_retrieval`'s blocked, upper-bound-pruned scan,
-//!   sharing the [`ViewCache`] with the scoring path.
+//!   sharing the [`ViewCache`] with the scoring path;
+//! * **online learning & hot-swap** — the model is a *versioned* resource:
+//!   [`Engine::publish_frozen`] atomically swaps in a freshly trained
+//!   [`FrozenSeqFm`](seqfm_core::FrozenSeqFm) (a [`ModelRev`] stamped with
+//!   its [`ModelEpoch`](seqfm_core::ModelEpoch)) without pausing serving —
+//!   in-flight super-batches finish on the epoch they pinned, the
+//!   [`ViewCache`] keys on `(user, version, epoch)` so stale-model panels
+//!   lazily invalidate, the catalog index is rebuilt per epoch with a
+//!   brute-force fallback mid-swap, and an optional [`EventLog`]
+//!   ([`Engine::with_event_log`]) streams appended events to an online
+//!   trainer.
 //!
 //! ## Example
 //!
@@ -110,7 +120,9 @@ mod error;
 mod request;
 mod store;
 
-pub use engine::{Engine, EngineConfig, EngineConfigBuilder, PendingResponse};
+pub use engine::{
+    Engine, EngineConfig, EngineConfigBuilder, EventLog, IntoScorer, ModelRev, PendingResponse,
+};
 pub use error::ServeError;
 pub use request::{
     expand_request, score_request, score_requests, score_requests_stateful, score_requests_with,

@@ -11,7 +11,7 @@
 
 use crate::error::ServeError;
 use crate::store::HistoryBackend;
-use seqfm_core::{HistoryView, Scorer, Scratch};
+use seqfm_core::{HistoryView, ModelEpoch, Scorer, Scratch};
 use seqfm_data::{Batch, FeatureLayout, PAD};
 use std::sync::Arc;
 
@@ -112,11 +112,17 @@ pub struct ScoredCandidate {
 }
 
 /// Candidates ranked by descending score, truncated to the engine's top-K.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ScoreResponse {
     /// Best-first candidates. Ties keep request order (stable sort); NaN
     /// scores rank strictly last.
     pub ranked: Vec<ScoredCandidate>,
+    /// The [`ModelEpoch`] of the scorer that produced these logits. Under
+    /// online learning a request races model publishes; this stamp names the
+    /// revision the whole response was scored under (a coalesced super-batch
+    /// never mixes epochs), so re-scoring the request against that pinned
+    /// revision reproduces every bit.
+    pub epoch: ModelEpoch,
 }
 
 impl ScoreResponse {
@@ -143,7 +149,9 @@ struct ResolvedSlot {
     end: usize,
     /// Cached history-side panel, when the view cache held a current one.
     view: Option<Arc<HistoryView>>,
-    /// `(user, version)` under which a freshly built view may be cached.
+    /// `(user, version)` under which a freshly built view may be cached
+    /// (the model-epoch half of the cache key is uniform across the drain —
+    /// one scorer scores the whole super-batch).
     cache_key: Option<(u32, u64)>,
 }
 
@@ -177,11 +185,13 @@ fn validate_common(
 /// Validates `req` and appends its canonical history window to `hist_buf`,
 /// resolving [`HistorySource::Stored`] through `backend` (snapshot under
 /// one shard read lock + versioned view-cache lookup).
+#[allow(clippy::too_many_arguments)]
 fn resolve_request(
     req: &ScoreRequest,
     layout: &FeatureLayout,
     max_seq: usize,
     backend: Option<&HistoryBackend<'_>>,
+    epoch: ModelEpoch,
     snap_buf: &mut Vec<u32>,
     hist_buf: &mut Vec<u32>,
     slot: &mut ResolvedSlot,
@@ -201,7 +211,7 @@ fn resolve_request(
             hist_buf.extend_from_slice(effective_window(snap_buf, max_seq));
             slot.cache_key = Some((req.user, version));
             if let Some(cache) = be.cache {
-                slot.view = cache.get(req.user, version);
+                slot.view = cache.get(req.user, version, epoch);
             }
         }
     }
@@ -330,7 +340,10 @@ pub fn score_request<S: Scorer + ?Sized>(
 ) -> Result<ScoreResponse, ServeError> {
     let batch = expand_request(req, layout, max_seq)?;
     let scores = scorer.score(&batch, scratch);
-    Ok(ScoreResponse { ranked: rank_candidates(&req.candidates, scores, top_k) })
+    Ok(ScoreResponse {
+        ranked: rank_candidates(&req.candidates, scores, top_k),
+        epoch: scorer.model_epoch(),
+    })
 }
 
 /// Reusable buffers of the coalesced scoring path: group index lists,
@@ -483,6 +496,10 @@ pub fn score_requests_stateful<S: Scorer + ?Sized, R: std::borrow::Borrow<ScoreR
     out: &mut Vec<Result<ScoreResponse, ServeError>>,
 ) {
     cs.reset(reqs.len());
+    // The whole drain is scored by one scorer, so one model epoch stamps
+    // every cache lookup, install, and response of this call — a coalesced
+    // super-batch can never mix revisions.
+    let epoch = scorer.model_epoch();
     // Resolve every request to its canonical history window (validating on
     // the way), then group by window content, preserving first-occurrence
     // order. Linear key search: coalesced batches are small
@@ -501,7 +518,7 @@ pub fn score_requests_stateful<S: Scorer + ?Sized, R: std::borrow::Borrow<ScoreR
         let req = req.borrow();
         let start = hist_buf.len();
         let mut slot = ResolvedSlot { start, end: start, ..ResolvedSlot::default() };
-        match resolve_request(req, layout, max_seq, backend, snap_buf, hist_buf, &mut slot) {
+        match resolve_request(req, layout, max_seq, backend, epoch, snap_buf, hist_buf, &mut slot) {
             Ok(()) => {
                 slot.end = hist_buf.len();
                 let key = &hist_buf[slot.start..slot.end];
@@ -552,7 +569,7 @@ pub fn score_requests_stateful<S: Scorer + ?Sized, R: std::borrow::Borrow<ScoreR
             for &i in group.iter() {
                 if resolved[i].view.is_none() {
                     if let Some((user, version)) = resolved[i].cache_key {
-                        cache.insert(user, version, Arc::clone(v));
+                        cache.insert(user, version, epoch, Arc::clone(v));
                     }
                 }
             }
@@ -569,6 +586,7 @@ pub fn score_requests_stateful<S: Scorer + ?Sized, R: std::borrow::Borrow<ScoreR
             let k = req.candidates.len();
             slots[i] = Some(Ok(ScoreResponse {
                 ranked: rank_candidates(&req.candidates, &scores[offset..offset + k], top_k),
+                epoch,
             }));
             offset += k;
         }

@@ -9,9 +9,9 @@
 //! the user's window under a shard read lock, and the frozen scorer reuses
 //! the cached panel instead of recomputing it. Appends
 //! ([`HistoryStore::append`]) bump a per-user **version**; the cache keys
-//! entries by `(user, version)`, so an append invalidates lazily — the next
-//! lookup simply misses and rebuilds, with no eager cross-shard
-//! coordination.
+//! entries by `(user, version, model epoch)`, so both an append *and* a
+//! hot-swapped model revision invalidate lazily — the next lookup simply
+//! misses and rebuilds, with no eager cross-shard coordination.
 //!
 //! Concurrency model: users are struck across `n_shards` shards
 //! (`user % n_shards`), each behind its own `RwLock` — reads (snapshot into
@@ -20,7 +20,7 @@
 //! overwrites the oldest event in place, so the store's memory is
 //! `O(n_users × capacity)` forever, regardless of traffic.
 
-use seqfm_core::HistoryView;
+use seqfm_core::{HistoryView, ModelEpoch};
 use seqfm_data::Dataset;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -201,6 +201,12 @@ impl CacheStats {
 struct CacheEntry {
     /// History version the view was built at.
     version: u64,
+    /// Model epoch of the scorer that built the view. A history-side panel
+    /// bakes in model parameters, so after a hot swap an entry stamped with
+    /// the retired epoch must read as stale even though the user's history
+    /// never moved — pre-fix the cache keyed on `(user, version)` alone and
+    /// would have replayed old-model panels under the new model.
+    epoch: ModelEpoch,
     view: Arc<HistoryView>,
     /// CLOCK reference bit: set by a hit, cleared (in exchange for a second
     /// chance) when the eviction sweep passes over the entry.
@@ -213,11 +219,14 @@ struct CacheShard {
     queue: VecDeque<u32>,
 }
 
-/// Bounded, sharded cache of [`HistoryView`]s keyed by `(user, version)`.
+/// Bounded, sharded cache of [`HistoryView`]s keyed by
+/// `(user, version, model epoch)`.
 ///
-/// Invalidation is **lazy**: [`HistoryStore::append`] bumps the user's
-/// version, so the next [`ViewCache::get`] with the fresh version misses
-/// (and counts as a miss) without the appender ever touching the cache.
+/// Invalidation is **lazy** along both key axes:
+/// [`HistoryStore::append`] bumps the user's version, and a hot model swap
+/// advances the serving [`ModelEpoch`], so the next [`ViewCache::get`] with
+/// the fresh version or epoch misses (and counts as a miss) without the
+/// appender — or the publisher — ever touching the cache.
 /// Eviction is per-shard **second-chance CLOCK** once `max_entries` is
 /// reached: a hit sets the entry's reference bit; the sweep pops the oldest
 /// entry and, if its bit is set, clears it and requeues the entry instead of
@@ -249,11 +258,12 @@ impl ViewCache {
     }
 
     /// The cached view for `user` **iff** it was built at exactly
-    /// `version`; a stale or absent entry is a miss.
-    pub fn get(&self, user: u32, version: u64) -> Option<Arc<HistoryView>> {
+    /// `version` under exactly the model `epoch`; a stale or absent entry —
+    /// stale history *or* stale model — is a miss.
+    pub fn get(&self, user: u32, version: u64, epoch: ModelEpoch) -> Option<Arc<HistoryView>> {
         let mut shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
         match shard.map.get_mut(&user) {
-            Some(e) if e.version == version => {
+            Some(e) if e.version == version && e.epoch == epoch => {
                 e.referenced = true; // CLOCK: a hit earns a second chance
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.view))
@@ -265,13 +275,15 @@ impl ViewCache {
         }
     }
 
-    /// Installs (or refreshes) `user`'s view for `version`, running the
-    /// second-chance sweep if the shard is over capacity. Concurrent
-    /// duplicate builds are benign — the views are bit-identical by
-    /// construction, so last write wins.
-    pub fn insert(&self, user: u32, version: u64, view: Arc<HistoryView>) {
+    /// Installs (or refreshes) `user`'s view for `version` under model
+    /// `epoch`, running the second-chance sweep if the shard is over
+    /// capacity. Concurrent duplicate builds are benign — the views are
+    /// bit-identical by construction under one `(version, epoch)` key, so
+    /// last write wins.
+    pub fn insert(&self, user: u32, version: u64, epoch: ModelEpoch, view: Arc<HistoryView>) {
         let mut shard = self.shards[user as usize % N_SHARDS].lock().expect("view cache poisoned");
-        if shard.map.insert(user, CacheEntry { version, view, referenced: false }).is_none() {
+        if shard.map.insert(user, CacheEntry { version, epoch, view, referenced: false }).is_none()
+        {
             shard.queue.push_back(user);
             while shard.map.len() > self.per_shard {
                 let Some(cand) = shard.queue.pop_front() else { break };
@@ -387,20 +399,21 @@ mod tests {
 
     #[test]
     fn cache_is_versioned_bounded_and_counted() {
+        let e0 = ModelEpoch::ZERO;
         let cache = ViewCache::new(N_SHARDS); // one entry per shard
         let view = Arc::new(HistoryView::default());
-        assert!(cache.get(3, 1).is_none()); // miss: absent
-        cache.insert(3, 1, Arc::clone(&view));
-        assert!(cache.get(3, 1).is_some()); // hit
-        assert!(cache.get(3, 2).is_none()); // miss: stale version
-        cache.insert(3, 2, Arc::clone(&view));
-        assert!(cache.get(3, 2).is_some()); // refreshed in place, now referenced
-                                            // Same shard (user 3 + N_SHARDS), capacity 1: user 3 was hit
-                                            // since its refresh, so CLOCK gives it a second chance and the
-                                            // unreferenced newcomer is the sweep's victim instead.
-        cache.insert(3 + N_SHARDS as u32, 1, Arc::clone(&view));
-        assert!(cache.get(3, 2).is_some());
-        assert!(cache.get(3 + N_SHARDS as u32, 1).is_none());
+        assert!(cache.get(3, 1, e0).is_none()); // miss: absent
+        cache.insert(3, 1, e0, Arc::clone(&view));
+        assert!(cache.get(3, 1, e0).is_some()); // hit
+        assert!(cache.get(3, 2, e0).is_none()); // miss: stale version
+        cache.insert(3, 2, e0, Arc::clone(&view));
+        assert!(cache.get(3, 2, e0).is_some()); // refreshed in place, now referenced
+                                                // Same shard (user 3 + N_SHARDS), capacity 1: user 3 was hit
+                                                // since its refresh, so CLOCK gives it a second chance and the
+                                                // unreferenced newcomer is the sweep's victim instead.
+        cache.insert(3 + N_SHARDS as u32, 1, e0, Arc::clone(&view));
+        assert!(cache.get(3, 2, e0).is_some());
+        assert!(cache.get(3 + N_SHARDS as u32, 1, e0).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (3, 3, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
@@ -409,22 +422,39 @@ mod tests {
     }
 
     #[test]
+    fn a_hot_swapped_model_epoch_invalidates_like_an_append() {
+        let cache = ViewCache::new(8);
+        let view = Arc::new(HistoryView::default());
+        cache.insert(5, 7, ModelEpoch(1), Arc::clone(&view));
+        assert!(cache.get(5, 7, ModelEpoch(1)).is_some(), "exact key hits");
+        // Same user, same history version, newer model: the entry's panel
+        // bakes in retired parameters and must not be served.
+        assert!(cache.get(5, 7, ModelEpoch(2)).is_none(), "stale epoch must miss");
+        // A rollback republishing the *original* epoch stamp makes the old
+        // entry bitwise-valid again — the key is identity, not recency.
+        cache.insert(5, 7, ModelEpoch(2), Arc::clone(&view));
+        assert!(cache.get(5, 7, ModelEpoch(2)).is_some());
+        assert!(cache.get(5, 7, ModelEpoch(1)).is_none(), "refresh replaced the old epoch");
+    }
+
+    #[test]
     fn clock_keeps_repeatedly_hit_entries_over_cold_ones() {
+        let e0 = ModelEpoch::ZERO;
         let cache = ViewCache::new(2 * N_SHARDS); // two entries per shard
         let view = Arc::new(HistoryView::default());
         // Three users on the same shard.
         let (hot, cold, newcomer) = (3u32, 3 + N_SHARDS as u32, 3 + 2 * N_SHARDS as u32);
-        cache.insert(hot, 1, Arc::clone(&view));
-        cache.insert(cold, 1, Arc::clone(&view));
+        cache.insert(hot, 1, e0, Arc::clone(&view));
+        cache.insert(cold, 1, e0, Arc::clone(&view));
         // Hit `hot` so its reference bit is set; `cold` is never touched.
-        assert!(cache.get(hot, 1).is_some());
+        assert!(cache.get(hot, 1, e0).is_some());
         // At capacity 2 the third insert forces a sweep. `hot` is first in
         // queue order — plain FIFO would evict it — but its reference bit
         // buys a second chance and the sweep falls through to `cold`.
-        cache.insert(newcomer, 1, Arc::clone(&view));
-        assert!(cache.get(hot, 1).is_some(), "hit entry must survive the sweep");
-        assert!(cache.get(cold, 1).is_none(), "cold entry is the eviction victim");
-        assert!(cache.get(newcomer, 1).is_some());
+        cache.insert(newcomer, 1, e0, Arc::clone(&view));
+        assert!(cache.get(hot, 1, e0).is_some(), "hit entry must survive the sweep");
+        assert!(cache.get(cold, 1, e0).is_none(), "cold entry is the eviction victim");
+        assert!(cache.get(newcomer, 1, e0).is_some());
         assert_eq!(cache.stats().entries, 2);
     }
 

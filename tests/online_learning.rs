@@ -1,0 +1,377 @@
+//! End-to-end contracts of the online-learning loop: versioned epochs
+//! threading from the incremental trainer through the engine's atomic
+//! hot-swap into the epoch-keyed caches and the per-epoch catalog index.
+//!
+//! The properties under test:
+//!
+//! * **hot-swap correctness** — after `publish_frozen`, a warm engine
+//!   (stale cached views and all) serves the new model bit-identically to a
+//!   cold engine built directly on it. This is the regression test for the
+//!   view-cache epoch key: a `(user, version)`-only cache would replay the
+//!   *old* model's history panels into post-swap scores.
+//! * **swap-under-load atomicity** — while models swap mid-traffic, every
+//!   response is bit-identical to a single-epoch rescore under the epoch it
+//!   reports; no response ever mixes revisions.
+//! * **mid-swap retrieval** — the brute-force fallback with the freshly
+//!   published model, the incrementally rebuilt index
+//!   (`CatalogIndex::rebuild_for`), and a from-scratch index all return the
+//!   same bits.
+//! * **rollback** — republishing a retained epoch restores its serving
+//!   behaviour exactly, original epoch stamp included.
+//! * **reduced precision** — a `Fast`-profile engine re-quantizes on
+//!   publish; post-swap responses match a direct reduced-precision rescore.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqfm_autograd::ParamStore;
+use seqfm_core::{Ablation, FrozenSeqFm, ModelEpoch, ScorerPrecision, Scratch, SeqFm, SeqFmConfig};
+use seqfm_data::FeatureLayout;
+use seqfm_serve::{
+    score_request, CatalogIndex, Engine, EngineConfig, Retrieval, ScoreRequest, ScoreResponse,
+};
+use seqfm_train::{OnlineConfig, OnlineTrainer};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const MAX_SEQ: usize = 6;
+
+fn layout() -> FeatureLayout {
+    FeatureLayout { n_users: 6, n_items: 40 }
+}
+
+fn build_model(seed: u64) -> (SeqFm, ParamStore) {
+    let cfg = SeqFmConfig {
+        d: 8,
+        max_seq: MAX_SEQ,
+        dropout: 0.5,
+        ablation: Ablation::default(),
+        ..Default::default()
+    };
+    let mut ps = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = SeqFm::new(&mut ps, &mut rng, &layout(), cfg);
+    (model, ps)
+}
+
+fn online_cfg() -> OnlineConfig {
+    OnlineConfig { batch_size: 4, publish_every: 2, max_seq: MAX_SEQ, ..Default::default() }
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig::builder().threads(2).max_seq(MAX_SEQ).build().expect("valid config")
+}
+
+/// A deterministic synthetic event stream over the test layout.
+fn stream(n: usize) -> Vec<(u32, u32)> {
+    (0..n).map(|i| ((i % 6) as u32, ((i * 7 + 3) % 40) as u32)).collect()
+}
+
+fn assert_responses_bit_identical(a: &ScoreResponse, b: &ScoreResponse, what: &str) {
+    assert_eq!(a.epoch, b.epoch, "{what}: epochs differ");
+    assert_eq!(a.ranked.len(), b.ranked.len(), "{what}: lengths differ");
+    for (ra, rb) in a.ranked.iter().zip(&b.ranked) {
+        assert_eq!(ra.item, rb.item, "{what}: items differ");
+        assert_eq!(
+            ra.score.to_bits(),
+            rb.score.to_bits(),
+            "{what}: score bits differ on item {} ({} vs {})",
+            ra.item,
+            ra.score,
+            rb.score
+        );
+    }
+}
+
+fn assert_retrievals_bit_identical(a: &Retrieval, b: &Retrieval, what: &str) {
+    assert_eq!(a.items.len(), b.items.len(), "{what}: lengths differ");
+    for (rank, (ia, ib)) in a.items.iter().zip(&b.items).enumerate() {
+        assert_eq!(ia.item, ib.item, "{what}: item diverges at rank {rank}");
+        assert_eq!(
+            ia.score.to_bits(),
+            ib.score.to_bits(),
+            "{what}: score bits diverge at rank {rank} (item {})",
+            ia.item
+        );
+    }
+}
+
+/// Hot-swap + epoch-keyed view cache: a warm engine that scored (and
+/// cached) under the old model must, after `publish_frozen`, serve the new
+/// model bit-identically to a cold engine built directly on it — the
+/// cached history panels of the old epoch may never leak into new-epoch
+/// scores, and the response's epoch stamp must advance.
+#[test]
+fn hot_swap_serves_the_new_model_bit_for_bit_vs_a_cold_engine() {
+    let (model, ps) = build_model(3);
+    let frozen = FrozenSeqFm::freeze(&model, &ps);
+    let engine =
+        Engine::new_frozen(frozen, layout(), engine_cfg()).expect("valid").with_event_log();
+
+    let events = stream(8);
+    for &(u, i) in &events {
+        engine.append_event(u, i).expect("known ids");
+    }
+    let candidates: Vec<u32> = vec![7, 9, 11, 0, 33];
+    // Warm the view cache under the initial (ZERO) epoch for every user.
+    for u in 0..6 {
+        let r = engine.score_stored(u, candidates.clone()).expect("valid");
+        assert_eq!(r.epoch, ModelEpoch::ZERO);
+    }
+
+    // One pump: 8 logged events = 2 minibatches of 4 = 1 published epoch.
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let published = trainer.pump(&engine);
+    assert_eq!(published, vec![ModelEpoch(1)], "8 events publish exactly e1");
+    assert_eq!(engine.current_epoch(), ModelEpoch(1));
+
+    // Cold reference: a fresh engine on the published model with the same
+    // histories and a never-used cache.
+    let cold = Engine::new_frozen(
+        trainer.frozen_for(trainer.latest_snapshot().expect("published")),
+        layout(),
+        engine_cfg(),
+    )
+    .expect("valid");
+    for &(u, i) in &events {
+        cold.append_event(u, i).expect("known ids");
+    }
+
+    for u in 0..6 {
+        let warm = engine.score_stored(u, candidates.clone()).expect("valid");
+        let fresh = cold.score_stored(u, candidates.clone()).expect("valid");
+        assert_eq!(warm.epoch, ModelEpoch(1), "post-swap responses carry the new epoch");
+        assert_responses_bit_identical(&warm, &fresh, &format!("user {u} post-swap"));
+    }
+}
+
+/// Swap-under-load: scoring threads hammer the engine while the main
+/// thread publishes a sequence of epochs. Every response must be
+/// bit-identical to a single-epoch rescore under the epoch it reports —
+/// the engine may serve an older or newer revision at any instant, but
+/// never a mixture.
+#[test]
+fn swap_under_load_every_response_is_single_epoch_consistent() {
+    let (model, ps) = build_model(3);
+    let initial = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+
+    // Pre-train the revision sequence so every epoch's exact bits are known.
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&stream(32)); // e1..e4
+    let mut by_epoch: HashMap<u64, Arc<FrozenSeqFm>> = HashMap::new();
+    by_epoch.insert(0, Arc::clone(&initial));
+    for snap in &snapshots {
+        by_epoch.insert(snap.epoch().get(), Arc::new(trainer.frozen_for(snap)));
+    }
+
+    let cfg = EngineConfig::builder()
+        .threads(3)
+        .max_seq(MAX_SEQ)
+        .top_k(4)
+        .linger_us(5)
+        .build()
+        .expect("valid config");
+    let engine = Arc::new(Engine::new(Arc::clone(&initial), layout(), cfg).expect("valid"));
+
+    // Inline-history requests so any response can be rescored exactly later
+    // regardless of when stores/appends happened around it.
+    let make_req = |t: usize, i: usize| {
+        let hist: Vec<u32> = (0..4).map(|j| ((i * 5 + j * 3 + t) % 40) as u32).collect();
+        let cands: Vec<u32> = (0..6).map(|c| ((c * 7 + i) % 40) as u32).collect();
+        ScoreRequest::inline(((t + i) % 6) as u32, hist, cands)
+    };
+
+    let scorers: Vec<_> = (0..2)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut out: Vec<(ScoreRequest, ScoreResponse)> = Vec::new();
+                for i in 0..150 {
+                    let req = make_req(t, i);
+                    let resp = engine.score(req.clone()).expect("valid request");
+                    out.push((req, resp));
+                }
+                out
+            })
+        })
+        .collect();
+
+    // Publish every revision (including re-publishing older ones — the
+    // slot is last-write-wins, not monotone) while traffic is in flight.
+    for snap in &snapshots {
+        let m = &by_epoch[&snap.epoch().get()];
+        engine.publish(Arc::clone(m));
+        std::thread::yield_now();
+    }
+    engine.publish(Arc::clone(&by_epoch[&snapshots[0].epoch().get()]));
+    engine.publish(Arc::clone(&by_epoch[&snapshots.last().expect("published").epoch().get()]));
+
+    let mut checked = 0usize;
+    let mut scratch = Scratch::new();
+    for h in scorers {
+        for (req, resp) in h.join().expect("scorer thread") {
+            let model = by_epoch
+                .get(&resp.epoch.get())
+                .unwrap_or_else(|| panic!("response under unknown epoch {}", resp.epoch));
+            let reference =
+                score_request(model.as_ref(), &layout(), MAX_SEQ, 4, &req, &mut scratch)
+                    .expect("valid request");
+            assert_responses_bit_identical(&resp, &reference, "under-load response");
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 300);
+}
+
+/// Mid-swap retrieval parity: with the index still built for the old
+/// epoch, the brute-force fallback scored by the *new* model must match
+/// both the incrementally rebuilt index and a from-scratch index — same
+/// items, same logit bits. This is the soundness test for
+/// `CatalogIndex::rebuild_for`'s reuse of old block membership.
+#[test]
+fn mid_swap_brute_fallback_and_rebuilt_index_match_a_fresh_build() {
+    let (model, ps) = build_model(9);
+    let old = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&stream(16)); // e1, e2
+    let new = Arc::new(trainer.frozen_for(snapshots.last().expect("published")));
+
+    let index_old = CatalogIndex::build(Arc::clone(&old), layout(), 16);
+    let rebuilt = index_old.rebuild_for(Arc::clone(&new));
+    let fresh = CatalogIndex::build(Arc::clone(&new), layout(), 16);
+
+    let mut scratch = Scratch::new();
+    for (user, hist) in [(1u32, vec![2i64, 9, 31]), (4, vec![seqfm_data::PAD, 5, 5, 17, 8, 0])] {
+        let mut row = vec![seqfm_data::PAD; MAX_SEQ - hist.len()];
+        row.extend(&hist);
+        let view = new.history_view(&row, &mut scratch);
+        let brute = index_old.retrieve_brute_with(&new, user, &view, 10).expect("valid retrieval");
+        let via_rebuilt = rebuilt.retrieve(user, &view, 10).expect("valid retrieval");
+        let via_fresh = fresh.retrieve(user, &view, 10).expect("valid retrieval");
+        assert_retrievals_bit_identical(&brute, &via_fresh, "brute fallback vs fresh index");
+        assert_retrievals_bit_identical(&via_rebuilt, &via_fresh, "rebuilt index vs fresh index");
+    }
+}
+
+/// Engine-level index swap: after `publish_frozen`, `retrieve_top_k` must
+/// match a cold engine whose index was built from scratch for the new
+/// model — the incremental rebuild and the epoch-keyed view sharing are
+/// invisible in the output.
+#[test]
+fn engine_retrieval_after_publish_matches_a_cold_engine_on_the_new_model() {
+    let (model, ps) = build_model(5);
+    let old = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let engine = Engine::new_frozen(FrozenSeqFm::freeze(&model, &ps), layout(), engine_cfg())
+        .expect("valid")
+        .with_catalog_index(Arc::new(CatalogIndex::build(Arc::clone(&old), layout(), 16)));
+
+    let events = stream(16);
+    for &(u, i) in &events {
+        engine.append_event(u, i).expect("known ids");
+    }
+    // Warm retrieval views under the old epoch.
+    engine.retrieve_top_k(2, 5).expect("valid retrieval");
+
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&events);
+    let published = engine.publish_frozen(trainer.frozen_for(snapshots.last().expect("some")));
+    assert_eq!(published, engine.current_epoch());
+    assert_eq!(
+        engine.catalog_index().expect("attached").model().epoch(),
+        published,
+        "publish_frozen rebuilds the index for the new epoch"
+    );
+
+    let new = Arc::new(trainer.frozen_for(snapshots.last().expect("some")));
+    let cold = Engine::new_frozen(
+        trainer.frozen_for(snapshots.last().expect("some")),
+        layout(),
+        engine_cfg(),
+    )
+    .expect("valid")
+    .with_catalog_index(Arc::new(CatalogIndex::build(Arc::clone(&new), layout(), 16)));
+    for &(u, i) in &events {
+        cold.append_event(u, i).expect("known ids");
+    }
+
+    for user in 0..6 {
+        let warm = engine.retrieve_top_k(user, 5).expect("valid retrieval");
+        let fresh = cold.retrieve_top_k(user, 5).expect("valid retrieval");
+        assert_retrievals_bit_identical(&warm, &fresh, &format!("user {user} post-swap"));
+    }
+}
+
+/// Rollback: republishing a retained epoch restores its serving behaviour
+/// exactly — same epoch stamp, same bits — even though the trainer (and
+/// other epochs) advanced in between.
+#[test]
+fn rollback_restores_a_prior_epoch_as_served() {
+    let (model, ps) = build_model(3);
+    let engine = Engine::new_frozen(FrozenSeqFm::freeze(&model, &ps), layout(), engine_cfg())
+        .expect("valid");
+    for &(u, i) in &stream(10) {
+        engine.append_event(u, i).expect("known ids");
+    }
+
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&stream(24)); // e1..e3
+    assert_eq!(snapshots.len(), 3);
+
+    // Serve each epoch once, recording what user 2 sees under it.
+    let candidates: Vec<u32> = vec![1, 8, 22, 39];
+    let mut served: HashMap<u64, ScoreResponse> = HashMap::new();
+    for snap in &snapshots {
+        let epoch = engine.publish_frozen(trainer.frozen_for(snap));
+        served.insert(epoch.get(), engine.score_stored(2, candidates.clone()).expect("valid"));
+    }
+    assert_eq!(engine.current_epoch(), ModelEpoch(3));
+
+    // Roll back to e2: the original stamp comes back, and the response is
+    // bit-identical to what e2 served the first time around.
+    let rolled = trainer.rollback_to(ModelEpoch(2)).expect("retained");
+    assert_eq!(engine.publish_frozen(rolled), ModelEpoch(2));
+    assert_eq!(engine.current_epoch(), ModelEpoch(2));
+    let replayed = engine.score_stored(2, candidates.clone()).expect("valid");
+    assert_responses_bit_identical(&replayed, &served[&2], "rollback replay");
+}
+
+/// `ScorerPrecision::Fast` engines re-quantize each published model off
+/// the hot path: post-swap responses must match a direct reduced-precision
+/// rescore of the new model, and stay at reduced precision (not silently
+/// fall back to exact).
+#[test]
+fn fast_profile_requantizes_on_publish() {
+    let (model, ps) = build_model(3);
+    let cfg = EngineConfig::builder()
+        .threads(1)
+        .max_seq(MAX_SEQ)
+        .precision(ScorerPrecision::Fast)
+        .build()
+        .expect("valid config");
+    let engine =
+        Engine::new_frozen(FrozenSeqFm::freeze(&model, &ps), layout(), cfg).expect("valid");
+
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&stream(8));
+    let epoch = engine.publish_frozen(trainer.frozen_for(&snapshots[0]));
+
+    let req = ScoreRequest::inline(1, vec![4, 17, 2], vec![3, 9, 30, 12]);
+    let got = engine.score(req.clone()).expect("valid request");
+    assert_eq!(got.epoch, epoch);
+
+    let fast = trainer.frozen_for(&snapshots[0]).with_precision(ScorerPrecision::Fast);
+    let mut scratch = Scratch::new();
+    let want = score_request(&fast, &layout(), MAX_SEQ, 0, &req, &mut scratch).expect("valid");
+    assert_responses_bit_identical(&got, &want, "fast-profile post-swap");
+
+    // Sanity: the engine really serves the quantized profile, not exact —
+    // the two must differ somewhere on this workload.
+    let exact = trainer.frozen_for(&snapshots[0]);
+    let want_exact =
+        score_request(&exact, &layout(), MAX_SEQ, 0, &req, &mut scratch).expect("valid");
+    let any_diff = want
+        .ranked
+        .iter()
+        .zip(&want_exact.ranked)
+        .any(|(a, b)| a.item != b.item || a.score.to_bits() != b.score.to_bits());
+    assert!(any_diff, "Fast profile should differ from Exact on at least one bit");
+}
