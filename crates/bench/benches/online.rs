@@ -82,6 +82,28 @@ fn emit_online_json(_c: &mut Criterion) {
     }
     let l = layout();
 
+    // Host-speed canary: a fixed, deterministic chunk of scalar FMA work,
+    // timed like the latencies below. When two records of this file
+    // disagree, compare their `calib_spin_us` first — a 2× swing there
+    // means the host changed, not the code.
+    let calib_spin = {
+        let mut samples = Vec::with_capacity(30);
+        for it in 0..33 {
+            let t = Instant::now();
+            let mut acc = 0.0f32;
+            let mut x = 1.000_000_1f32;
+            for _ in 0..2_000_000u32 {
+                acc = x.mul_add(1.000_000_1, acc);
+                x = std::hint::black_box(x);
+            }
+            std::hint::black_box(acc);
+            if it >= 3 {
+                samples.push(t.elapsed());
+            }
+        }
+        median(&mut samples)
+    };
+
     // Ingest throughput: events/sec through minibatching + BPR +
     // per-row Adam (publishing included at the configured cadence).
     let (model, ps) = build_model();
@@ -101,6 +123,11 @@ fn emit_online_json(_c: &mut Criterion) {
     let shared = Arc::new(frozen());
     let engine_cfg =
         EngineConfig::builder().threads(2).max_seq(MAX_SEQ).build().expect("valid config");
+    // The timed window is `publish_frozen` alone: with an index attached,
+    // the rebuild happens on the background builder thread, so the caller
+    // pays slot-swap time, not rebuild time. Each iteration settles the
+    // builder *outside* the timed window (`wait_for_index` is a no-op on
+    // the index-less engine) so iterations don't queue behind each other.
     let p50_swap = |engine: &Engine, iters: usize| -> Duration {
         let mut samples = Vec::with_capacity(iters);
         for _ in 0..iters {
@@ -108,6 +135,7 @@ fn emit_online_json(_c: &mut Criterion) {
             let t = Instant::now();
             engine.publish_frozen(m);
             samples.push(t.elapsed());
+            let _ = engine.wait_for_index();
         }
         median(&mut samples)
     };
@@ -116,7 +144,7 @@ fn emit_online_json(_c: &mut Criterion) {
     let indexed_engine = Engine::new_frozen(frozen(), l, engine_cfg)
         .expect("valid")
         .with_catalog_index(Arc::new(CatalogIndex::build(Arc::clone(&shared), l, 512)));
-    let swap_with_index_p50 = p50_swap(&indexed_engine, 10);
+    let swap_with_index_p50 = p50_swap(&indexed_engine, 30);
 
     // Cache re-warm tax: p50 stored-history request latency with the view
     // cache hot vs. the first post-swap visit per user (every view must be
@@ -173,8 +201,9 @@ fn emit_online_json(_c: &mut Criterion) {
 
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"online\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"n_items\": {}, \"batch_size\": 16, \"publish_every\": 8, \"index_block\": 512 }},\n  \"host_cpus\": {host_cpus},\n  \"trainer_ingest_events_per_sec\": {:.0},\n  \"swap_p50_latency_us\": {:.1},\n  \"swap_with_index_rebuild_p50_latency_us\": {:.1},\n  \"stored_p50_cache_hot_us\": {:.1},\n  \"stored_p50_post_swap_rewarm_us\": {:.1},\n  \"engine_rps_quiet\": {:.0},\n  \"engine_rps_under_continuous_swaps\": {:.0},\n  \"swaps_during_measurement\": {}\n}}\n",
+        "{{\n  \"bench\": \"online\",\n  \"config\": {{ \"d\": {D}, \"max_seq\": {MAX_SEQ}, \"n_items\": {}, \"batch_size\": 16, \"publish_every\": 8, \"index_block\": 512 }},\n  \"host_cpus\": {host_cpus},\n  \"calib_spin_us\": {:.1},\n  \"trainer_ingest_events_per_sec\": {:.0},\n  \"swap_p50_latency_us\": {:.1},\n  \"swap_with_index_rebuild_p50_latency_us\": {:.1},\n  \"stored_p50_cache_hot_us\": {:.1},\n  \"stored_p50_post_swap_rewarm_us\": {:.1},\n  \"engine_rps_quiet\": {:.0},\n  \"engine_rps_under_continuous_swaps\": {:.0},\n  \"swaps_during_measurement\": {}\n}}\n",
         l.n_items,
+        calib_spin.as_secs_f64() * 1e6,
         ingest_eps,
         swap_p50.as_secs_f64() * 1e6,
         swap_with_index_p50.as_secs_f64() * 1e6,

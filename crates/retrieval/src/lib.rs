@@ -16,16 +16,25 @@
 //!   shards merge under a total order (descending score by `total_cmp`,
 //!   item-id tiebreak, NaN last), so results are bit-identical at any
 //!   worker count.
-//! * [`CatalogIndex::retrieve`] — the sublinear path: blocks are visited in
-//!   descending upper-bound order and the scan stops as soon as the next
-//!   bound falls strictly below the current k-th best score. The bound is
-//!   sound (see [`seqfm_core::bounds`]), so pruned retrieval returns the
-//!   **exact** brute-force top-K — same ids, same logit bits.
+//! * [`CatalogIndex::retrieve`] — the sublinear path: an adaptive
+//!   **two-phase scan**. Phase one visits blocks best-first by the best
+//!   score ever *observed* in each block ([`ScanStats`], falling back to
+//!   the sound upper bound where nothing was observed) and skips
+//!   speculatively against the running k-th threshold; a **sound repair
+//!   pass** then re-scores every skipped unit whose sound bound (see
+//!   [`seqfm_core::bounds`]) still clears the threshold. The speculation
+//!   steers *work*; only the sound bound ever *excludes* — so retrieval
+//!   returns the **exact** brute-force top-K (same ids, same logit bits)
+//!   even under stale or adversarially wrong statistics, while the
+//!   effective skip rate tracks observed scores instead of the adversarial
+//!   envelope.
 
 pub mod index;
+pub mod stats;
 pub mod topk;
 
 pub use index::{CatalogIndex, Retrieval, RetrievalError};
+pub use stats::ScanStats;
 pub use topk::{rank_cmp, ScoredItem, TopK};
 
 #[cfg(test)]
@@ -108,6 +117,53 @@ mod tests {
             assert_eq!(b.item, p.item);
             assert_eq!(b.score.to_bits(), p.score.to_bits());
         }
+    }
+
+    /// Worst case for the speculation: a perfectly flat catalog (every item
+    /// linear weight identical) gives the bound-order nothing to work with.
+    /// A *cold* index must degrade exactly to the plain sound scan — no
+    /// speculative skips, so no repair work — and stay bit-exact; a *warm*
+    /// index may reorder work but can never score more items than the
+    /// catalog holds (each block's forward passes cover disjoint items).
+    #[test]
+    fn flat_catalog_degrades_to_the_sound_scan_without_repair_overhead() {
+        let layout = FeatureLayout { n_users: 5, n_items: 96 };
+        let cfg = SeqFmConfig { d: 8, max_seq: 6, dropout: 0.0, ..Default::default() };
+        let mut ps = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(29);
+        let model = SeqFm::new(&mut ps, &mut rng, &layout, cfg);
+        let id = ps.id_of("seqfm.w_static.table").expect("item linear table");
+        let w = ps.value_mut(id).data_mut();
+        for c in 0..96 {
+            w[layout.n_users + c] = 0.125; // dead flat
+        }
+        let model = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+        let index = CatalogIndex::build(Arc::clone(&model), layout, 16);
+        let view = view_for(&model, &layout, 3, &[10, 55, 7]);
+        // Cold: keys are the sound bounds, nothing is speculative. (Order
+        // matters — a brute scan would warm the observed-max statistics.)
+        let cold = index.retrieve(3, &view, 10).unwrap();
+        assert_eq!(cold.blocks_repaired, 0, "a cold index has nothing to repair");
+        let brute = index.retrieve_brute(3, &view, 10).unwrap();
+        for (b, p) in brute.items.iter().zip(&cold.items) {
+            assert_eq!(b.item, p.item);
+            assert_eq!(b.score.to_bits(), p.score.to_bits());
+        }
+        // Warm (the brute scan above and the cold retrieval both recorded
+        // observed maxima): still exact, and never more work than brute.
+        let warm = index.retrieve(3, &view, 10).unwrap();
+        for (b, p) in brute.items.iter().zip(&warm.items) {
+            assert_eq!(b.item, p.item);
+            assert_eq!(b.score.to_bits(), p.score.to_bits());
+        }
+        assert!(
+            warm.items_scored <= brute.items_scored,
+            "phase one + repair score disjoint item sets, so the flat worst case \
+             is bounded by the brute scan ({} vs {})",
+            warm.items_scored,
+            brute.items_scored
+        );
+        assert_eq!(warm.blocks_scored + warm.blocks_pruned, index.n_blocks());
     }
 
     #[test]

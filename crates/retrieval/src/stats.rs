@@ -1,0 +1,174 @@
+//! Per-block observed-score statistics driving the speculative scan.
+//!
+//! Every time retrieval scores a block it records the best logit it saw
+//! there. The recorded maxima are **advisory**: the two-phase scan in
+//! [`CatalogIndex::retrieve`](crate::CatalogIndex::retrieve) uses them to
+//! *order* blocks and to *speculatively* skip work in phase one, and the
+//! sound repair pass re-examines everything the speculation skipped against
+//! the sound envelope bound. Exactness therefore never depends on these
+//! values — they may be stale (carried across a
+//! [`rebuild_for`](crate::CatalogIndex::rebuild_for)), racy (concurrent
+//! retrievals update them without coordination), or outright wrong — the
+//! result is still the bit-exact brute-force top-K; only *how much* work
+//! phase one skips varies.
+//!
+//! Storage is one `AtomicU32` per block holding an order-preserving
+//! encoding of the observed `f32` maximum, so concurrent recording is a
+//! plain `fetch_max` with `Relaxed` ordering: the statistic is monotone
+//! under races and never torn.
+
+use seqfm_core::ModelEpoch;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// `f32 → u32` map that preserves order under unsigned integer compare
+/// (the classic sign-flip transform). `0` is reserved as the "nothing
+/// observed yet" sentinel — no non-NaN float encodes to it (the smallest
+/// real encoding, `key(-inf)`, is `0x007F_FFFF`) and NaNs are never
+/// recorded.
+fn key_of(score: f32) -> u32 {
+    let bits = score.to_bits();
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
+}
+
+/// Inverse of [`key_of`] for non-sentinel keys.
+fn score_of(key: u32) -> f32 {
+    if key & 0x8000_0000 != 0 {
+        f32::from_bits(key & 0x7FFF_FFFF)
+    } else {
+        f32::from_bits(!key)
+    }
+}
+
+/// Per-block observed-maximum score statistics, stamped with the
+/// [`ModelEpoch`] whose scores they were (first) observed under.
+///
+/// Owned by a [`CatalogIndex`](crate::CatalogIndex) and updated through
+/// `&self` during retrieval — interior mutability via relaxed atomics, see
+/// the module docs for why races are benign.
+#[derive(Debug)]
+pub struct ScanStats {
+    epoch: ModelEpoch,
+    observed: Vec<AtomicU32>,
+}
+
+impl ScanStats {
+    /// Empty statistics (nothing observed) for `n_blocks` blocks, stamped
+    /// with the index model's `epoch`.
+    pub fn new(epoch: ModelEpoch, n_blocks: usize) -> ScanStats {
+        ScanStats { epoch, observed: (0..n_blocks).map(|_| AtomicU32::new(0)).collect() }
+    }
+
+    /// Carries the observed maxima of `prior` forward onto a rebuilt index
+    /// (block membership is preserved by
+    /// [`rebuild_for`](crate::CatalogIndex::rebuild_for), so block `bi`
+    /// still describes the same items), restamped with the new model's
+    /// `epoch`. The carried values describe the *previous* epoch's scores —
+    /// close after one incremental training step, and safe regardless: the
+    /// repair pass owns correctness.
+    pub fn carry_from(prior: &ScanStats, epoch: ModelEpoch) -> ScanStats {
+        ScanStats {
+            epoch,
+            observed: prior
+                .observed
+                .iter()
+                .map(|a| AtomicU32::new(a.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// The [`ModelEpoch`] the statistics are stamped with.
+    pub fn epoch(&self) -> ModelEpoch {
+        self.epoch
+    }
+
+    /// Number of blocks tracked.
+    pub fn n_blocks(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Folds one observed block maximum into the statistic (monotone:
+    /// keeps the larger of the stored and offered values). NaN is ignored —
+    /// NaN logits rank below everything and carry no skip information.
+    pub fn record(&self, bi: usize, score: f32) {
+        if score.is_nan() {
+            return;
+        }
+        self.observed[bi].fetch_max(key_of(score), Ordering::Relaxed);
+    }
+
+    /// The best score ever observed in block `bi`, or `None` if the block
+    /// has never been scored.
+    pub fn observed_max(&self, bi: usize) -> Option<f32> {
+        match self.observed[bi].load(Ordering::Relaxed) {
+            0 => None,
+            key => Some(score_of(key)),
+        }
+    }
+
+    /// Overwrites block `bi`'s statistic with `score` (tests use this to
+    /// poison the speculation adversarially; `None` clears the block back
+    /// to "never observed").
+    pub fn force(&self, bi: usize, score: Option<f32>) {
+        let key = match score {
+            Some(s) if !s.is_nan() => key_of(s),
+            _ => 0,
+        };
+        self.observed[bi].store(key, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_preserves_order_and_round_trips() {
+        let vals =
+            [f32::NEG_INFINITY, -1.0e30, -2.5, -0.0, 0.0, 1.0e-30, 3.25, 1.0e30, f32::INFINITY];
+        for w in vals.windows(2) {
+            assert!(key_of(w[0]) < key_of(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        for v in vals {
+            assert_eq!(score_of(key_of(v)).to_bits(), v.to_bits());
+        }
+        // The sentinel is unreachable: even -inf encodes above 0.
+        assert!(key_of(f32::NEG_INFINITY) > 0);
+    }
+
+    #[test]
+    fn record_keeps_the_maximum_and_ignores_nan() {
+        let st = ScanStats::new(ModelEpoch::ZERO, 2);
+        assert_eq!(st.observed_max(0), None);
+        st.record(0, -3.0);
+        st.record(0, f32::NAN);
+        st.record(0, 1.5);
+        st.record(0, -7.0);
+        assert_eq!(st.observed_max(0), Some(1.5));
+        assert_eq!(st.observed_max(1), None, "blocks are independent");
+    }
+
+    #[test]
+    fn carry_preserves_values_and_restamps_the_epoch() {
+        let st = ScanStats::new(ModelEpoch(3), 3);
+        st.record(1, 0.25);
+        let carried = ScanStats::carry_from(&st, ModelEpoch(4));
+        assert_eq!(carried.epoch(), ModelEpoch(4));
+        assert_eq!(carried.observed_max(0), None);
+        assert_eq!(carried.observed_max(1), Some(0.25));
+        assert_eq!(carried.n_blocks(), 3);
+    }
+
+    #[test]
+    fn force_overwrites_in_both_directions() {
+        let st = ScanStats::new(ModelEpoch::ZERO, 1);
+        st.record(0, 9.0);
+        st.force(0, Some(-4.0));
+        assert_eq!(st.observed_max(0), Some(-4.0), "force may lower the statistic");
+        st.force(0, None);
+        assert_eq!(st.observed_max(0), None);
+    }
+}

@@ -53,7 +53,7 @@ use seqfm_parallel::{ArcSlot, Oneshot, WorkQueue};
 use seqfm_retrieval::{CatalogIndex, Retrieval, RetrievalError};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -104,6 +104,13 @@ pub struct EngineConfig {
     /// re-quantized, so callers choosing `Fast` there must pass a scorer
     /// already converted via `FrozenSeqFm::with_precision`.
     pub precision: ScorerPrecision,
+    /// Rebuild an attached [`CatalogIndex`] on a dedicated builder thread
+    /// (the default): [`Engine::publish_frozen`] returns in slot-swap time
+    /// and [`Engine::retrieve_top_k`] serves brute-force scans under the
+    /// *new* model until the rebuilt index lands. `false` restores the
+    /// synchronous rebuild on the publishing thread — publish blocks for
+    /// the rebuild, but the index is current the moment it returns.
+    pub background_rebuild: bool,
 }
 
 impl Default for EngineConfig {
@@ -125,6 +132,7 @@ impl Default for EngineConfig {
             history_capacity: 0,
             cache_entries: 1024,
             precision: ScorerPrecision::Exact,
+            background_rebuild: true,
         }
     }
 }
@@ -240,6 +248,12 @@ impl EngineConfigBuilder {
     /// Serving arithmetic profile. See [`EngineConfig::precision`].
     pub fn precision(mut self, precision: ScorerPrecision) -> Self {
         self.cfg.precision = precision;
+        self
+    }
+
+    /// Off-thread index rebuilds. See [`EngineConfig::background_rebuild`].
+    pub fn background_rebuild(mut self, background_rebuild: bool) -> Self {
+        self.cfg.background_rebuild = background_rebuild;
         self
     }
 
@@ -478,6 +492,48 @@ impl EventLog {
     }
 }
 
+/// Latest-wins handoff between [`Engine::publish_frozen`] and the index
+/// builder thread. Depth-one by design: a publish overwrites any rebuild
+/// job still waiting — only the newest model is worth an index, and the
+/// builder's post-rebuild epoch check discards work that a faster publisher
+/// obsoleted mid-rebuild. `busy` tracks a rebuild in flight so
+/// [`Engine::wait_for_index`] can wait for a genuinely settled index, not
+/// just an empty mailbox.
+struct RebuildMailbox {
+    state: Mutex<RebuildState>,
+    cv: Condvar,
+}
+
+struct RebuildState {
+    /// The model awaiting an index rebuild (newest only).
+    job: Option<Arc<FrozenSeqFm>>,
+    /// A rebuild is running right now.
+    busy: bool,
+    /// Engine teardown: the builder exits instead of sleeping.
+    shutdown: bool,
+}
+
+impl RebuildMailbox {
+    fn new() -> Self {
+        RebuildMailbox {
+            state: Mutex::new(RebuildState { job: None, busy: false, shutdown: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Posts a rebuild job, replacing any job not yet picked up.
+    fn post(&self, model: Arc<FrozenSeqFm>) {
+        self.state.lock().expect("rebuild mailbox poisoned").job = Some(model);
+        self.cv.notify_all();
+    }
+}
+
+/// The engine's index builder thread: mailbox plus join handle.
+struct Rebuilder {
+    mailbox: Arc<RebuildMailbox>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// Multi-threaded batch-coalescing scoring engine that owns the user
 /// histories. See the module docs.
 pub struct Engine {
@@ -489,6 +545,7 @@ pub struct Engine {
     cache: Option<Arc<ViewCache>>,
     model: Arc<ArcSlot<ModelRev>>,
     index: Option<Arc<ArcSlot<CatalogIndex>>>,
+    rebuilder: Option<Rebuilder>,
     events: Option<Arc<EventLog>>,
 }
 
@@ -612,6 +669,7 @@ impl Engine {
             cache,
             model,
             index: None,
+            rebuilder: None,
             events: None,
         })
     }
@@ -641,10 +699,11 @@ impl Engine {
     /// engine serves — retrieval scores come from the index's model.
     ///
     /// The index lives in its own hot-swap slot: [`Engine::publish_frozen`]
-    /// rebuilds it for each new epoch off the serving path, and
-    /// [`Engine::retrieve_top_k`] falls back to a brute-force scan with the
-    /// fresh model during the (brief) window where the index still carries
-    /// the previous epoch.
+    /// rebuilds it for each new epoch off the serving path (on a dedicated
+    /// builder thread unless [`EngineConfig::background_rebuild`] is off),
+    /// and [`Engine::retrieve_top_k`] falls back to a brute-force scan with
+    /// the fresh model during the window where the index still carries the
+    /// previous epoch.
     ///
     /// # Panics
     /// Panics if the index's layout disagrees with the engine's.
@@ -655,7 +714,45 @@ impl Engine {
             (self.layout.n_users, self.layout.n_items),
             "catalog index layout must match the engine's"
         );
-        self.index = Some(Arc::new(ArcSlot::new(index)));
+        let slot = Arc::new(ArcSlot::new(index));
+        if self.cfg.background_rebuild {
+            let mailbox = Arc::new(RebuildMailbox::new());
+            let handle = {
+                let mailbox = Arc::clone(&mailbox);
+                let slot = Arc::clone(&slot);
+                let model = Arc::clone(&self.model);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut st = mailbox.state.lock().expect("rebuild mailbox poisoned");
+                        loop {
+                            if st.shutdown {
+                                return;
+                            }
+                            if let Some(m) = st.job.take() {
+                                st.busy = true;
+                                break m;
+                            }
+                            st = mailbox.cv.wait(st).expect("rebuild mailbox poisoned");
+                        }
+                    };
+                    // The delta rebuild runs outside the lock — publishers
+                    // keep posting (and overwriting) jobs meanwhile.
+                    let rebuilt = slot.load().rebuild_for(Arc::clone(&job));
+                    let mut st = mailbox.state.lock().expect("rebuild mailbox poisoned");
+                    // Latest-wins: land the rebuilt index only while its
+                    // model is still the one being served and no newer job
+                    // is queued — a stale index would undo a newer publish's
+                    // fallback-to-fresh-model behaviour.
+                    if st.job.is_none() && model.load().epoch == job.epoch() {
+                        slot.store(Arc::new(rebuilt));
+                    }
+                    st.busy = false;
+                    mailbox.cv.notify_all();
+                })
+            };
+            self.rebuilder = Some(Rebuilder { mailbox, handle: Some(handle) });
+        }
+        self.index = Some(slot);
         self
     }
 
@@ -718,19 +815,51 @@ impl Engine {
     ///    epoch, in-flight drains finish on the one they pinned, and the
     ///    epoch-keyed [`ViewCache`] lazily invalidates old-epoch panels;
     /// 3. any attached catalog index is rebuilt for the new model
-    ///    ([`CatalogIndex::rebuild_for`]) and its slot swapped. Between
-    ///    steps 2 and 3, [`Engine::retrieve_top_k`] serves brute-force
-    ///    scans with the *new* model — fresh results, temporarily without
-    ///    the pruning speedup, never a stale-epoch answer.
+    ///    ([`CatalogIndex::rebuild_for`] — a *delta* rebuild that reuses
+    ///    every block whose envelope provably barely moved) and its slot
+    ///    swapped. Under [`EngineConfig::background_rebuild`] (the default)
+    ///    the rebuild runs on the engine's builder thread and this call
+    ///    returns at slot-swap latency; consecutive publishes coalesce —
+    ///    the builder only ever works toward the newest epoch. Until the
+    ///    rebuilt index lands, [`Engine::retrieve_top_k`] serves
+    ///    brute-force scans with the *new* model — fresh results,
+    ///    temporarily without the pruning speedup, never a stale-epoch
+    ///    answer. [`Engine::wait_for_index`] blocks until the index has
+    ///    caught up (tests and benchmarks that need a settled index).
     pub fn publish_frozen(&self, model: FrozenSeqFm) -> ModelEpoch {
         let model = Arc::new(model.with_precision(self.cfg.precision));
         let epoch = model.epoch();
         self.model.store(Arc::new(ModelRev::of_frozen(Arc::clone(&model))));
         if let Some(slot) = &self.index {
-            let rebuilt = slot.load().rebuild_for(model);
-            slot.store(Arc::new(rebuilt));
+            match &self.rebuilder {
+                Some(r) => r.mailbox.post(model),
+                None => {
+                    let rebuilt = slot.load().rebuild_for(model);
+                    slot.store(Arc::new(rebuilt));
+                }
+            }
         }
         epoch
+    }
+
+    /// Blocks until the background index builder is idle — no rebuild
+    /// running, no job waiting — and returns the attached index's live
+    /// value (current for the last published frozen model). Returns
+    /// immediately with the live index when rebuilds are synchronous, and
+    /// `None` when no index is attached.
+    ///
+    /// This is the settle point for callers that must observe the rebuilt
+    /// index rather than the brute-force window: tests asserting on index
+    /// epochs, benchmarks measuring steady-state retrieval.
+    pub fn wait_for_index(&self) -> Option<Arc<CatalogIndex>> {
+        let slot = self.index.as_ref()?;
+        if let Some(r) = &self.rebuilder {
+            let mut st = r.mailbox.state.lock().expect("rebuild mailbox poisoned");
+            while st.busy || st.job.is_some() {
+                st = r.mailbox.cv.wait(st).expect("rebuild mailbox poisoned");
+            }
+        }
+        Some(slot.load())
     }
 
     /// Retrieves the best `k` items of the **entire catalog** for `user`'s
@@ -970,6 +1099,17 @@ impl Drop for Engine {
         drop(self.queue.take());
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // Then the index builder: raise shutdown and join. A rebuild in
+        // flight finishes its (now pointless) pass and exits at the next
+        // mailbox check; a job never picked up is simply abandoned — the
+        // engine is dying with it.
+        if let Some(r) = self.rebuilder.take() {
+            r.mailbox.state.lock().expect("rebuild mailbox poisoned").shutdown = true;
+            r.mailbox.cv.notify_all();
+            if let Some(handle) = r.handle {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -1281,6 +1421,7 @@ mod tests {
             .linger_us(25)
             .history_capacity(50)
             .cache_entries(0)
+            .background_rebuild(false)
             .build()
             .expect("valid");
         let literal = EngineConfig {
@@ -1293,6 +1434,7 @@ mod tests {
             history_capacity: 50,
             cache_entries: 0,
             precision: ScorerPrecision::Exact,
+            background_rebuild: false,
         };
         assert_eq!(built, literal);
         assert_eq!(built.resolved_history_capacity(), 50);

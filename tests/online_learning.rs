@@ -275,8 +275,12 @@ fn engine_retrieval_after_publish_matches_a_cold_engine_on_the_new_model() {
     let snapshots = trainer.ingest(&events);
     let published = engine.publish_frozen(trainer.frozen_for(snapshots.last().expect("some")));
     assert_eq!(published, engine.current_epoch());
+    // Retrieval is correct *during* the background rebuild (brute-force
+    // fallback on the new model) — but this test pins the rebuilt-index
+    // path, so wait for the builder to land it.
+    let settled = engine.wait_for_index().expect("attached");
     assert_eq!(
-        engine.catalog_index().expect("attached").model().epoch(),
+        settled.model().epoch(),
         published,
         "publish_frozen rebuilds the index for the new epoch"
     );
@@ -298,6 +302,202 @@ fn engine_retrieval_after_publish_matches_a_cold_engine_on_the_new_model() {
         let fresh = cold.retrieve_top_k(user, 5).expect("valid retrieval");
         assert_retrievals_bit_identical(&warm, &fresh, &format!("user {user} post-swap"));
     }
+}
+
+/// Delta vs full rebuild: across a chain of published epochs, an index
+/// maintained by *delta* rebuilds (reused, drift-widened envelopes) must
+/// retrieve bit-identically to one maintained by *full* rebuilds and to a
+/// from-scratch build on the final model — widening only loosens bounds,
+/// never results. Also pins that the delta path actually reuses blocks on
+/// an incremental-training-sized step (otherwise it is dead code).
+#[test]
+fn delta_rebuild_chain_matches_full_rebuilds_and_a_fresh_build() {
+    let (model, ps) = build_model(11);
+    let old = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&stream(32)); // e1..e4
+    assert!(snapshots.len() >= 3, "need a chain of epochs");
+
+    let mut delta = CatalogIndex::build(Arc::clone(&old), layout(), 8);
+    let mut full = CatalogIndex::build(Arc::clone(&old), layout(), 8);
+    let mut reused_any = 0usize;
+    for snap in &snapshots {
+        let new = Arc::new(trainer.frozen_for(snap));
+        delta = delta.rebuild_for(Arc::clone(&new));
+        full = full.rebuild_full(new);
+        reused_any += delta.delta_reused_blocks();
+        assert_eq!(full.delta_reused_blocks(), 0, "a full rebuild reuses nothing");
+    }
+    assert!(
+        reused_any > 0,
+        "incremental steps must let the delta rebuild reuse some envelopes \
+         (drift bound too loose, or the tolerance collapsed)"
+    );
+    let last = Arc::new(trainer.frozen_for(snapshots.last().expect("some")));
+    let fresh = CatalogIndex::build(last.clone(), layout(), 8);
+
+    let mut scratch = Scratch::new();
+    for (user, hist) in [(0u32, vec![3i64, 12, 9]), (5, vec![30i64, 1, 1, 22])] {
+        let mut row = vec![seqfm_data::PAD; MAX_SEQ - hist.len()];
+        row.extend(&hist);
+        let view = last.history_view(&row, &mut scratch);
+        let via_delta = delta.retrieve(user, &view, 12).expect("valid retrieval");
+        let via_full = full.retrieve(user, &view, 12).expect("valid retrieval");
+        let via_fresh = fresh.retrieve(user, &view, 12).expect("valid retrieval");
+        assert_retrievals_bit_identical(&via_delta, &via_full, "delta chain vs full chain");
+        assert_retrievals_bit_identical(&via_delta, &via_fresh, "delta chain vs fresh build");
+    }
+}
+
+/// Background rebuild, race one: retrieval *during* the rebuild window.
+/// Immediately after `publish_frozen` returns (builder likely still
+/// working), `retrieve_top_k` must already serve the new model's exact
+/// answer — via the brute-force fallback if the index hasn't landed, via
+/// the rebuilt index if it has. Both paths are bit-identical to a fresh
+/// index on the new model, so the test holds regardless of who wins the
+/// race.
+#[test]
+fn retrieval_during_the_background_rebuild_window_serves_the_new_model() {
+    let (model, ps) = build_model(13);
+    let old = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let engine = Engine::new_frozen(FrozenSeqFm::freeze(&model, &ps), layout(), engine_cfg())
+        .expect("valid")
+        .with_catalog_index(Arc::new(CatalogIndex::build(Arc::clone(&old), layout(), 16)));
+    let events = stream(16);
+    for &(u, i) in &events {
+        engine.append_event(u, i).expect("known ids");
+    }
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&events);
+    let new = Arc::new(trainer.frozen_for(snapshots.last().expect("some")));
+    let reference = CatalogIndex::build(Arc::clone(&new), layout(), 16);
+
+    let published = engine.publish_frozen(trainer.frozen_for(snapshots.last().expect("some")));
+    // No wait: this retrieval races the builder thread.
+    let racing = engine.retrieve_top_k(4, 8).expect("valid retrieval");
+    let mut scratch = Scratch::new();
+    let items = engine.history(4).expect("known user");
+    let mut row: Vec<i64> = vec![seqfm_data::PAD; MAX_SEQ - items.len().min(MAX_SEQ)];
+    row.extend(items[items.len() - items.len().min(MAX_SEQ)..].iter().map(|&it| it as i64));
+    let view = new.history_view(&row, &mut scratch);
+    let want = reference.retrieve(4, &view, 8).expect("valid retrieval");
+    assert_retrievals_bit_identical(&racing, &want, "mid-rebuild retrieval");
+
+    // After settling, the index itself serves the published epoch and the
+    // same bits.
+    let settled = engine.wait_for_index().expect("attached");
+    assert_eq!(settled.model().epoch(), published);
+    let after = engine.retrieve_top_k(4, 8).expect("valid retrieval");
+    assert_retrievals_bit_identical(&after, &want, "post-rebuild retrieval");
+}
+
+/// Background rebuild, race two: publishes *overlapping* retrievals and
+/// each other. A retrieval loop runs while the main thread publishes a
+/// whole chain of epochs back to back (each publish likely interrupting
+/// the previous rebuild — latest wins). Every retrieval must be
+/// bit-identical to some published epoch's exact answer, and the index
+/// must settle on the final epoch.
+#[test]
+fn rapid_publishes_mid_retrieve_stay_single_epoch_exact_and_settle_on_the_last() {
+    let (model, ps) = build_model(17);
+    let initial = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let engine = Arc::new(
+        Engine::new_frozen(FrozenSeqFm::freeze(&model, &ps), layout(), engine_cfg())
+            .expect("valid")
+            .with_catalog_index(Arc::new(CatalogIndex::build(Arc::clone(&initial), layout(), 16))),
+    );
+    let events = stream(32);
+    for &(u, i) in &events {
+        engine.append_event(u, i).expect("known ids");
+    }
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&events); // e1..e4
+
+    // Exact per-epoch references for user 2's current stored history.
+    let items = engine.history(2).expect("known user");
+    let mut row: Vec<i64> = vec![seqfm_data::PAD; MAX_SEQ - items.len().min(MAX_SEQ)];
+    row.extend(items[items.len() - items.len().min(MAX_SEQ)..].iter().map(|&it| it as i64));
+    let mut scratch = Scratch::new();
+    let mut references: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut epoch_models = vec![Arc::clone(&initial)];
+    for snap in &snapshots {
+        epoch_models.push(Arc::new(trainer.frozen_for(snap)));
+    }
+    for m in &epoch_models {
+        let view = m.history_view(&row, &mut scratch);
+        let reference = CatalogIndex::build(Arc::clone(m), layout(), 16)
+            .retrieve(2, &view, 6)
+            .expect("valid retrieval");
+        references.push(reference.items.iter().map(|s| (s.item, s.score.to_bits())).collect());
+    }
+
+    let retriever = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            (0..40)
+                .map(|_| {
+                    let r = engine.retrieve_top_k(2, 6).expect("valid retrieval");
+                    r.items.iter().map(|s| (s.item, s.score.to_bits())).collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    for snap in &snapshots {
+        engine.publish_frozen(trainer.frozen_for(snap));
+        std::thread::yield_now();
+    }
+    let observed = retriever.join().expect("retriever thread");
+    for (i, got) in observed.iter().enumerate() {
+        assert!(
+            references.iter().any(|want| want == got),
+            "retrieval {i} matches no published epoch's exact answer"
+        );
+    }
+    let settled = engine.wait_for_index().expect("attached");
+    assert_eq!(
+        settled.model().epoch(),
+        snapshots.last().expect("some").epoch(),
+        "coalescing publishes must settle the index on the newest epoch"
+    );
+}
+
+/// Background rebuild, race three: rollback published while the previous
+/// epoch's rebuild may still be in flight. Latest wins — the index must
+/// settle on the *rolled-back* epoch, and serve its exact bits.
+#[test]
+fn rollback_mid_rebuild_settles_the_index_on_the_rolled_back_epoch() {
+    let (model, ps) = build_model(19);
+    let initial = Arc::new(FrozenSeqFm::freeze(&model, &ps));
+    let engine = Engine::new_frozen(FrozenSeqFm::freeze(&model, &ps), layout(), engine_cfg())
+        .expect("valid")
+        .with_catalog_index(Arc::new(CatalogIndex::build(Arc::clone(&initial), layout(), 16)));
+    for &(u, i) in &stream(24) {
+        engine.append_event(u, i).expect("known ids");
+    }
+    let mut trainer = OnlineTrainer::new(model, ps, layout(), online_cfg());
+    let snapshots = trainer.ingest(&stream(24)); // e1..e3
+    assert!(snapshots.len() >= 3);
+
+    // Publish the newest epoch, then roll straight back to e2 without
+    // letting the first rebuild settle.
+    engine.publish_frozen(trainer.frozen_for(snapshots.last().expect("some")));
+    let rolled = trainer.rollback_to(ModelEpoch(2)).expect("retained");
+    assert_eq!(engine.publish_frozen(rolled), ModelEpoch(2));
+
+    let settled = engine.wait_for_index().expect("attached");
+    assert_eq!(settled.model().epoch(), ModelEpoch(2), "latest publish wins the index");
+
+    let e2 = Arc::new(trainer.frozen_for(&snapshots[1]));
+    assert_eq!(e2.epoch(), ModelEpoch(2));
+    let reference = CatalogIndex::build(Arc::clone(&e2), layout(), 16);
+    let items = engine.history(3).expect("known user");
+    let mut row: Vec<i64> = vec![seqfm_data::PAD; MAX_SEQ - items.len().min(MAX_SEQ)];
+    row.extend(items[items.len() - items.len().min(MAX_SEQ)..].iter().map(|&it| it as i64));
+    let mut scratch = Scratch::new();
+    let view = e2.history_view(&row, &mut scratch);
+    let want = reference.retrieve(3, &view, 7).expect("valid retrieval");
+    let got = engine.retrieve_top_k(3, 7).expect("valid retrieval");
+    assert_retrievals_bit_identical(&got, &want, "post-rollback retrieval");
 }
 
 /// Rollback: republishing a retained epoch restores its serving behaviour
